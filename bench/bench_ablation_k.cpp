@@ -1,0 +1,58 @@
+// Ablation: effect of the replication factor k on the *simulated* Fmax
+// (Figure 10 answers this for the LP bound only). m = 15, Shuffled s = 1,
+// EFT-Min, fixed offered load; median over repetitions.
+#include <cstdio>
+#include <vector>
+
+#include "sched/engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace flowsched;
+
+namespace {
+
+double median_fmax(int k, ReplicationStrategy strategy, double load, int reps) {
+  std::vector<double> fmaxes;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(9000 + rep);
+    const auto pop = make_popularity(PopularityCase::kShuffled, 15, 1.0, rng);
+    KvWorkloadConfig config;
+    config.m = 15;
+    config.n = 8000;
+    config.lambda = load * 15;
+    config.strategy = strategy;
+    config.k = k;
+    const auto inst = generate_kv_instance(config, pop, rng);
+    EftDispatcher eft(TieBreakKind::kMin);
+    fmaxes.push_back(run_dispatcher(inst, eft).max_flow());
+  }
+  return median(fmaxes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 7;
+  std::printf("== Ablation: replication factor k vs simulated Fmax "
+              "(m=15, Shuffled s=1, EFT-Min) ==\n\n");
+  for (double load : {0.4, 0.6}) {
+    std::printf("--- offered load %.0f%% ---\n", load * 100);
+    TextTable table({"k", "Overlapping Fmax", "Disjoint Fmax", "Spread Fmax"});
+    for (int k : {1, 2, 3, 5, 8, 15}) {
+      table.add_row(
+          {std::to_string(k),
+           TextTable::num(median_fmax(k, ReplicationStrategy::kOverlapping, load, reps), 1),
+           TextTable::num(median_fmax(k, ReplicationStrategy::kDisjoint, load, reps), 1),
+           TextTable::num(median_fmax(k, ReplicationStrategy::kSpread, load, reps), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "Reading: k = 1 (no replication) diverges under skew regardless of\n"
+      "strategy; small k already recovers most of the benefit for\n"
+      "overlapping/spread, while disjoint needs much larger k — the\n"
+      "simulated counterpart of Figure 10's LP analysis.\n");
+  return 0;
+}

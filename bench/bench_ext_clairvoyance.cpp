@@ -1,0 +1,80 @@
+// Extension: how much does EFT's clairvoyance matter?
+//
+// Section 4 notes EFT needs exact processing times of arriving tasks to
+// compute the machine completion frontier (a clairvoyant setting). In a
+// key-value store, service times vary (value sizes, cache hits); this bench
+// compares the clairvoyant EFT against non-clairvoyant dispatchers that
+// only see queue sizes (JSQ) or nothing (random, round-robin), across
+// service-time distributions of increasing variability.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "kvstore/cluster_sim.hpp"
+#include "util/table.hpp"
+
+using namespace flowsched;
+
+namespace {
+
+const char* dist_name(ServiceDist dist) {
+  switch (dist) {
+    case ServiceDist::kConstant:
+      return "constant";
+    case ServiceDist::kUniform:
+      return "uniform[0.5,1.5]";
+    case ServiceDist::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 20000;
+  StoreConfig sc;
+  sc.m = 12;
+  sc.keys = 1200;
+  sc.zipf_s = 1.0;
+  sc.strategy = ReplicationStrategy::kOverlapping;
+  sc.k = 3;
+  Rng store_rng(3);
+  const KeyValueStore store(sc, store_rng);
+
+  std::printf("== Extension: clairvoyant EFT vs queue-only dispatchers ==\n");
+  std::printf("(m=%d, k=%d, Zipf s=1 shuffled, 60%%%% load, %d requests)\n\n",
+              sc.m, sc.k, requests);
+
+  TextTable table({"service dist", "policy", "mean", "p99", "max"});
+  for (auto dist : {ServiceDist::kConstant, ServiceDist::kUniform,
+                    ServiceDist::kExponential}) {
+    std::vector<std::unique_ptr<Dispatcher>> policies;
+    policies.push_back(std::make_unique<EftDispatcher>(TieBreakKind::kMin));
+    policies.push_back(std::make_unique<JsqDispatcher>(TieBreakKind::kMin));
+    policies.push_back(std::make_unique<PowerOfDChoicesDispatcher>(2, 5));
+    policies.push_back(std::make_unique<RandomEligibleDispatcher>(5));
+    policies.push_back(std::make_unique<RoundRobinDispatcher>());
+    for (auto& policy : policies) {
+      SimConfig sim;
+      sim.lambda = 0.6 * sc.m;
+      sim.requests = requests;
+      sim.dist = dist;
+      Rng rng(777);  // identical arrival + service stream per policy
+      const auto report = simulate_cluster(store, sim, *policy, rng);
+      table.add_row({dist_name(dist), policy->name(),
+                     TextTable::num(report.mean_latency, 2),
+                     TextTable::num(report.p99, 2),
+                     TextTable::num(report.max_latency, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: with constant service times, queue length is nearly\n"
+      "remaining work (up to the fraction of the in-flight request) and JSQ\n"
+      "tracks EFT within a few percent. As variability grows, the gap widens\n"
+      "(a queue of 3 short requests looks like a queue of 3 long ones),\n"
+      "quantifying the value of the clairvoyance the paper assumes; both\n"
+      "remain far ahead of load-blind random/round-robin selection.\n");
+  return 0;
+}

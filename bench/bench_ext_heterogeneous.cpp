@@ -1,0 +1,100 @@
+// Extension: heterogeneous (related) servers in a replicated store.
+//
+// Real clusters mix machine generations (the paper's introduction notes
+// heterogeneous loads; C3/Héron target exactly this). We replay the
+// key-value workload on related machines — half the cluster 2x faster —
+// and compare the Q-environment dispatchers from qsched/: speed-aware
+// Greedy (EFT with speeds), Slow-Fit, Double-Fit, against speed-oblivious
+// EFT (treats all servers as equal, a common misconfiguration).
+#include <cstdio>
+#include <vector>
+
+#include "qsched/related.hpp"
+#include "sched/engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace flowsched;
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 15000;
+  const int m = 12;
+  const int k = 3;
+  // Half old (speed 1), half new (speed 2): total capacity 18 work/unit.
+  std::vector<double> speeds;
+  for (int j = 0; j < m; ++j) speeds.push_back(j % 2 == 0 ? 1.0 : 2.0);
+  double capacity = 0;
+  for (double s : speeds) capacity += s;
+
+  std::printf("== Extension: related servers (speeds 1/2 alternating) ==\n");
+  std::printf("(m=%d, k=%d, Zipf s=1 shuffled, %d requests)\n\n", m, k, requests);
+
+  TextTable table({"offered load %", "policy", "Fmax", "mean flow"});
+  for (double load : {0.4, 0.6, 0.75}) {
+    Rng pop_rng(11);
+    const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, pop_rng);
+    KvWorkloadConfig config;
+    config.m = m;
+    config.n = requests;
+    config.lambda = load * capacity;  // load relative to real capacity
+    config.strategy = ReplicationStrategy::kOverlapping;
+    config.k = k;
+    Rng rng(99);
+    const auto inst = generate_kv_instance(config, pop, rng);
+
+    QGreedyDispatcher greedy;
+    QSlowFitDispatcher slowfit;
+    QDoubleFitDispatcher doublefit;
+    struct Row {
+      std::string name;
+      double fmax;
+      double mean;
+    };
+    std::vector<Row> rows;
+    for (RelatedDispatcher* d :
+         {static_cast<RelatedDispatcher*>(&greedy),
+          static_cast<RelatedDispatcher*>(&slowfit),
+          static_cast<RelatedDispatcher*>(&doublefit)}) {
+      const auto run = run_related(inst, speeds, *d);
+      rows.push_back(Row{d->name(), run.max_flow, mean(run.flows)});
+    }
+    // Speed-oblivious EFT: schedules as if machines were identical, then
+    // the real (speed-scaled) execution is what clients experience.
+    {
+      QGreedyDispatcher oblivious;
+      const std::vector<double> flat(static_cast<std::size_t>(m), 1.0);
+      // Decide with flat speeds, replay with true speeds.
+      std::vector<double> completion(static_cast<std::size_t>(m), 0.0);
+      std::vector<double> decision_completion(static_cast<std::size_t>(m), 0.0);
+      oblivious.reset(flat);
+      double fmax = 0;
+      double total = 0;
+      for (int i = 0; i < inst.n(); ++i) {
+        const Task& t = inst.task(i);
+        const int u = oblivious.dispatch(t, decision_completion);
+        const auto uj = static_cast<std::size_t>(u);
+        // The oblivious policy believes proc = p on every machine.
+        decision_completion[uj] =
+            std::max(t.release, decision_completion[uj]) + t.proc;
+        const double start = std::max(t.release, completion[uj]);
+        completion[uj] = start + t.proc / speeds[uj];
+        const double flow = completion[uj] - t.release;
+        fmax = std::max(fmax, flow);
+        total += flow;
+      }
+      rows.push_back(Row{"Speed-oblivious EFT", fmax, total / inst.n()});
+    }
+    for (const auto& row : rows) {
+      table.add_row({TextTable::num(load * 100, 0), row.name,
+                     TextTable::num(row.fmax, 2), TextTable::num(row.mean, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: speed-aware Greedy/Double-Fit exploit the fast half of the\n"
+      "cluster; the speed-oblivious dispatcher splits work evenly and the\n"
+      "slow servers' backlog dominates Fmax as the load approaches the slow\n"
+      "half's capacity — the related-machines rows of Table 1 in action.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Extension: how far is EFT's MEAN flow from the exact optimum?
+//
+// The paper optimizes the maximum flow; the mean is the other latency
+// metric operators watch. For unit tasks the exact minimum total flow is
+// an assignment problem (offline/unit_sum.hpp, via the Brucker et al.
+// machinery the paper cites), so we can report EFT's mean-flow
+// suboptimality exactly — not against a bound, against the optimum.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "offline/unit_sum.hpp"
+#include "sched/engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace flowsched;
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int m = 6;
+  const int k = 3;
+  const int n = 60;
+
+  std::printf("== Extension: EFT mean flow vs exact minimum "
+              "(m=%d, k=%d, n=%d unit tasks) ==\n\n", m, k, n);
+  TextTable table({"load %", "strategy", "median EFT/OPT mean-flow ratio",
+                   "worst ratio"});
+  for (double load : {0.4, 0.7, 0.9}) {
+    for (auto strategy :
+         {ReplicationStrategy::kOverlapping, ReplicationStrategy::kDisjoint}) {
+      std::vector<double> ratios;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(500 + trial);
+        const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, rng);
+        const auto sets = replica_sets(strategy, k, m);
+        // Integer-release Poisson-ish stream (floored arrivals).
+        std::vector<Task> tasks;
+        double t = 0;
+        for (int i = 0; i < n; ++i) {
+          t += rng.exponential(load * m);
+          tasks.push_back(Task{.release = std::floor(t),
+                               .proc = 1.0,
+                               .eligible = sets[rng.weighted_index(pop)]});
+        }
+        const Instance inst(m, std::move(tasks));
+        EftDispatcher eft(TieBreakKind::kMin);
+        const auto sched = run_dispatcher(inst, eft);
+        double eft_total = 0;
+        for (int i = 0; i < inst.n(); ++i) eft_total += sched.flow(i);
+        const double opt_total = unit_min_total_flow(inst);
+        ratios.push_back(eft_total / opt_total);
+      }
+      double worst = 0;
+      for (double r : ratios) worst = std::max(worst, r);
+      table.add_row({TextTable::num(load * 100, 0), to_string(strategy),
+                     TextTable::num(median(ratios), 3),
+                     TextTable::num(worst, 3)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: under DISJOINT replication EFT is exactly mean-flow optimal\n"
+      "here — within a block it is FIFO on identical machines, which for\n"
+      "unit tasks minimizes the completion multiset, and blocks are\n"
+      "independent. Under OVERLAPPING replication the offline optimum can\n"
+      "route requests across interval boundaries that greedy EFT commits\n"
+      "early, costing it a few percent of mean flow (growing with load) —\n"
+      "the price of the much better Fmax the paper's Figure 11 shows.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figures 4 and 6: the schedule profile w_t of EFT-Min under the Theorem 8
+// adversary, converging to (and then staying at) the stable profile
+// w_tau(j) = min(m - j, m - k). Printed per time step as machine backlogs.
+#include <cstdio>
+
+#include "adversary/th8_stream.hpp"
+#include "model/profile.hpp"
+#include "sched/engine.hpp"
+
+using namespace flowsched;
+
+int main() {
+  const int m = 6;
+  const int k = 3;
+  const int steps = 14;
+
+  std::printf("== Figure 4: schedule profile w_t vs stable profile w_tau ==\n");
+  std::printf("m=%d, k=%d; w_tau = ", m, k);
+  const auto w_tau = stable_profile(m, k);
+  for (double v : w_tau) std::printf("%2.0f ", v);
+  std::printf("\n\n t | w_t(M1..M%d)      | == w_tau?\n", m);
+
+  EftDispatcher eft(TieBreakKind::kMin);
+  OnlineEngine engine(m, eft);
+  for (int t = 0; t < steps; ++t) {
+    // Profile just before the adversary's releases at time t.
+    const auto w = engine.profile(static_cast<double>(t));
+    std::printf("%2d | ", t);
+    for (double v : w) std::printf("%2.0f ", v);
+    std::printf("| %s\n", w == w_tau ? "yes" : "no");
+
+    for (int i = 1; i <= m; ++i) {
+      const int lo = th8_task_type(i, m, k) - 1;
+      engine.release(Task{.release = static_cast<double>(t),
+                          .proc = 1.0,
+                          .eligible = ProcSet::interval(lo, lo + k - 1)});
+    }
+  }
+  std::printf(
+      "\nExpectation: the profile is non-increasing in j at every step\n"
+      "(Lemma 2), never exceeds w_tau (Lemma 4), and reaches w_tau after a\n"
+      "few steps (Lemma 3), pinning Fmax at m-k+1 = %d from then on.\n",
+      m - k + 1);
+  return 0;
+}

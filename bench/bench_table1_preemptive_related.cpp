@@ -1,0 +1,103 @@
+// Table 1 (remaining measurable rows): preemptive FIFO on P, and the
+// related-machines (Q) strategies Greedy / Slow-Fit / Double-Fit.
+//
+//  * Preemptive row: FIFO stays (3 - 2/m)-competitive with preemption
+//    (Mastrolilli); measured against the EXACT preemptive optimum (flow
+//    feasibility over event intervals).
+//  * Q rows: Greedy is Omega(log m), Slow-Fit Omega(m), Double-Fit O(1)
+//    (Bansal & Cloostermans). We exhibit Slow-Fit's failure stream and
+//    show Double-Fit tracking Greedy on it while remaining robust on
+//    random heterogeneous workloads.
+#include <cstdio>
+
+#include "offline/preemptive_optimal.hpp"
+#include "qsched/related.hpp"
+#include "sched/preemptive.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace flowsched;
+
+namespace {
+
+// Slow-Fit's failure stream: a large task inflates the guess-and-double
+// estimate; the subsequent small-task stream then "fits" on the very slow
+// machine within the inflated budget and builds a deep backlog there.
+Instance slowfit_trap() {
+  std::vector<std::pair<double, double>> pairs;
+  pairs.emplace_back(0.0, 40.0);
+  for (int i = 0; i < 60; ++i) pairs.emplace_back(50.0 + i, 1.0);
+  return Instance::unrestricted(2, std::move(pairs));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1 (cont.): preemptive P row ==\n\n");
+  {
+    TextTable table({"m", "trials", "worst pmtn-FIFO / pmtn-OPT", "bound 3-2/m"});
+    Rng rng(515);
+    for (int m : {2, 3, 4}) {
+      double worst = 0;
+      const int trials = 15;
+      for (int trial = 0; trial < trials; ++trial) {
+        RandomInstanceOptions opts;
+        opts.m = m;
+        opts.n = 24;
+        opts.max_release = 8.0;
+        const auto inst = random_instance(opts, rng);
+        const auto log = preemptive_schedule(inst, PreemptivePriority::kFifo);
+        const double opt = preemptive_optimal_fmax(inst);
+        if (opt > 0) worst = std::max(worst, log.max_flow() / opt);
+      }
+      table.add_row({std::to_string(m), std::to_string(trials),
+                     TextTable::num(worst, 3), TextTable::num(3.0 - 2.0 / m, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("== Table 1 (cont.): related machines (Q) rows ==\n\n");
+  {
+    const auto stream = slowfit_trap();
+    const std::vector<double> speeds{0.1, 4.0};
+    QGreedyDispatcher greedy;
+    QSlowFitDispatcher slowfit;
+    QDoubleFitDispatcher doublefit;
+    const double lb = related_opt_lower_bound(stream, speeds);
+
+    TextTable table({"algorithm", "stream Fmax", "Fmax / LB (stream)",
+                     "random Fmax / LB"});
+    Rng rng(616);
+    RandomInstanceOptions opts;
+    opts.m = 4;
+    opts.n = 80;
+    opts.max_release = 30.0;
+    const auto random_inst = random_instance(opts, rng);
+    const std::vector<double> random_speeds{0.5, 1.0, 2.0, 4.0};
+    const double random_lb = related_opt_lower_bound(random_inst, random_speeds);
+
+    QGreedyDispatcher greedy2;
+    QSlowFitDispatcher slowfit2;
+    QDoubleFitDispatcher doublefit2;
+    struct RowSpec {
+      RelatedDispatcher* stream_d;
+      RelatedDispatcher* random_d;
+    };
+    const std::vector<RowSpec> rows{
+        {&greedy, &greedy2}, {&slowfit, &slowfit2}, {&doublefit, &doublefit2}};
+    for (const auto& row : rows) {
+      const auto on_stream = run_related(stream, speeds, *row.stream_d);
+      const auto on_random = run_related(random_inst, random_speeds, *row.random_d);
+      table.add_row({row.stream_d->name(),
+                     TextTable::num(on_stream.max_flow, 2),
+                     TextTable::num(on_stream.max_flow / lb, 2),
+                     TextTable::num(on_random.max_flow / random_lb, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expectation: Slow-Fit's stream ratio is far above Greedy's and\n"
+        "Double-Fit's (its Omega(m) failure mode); Double-Fit stays within a\n"
+        "small constant of the lower bound on both columns.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Google-benchmark micro benches: the max-load solvers (simplex LP vs
+// lambda-bisection over Dinic max-flow) and the unit-task optimum oracle.
+#include <benchmark/benchmark.h>
+
+#include "lp/maxload.hpp"
+#include "offline/unit_optimal.hpp"
+#include "workload/generator.hpp"
+#include "workload/popularity.hpp"
+#include "workload/replication.hpp"
+
+namespace flowsched {
+namespace {
+
+void BM_MaxLoadSimplex(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, rng);
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, 3, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_load_lp(pop, sets));
+  }
+}
+BENCHMARK(BM_MaxLoadSimplex)->Arg(8)->Arg(15)->Arg(30);
+
+void BM_MaxLoadFlowBisection(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, rng);
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, 3, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_load_flow(pop, sets));
+  }
+}
+BENCHMARK(BM_MaxLoadFlowBisection)->Arg(8)->Arg(15)->Arg(30);
+
+void BM_UnitOptimalOracle(benchmark::State& state) {
+  Rng rng(11);
+  RandomInstanceOptions opts;
+  opts.m = 6;
+  opts.n = static_cast<int>(state.range(0));
+  opts.unit_tasks = true;
+  opts.integer_releases = true;
+  opts.max_release = opts.n / 3.0;
+  opts.sets = RandomSets::kIntervals;
+  const auto inst = random_instance(opts, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit_optimal_fmax(inst));
+  }
+}
+BENCHMARK(BM_UnitOptimalOracle)->Arg(50)->Arg(150)->Arg(400);
+
+}  // namespace
+}  // namespace flowsched

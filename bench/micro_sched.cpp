@@ -1,0 +1,80 @@
+// Google-benchmark micro benches: scheduling throughput of the dispatchers
+// and the FIFO event loop.
+#include <benchmark/benchmark.h>
+
+#include "sched/engine.hpp"
+#include "sched/fifo.hpp"
+#include "workload/generator.hpp"
+#include "workload/zipf.hpp"
+
+namespace flowsched {
+namespace {
+
+Instance make_kv(int m, int n, RandomSets sets) {
+  Rng rng(42);
+  RandomInstanceOptions opts;
+  opts.m = m;
+  opts.n = n;
+  opts.unit_tasks = true;
+  opts.max_release = n / static_cast<double>(m);
+  opts.sets = sets;
+  return random_instance(opts, rng);
+}
+
+void BM_EftDispatch(benchmark::State& state) {
+  const auto inst = make_kv(static_cast<int>(state.range(0)), 10000,
+                            RandomSets::kRingIntervals);
+  EftDispatcher eft(TieBreakKind::kMin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dispatcher(inst, eft));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_EftDispatch)->Arg(4)->Arg(15)->Arg(64);
+
+void BM_FifoEventLoop(benchmark::State& state) {
+  const auto inst = make_kv(static_cast<int>(state.range(0)), 10000,
+                            RandomSets::kUnrestricted);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fifo_schedule(inst));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_FifoEventLoop)->Arg(4)->Arg(15)->Arg(64);
+
+void BM_JsqDispatch(benchmark::State& state) {
+  const auto inst = make_kv(15, 10000, RandomSets::kRingIntervals);
+  JsqDispatcher jsq(TieBreakKind::kMin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dispatcher(inst, jsq));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_JsqDispatch);
+
+void BM_KvInstanceGeneration(benchmark::State& state) {
+  const auto pop = zipf_weights(15, 1.0);
+  KvWorkloadConfig config;
+  config.m = 15;
+  config.n = 10000;
+  config.lambda = 7.5;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_kv_instance(config, pop, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * config.n);
+}
+BENCHMARK(BM_KvInstanceGeneration);
+
+void BM_ScheduleValidation(benchmark::State& state) {
+  const auto inst = make_kv(15, 10000, RandomSets::kRingIntervals);
+  EftDispatcher eft(TieBreakKind::kMin);
+  const auto sched = run_dispatcher(inst, eft);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.validate());
+  }
+}
+BENCHMARK(BM_ScheduleValidation);
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,12 @@
+#include "adversary/adversary.hpp"
+
+#include <stdexcept>
+
+namespace flowsched {
+
+double AdversaryResult::ratio() const {
+  if (!(opt_fmax > 0)) throw std::logic_error("AdversaryResult: opt <= 0");
+  return achieved_fmax / opt_fmax;
+}
+
+}  // namespace flowsched

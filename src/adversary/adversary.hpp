@@ -1,0 +1,23 @@
+// Common result type for the lower-bound adversaries of Section 6.
+//
+// Each adversary produces the schedule an online algorithm was driven into,
+// together with the offline optimum the paper derives analytically for the
+// same instance (cross-checked against the exact unit-task optimum in the
+// test suite). The achieved/opt ratio is the empirical competitive-ratio
+// witness for the corresponding theorem.
+#pragma once
+
+#include "model/schedule.hpp"
+
+namespace flowsched {
+
+struct AdversaryResult {
+  Schedule schedule;      ///< Self-contained (owns its instance).
+  double opt_fmax = 0.0;  ///< Offline optimum per the paper's argument.
+  double achieved_fmax = 0.0;
+  double lower_bound = 0.0;  ///< The theorem's guaranteed ratio, for reports.
+
+  double ratio() const;
+};
+
+}  // namespace flowsched

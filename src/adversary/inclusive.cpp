@@ -1,0 +1,54 @@
+#include "adversary/inclusive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/engine.hpp"
+
+namespace flowsched {
+
+AdversaryResult run_th3_inclusive(Dispatcher& dispatcher, int m_prime,
+                                  double p) {
+  if (m_prime < 2) throw std::invalid_argument("th3: need m >= 2");
+  const int levels = static_cast<int>(std::floor(std::log2(m_prime)));
+  const int m = 1 << levels;  // power-of-two sub-cluster
+  if (!(p > levels)) throw std::invalid_argument("th3: need p > log2(m)");
+
+  OnlineEngine engine(m, dispatcher);
+  // current holds M(l), initially all machines.
+  std::vector<int> current = ProcSet::all(m).machines();
+
+  for (int l = 1; l <= levels; ++l) {
+    const int count = m >> l;  // |T(l)| = m / 2^l
+    const ProcSet set{std::vector<int>(current)};
+    for (int i = 0; i < count; ++i) {
+      engine.release(Task{.release = static_cast<double>(l - 1),
+                          .proc = p,
+                          .eligible = set});
+    }
+    // M(l+1): the m/2^l most loaded machines of M(l) (by task count).
+    std::stable_sort(current.begin(), current.end(), [&engine](int a, int b) {
+      return engine.count_of(a) > engine.count_of(b);
+    });
+    current.resize(static_cast<std::size_t>(count));
+    std::sort(current.begin(), current.end());
+  }
+
+  // Final task at time L on the single most-loaded remaining machine.
+  const int last = *std::max_element(
+      current.begin(), current.end(), [&engine](int a, int b) {
+        return engine.count_of(a) < engine.count_of(b);
+      });
+  engine.release(Task{.release = static_cast<double>(levels),
+                      .proc = p,
+                      .eligible = ProcSet::single(last)});
+
+  AdversaryResult result{engine.snapshot(), p, 0.0,
+                         std::floor(std::log2(m_prime) + 1)};
+  result.achieved_fmax = result.schedule.max_flow();
+  return result;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,24 @@
+// Theorem 3 adversary: inclusive processing sets vs immediate dispatch.
+//
+// Works on m = 2^L machines (the largest power of two <= the given m').
+// Round l = 1..L releases m/2^l tasks of length p at time l-1, restricted to
+// the nested subset M(l); M(l+1) is chosen adaptively as the m/2^l machines
+// of M(l) holding the most allocated tasks (the counting argument in the
+// proof guarantees they hold at least l*m/2^l of them). A final task on the
+// most loaded machine at time L forces Fmax >= (L+1)p - L, while the
+// offline optimum schedules each round on M(l) \ M(l+1) for Fmax = p.
+// The resulting family {M(l)} is inclusive by construction.
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+/// Runs the adversary against an immediate-dispatch algorithm. `p` is the
+/// task length; the theorem needs p > log2(m) (enforced; the competitive
+/// ratio approaches floor(log2(m')+1) as p grows).
+AdversaryResult run_th3_inclusive(Dispatcher& dispatcher, int m_prime,
+                                  double p);
+
+}  // namespace flowsched

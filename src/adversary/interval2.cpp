@@ -1,0 +1,38 @@
+#include "adversary/interval2.hpp"
+
+#include <stdexcept>
+
+namespace flowsched {
+
+AdversaryResult run_th7_interval(OnlineOracle& oracle, double p) {
+  if (!(p >= 1)) throw std::invalid_argument("th7: need p >= 1");
+  if (oracle.m() != 4) throw std::invalid_argument("th7: oracle must have 4 machines");
+
+  // T1 on {M2, M3} (0-based {1, 2}).
+  oracle.release(Task{.release = 0.0, .proc = p, .eligible = ProcSet({1, 2})});
+
+  // Where did T1 go? Any online algorithm has started it by now or will
+  // start it at its earliest opportunity; the snapshot after the single
+  // release reveals the committed machine (for queue-based algorithms the
+  // assignment with no competing tasks is immediate).
+  const Schedule first = oracle.snapshot();
+  const int chosen = first.machine(0);
+  const double start = first.start(0);
+
+  // Respond on the side the algorithm blocked, one unit after the start.
+  const ProcSet follow_up = chosen == 1 ? ProcSet({0, 1}) : ProcSet({2, 3});
+  const double t = start + 1.0;
+  oracle.release(Task{.release = t, .proc = p, .eligible = follow_up});
+  oracle.release(Task{.release = t, .proc = p, .eligible = follow_up});
+
+  AdversaryResult result{oracle.snapshot(), p, 0.0, 2.0};
+  result.achieved_fmax = result.schedule.max_flow();
+  return result;
+}
+
+AdversaryResult run_th7_interval(Dispatcher& dispatcher, double p) {
+  DispatcherOracle oracle(4, dispatcher);
+  return run_th7_interval(oracle, p);
+}
+
+}  // namespace flowsched

@@ -1,0 +1,28 @@
+// Theorem 7 adversary: fixed-size intervals vs any online algorithm,
+// lower bound 2.
+//
+// At time 0 one task of length p is released on {M2, M3}. Once the
+// algorithm commits it to a machine (immediate dispatch), the adversary
+// answers with two more length-p tasks at time sigma_1 + 1 on the side the
+// algorithm just blocked: {M1, M2} if it chose M2, {M3, M4} if it chose M3.
+// One of the two must wait behind the first task, forcing Fmax >= 2p - 1,
+// while the offline optimum (which runs the first task on the other
+// machine) achieves Fmax = p. Ratio -> 2 as p grows.
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "adversary/oracle.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+/// General form: any online algorithm through its oracle, which must be
+/// built with exactly 4 machines. Requires p >= 1. The adversary observes
+/// which machine ran T1 (known once T1 completes; every online algorithm
+/// has committed by sigma_1 + 1, where it answers).
+AdversaryResult run_th7_interval(OnlineOracle& oracle, double p);
+
+/// Convenience overload for immediate-dispatch algorithms.
+AdversaryResult run_th7_interval(Dispatcher& dispatcher, double p);
+
+}  // namespace flowsched

@@ -1,0 +1,54 @@
+#include "adversary/ksize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/engine.hpp"
+
+namespace flowsched {
+
+AdversaryResult run_th4_ksize(Dispatcher& dispatcher, int m_prime, int k,
+                              double p) {
+  if (k < 2) throw std::invalid_argument("th4: need k >= 2");
+  if (m_prime < k) throw std::invalid_argument("th4: need m >= k");
+  int levels = 0;
+  long long m = 1;
+  while (m * k <= m_prime) {
+    m *= k;
+    ++levels;
+  }
+  if (levels == 0) throw std::invalid_argument("th4: need m >= k");
+  if (!(p > levels)) throw std::invalid_argument("th4: need p > log_k(m)");
+
+  OnlineEngine engine(static_cast<int>(m), dispatcher);
+  // previous = M(l-1): machines used by the previous round; M(0) = all.
+  std::vector<int> previous = ProcSet::all(static_cast<int>(m)).machines();
+
+  for (int l = 1; l <= levels; ++l) {
+    const auto group_count = previous.size() / static_cast<std::size_t>(k);
+    std::vector<int> used;
+    used.reserve(group_count);
+    for (std::size_t g = 0; g < group_count; ++g) {
+      std::vector<int> group(previous.begin() + static_cast<std::ptrdiff_t>(g * k),
+                             previous.begin() + static_cast<std::ptrdiff_t>((g + 1) * k));
+      const Assignment a =
+          engine.release(Task{.release = static_cast<double>(l - 1),
+                              .proc = p,
+                              .eligible = ProcSet(std::move(group))});
+      used.push_back(a.machine);
+    }
+    std::sort(used.begin(), used.end());
+    previous = std::move(used);
+  }
+
+  // floor(log_k(m')) computed exactly by the integer loop above; the
+  // floating log ratio is off by one for e.g. m' = 243, k = 3.
+  AdversaryResult result{engine.snapshot(), p, 0.0,
+                         static_cast<double>(levels)};
+  result.achieved_fmax = result.schedule.max_flow();
+  return result;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,23 @@
+// Theorem 4 adversary: equal-size (|M_i| = k) unstructured sets vs
+// immediate dispatch.
+//
+// Works on m = k^L machines. Round l = 1..L releases m/k^l tasks of length p
+// at time l-1; their processing sets partition the machines used in round
+// l-1 into disjoint groups of size k, so the dispatcher is forced to pile
+// round after round onto the same shrinking core. After round L one machine
+// has accumulated L tasks, giving Fmax >= L*p - (L-1) while the offline
+// optimum schedules each round on machines abandoned afterwards, for
+// Fmax = p.
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+/// `m_prime` is rounded down to the largest power of k. Requires k >= 2 and
+/// p > log_k(m).
+AdversaryResult run_th4_ksize(Dispatcher& dispatcher, int m_prime, int k,
+                              double p);
+
+}  // namespace flowsched

@@ -1,0 +1,80 @@
+#include "adversary/nested.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace flowsched {
+
+int th5_machine_count(int m_prime) {
+  if (m_prime < 4) throw std::invalid_argument("th5: need m >= 4");
+  return 1 << static_cast<int>(std::floor(std::log2(m_prime)));
+}
+
+AdversaryResult run_th5_nested(OnlineOracle& oracle, int m_prime) {
+  const int m = th5_machine_count(m_prime);
+  if (oracle.m() != m) {
+    throw std::invalid_argument("th5: oracle must have 2^floor(log2(m')) machines");
+  }
+  const int levels = static_cast<int>(std::floor(std::log2(m_prime)));
+  const int F = levels + 2;
+
+  int u = 0;
+  int s = m;
+  double t = 0.0;
+
+  for (int k = 0; k <= levels; ++k) {
+    // G1,k: s interval-wide unit tasks at t.
+    const ProcSet interval = ProcSet::interval(u, u + s - 1);
+    for (int i = 0; i < s; ++i) {
+      oracle.release(Task{.release = t, .proc = 1.0, .eligible = interval});
+    }
+    // G2,k: for each machine of the interval, one singleton unit task at
+    // each of t, t+1, ..., t+F-1. Remember oracle indices per machine.
+    std::vector<std::vector<int>> singletons(static_cast<std::size_t>(s));
+    for (int o = 0; o < F; ++o) {
+      for (int j = u; j < u + s; ++j) {
+        oracle.release(Task{.release = t + o,
+                            .proc = 1.0,
+                            .eligible = ProcSet::single(j)});
+        singletons[static_cast<std::size_t>(j - u)].push_back(oracle.released() - 1);
+      }
+    }
+    if (k == levels) break;
+
+    // Recurse into the half of I(u, s) holding the most singleton tasks of
+    // this round still uncompleted at t + F.
+    const double t_next = t + F;
+    const int half = s / 2;
+    int best_u = u;
+    int best_count = -1;
+    for (int h = 0; h < 2; ++h) {
+      const int hu = u + h * half;
+      int count = 0;
+      for (int j = hu; j < hu + half; ++j) {
+        for (int idx : singletons[static_cast<std::size_t>(j - u)]) {
+          if (oracle.completion(idx) > t_next) ++count;
+        }
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_u = hu;
+      }
+    }
+    u = best_u;
+    s = half;
+    t = t_next;
+  }
+
+  AdversaryResult result{oracle.snapshot(), 3.0, 0.0,
+                         std::floor(std::log2(m_prime) + 2) / 3.0};
+  result.achieved_fmax = result.schedule.max_flow();
+  return result;
+}
+
+AdversaryResult run_th5_nested(Dispatcher& dispatcher, int m_prime) {
+  DispatcherOracle oracle(th5_machine_count(m_prime), dispatcher);
+  return run_th5_nested(oracle, m_prime);
+}
+
+}  // namespace flowsched

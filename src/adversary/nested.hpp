@@ -1,0 +1,35 @@
+// Theorem 5 adversary: nested processing sets vs any online algorithm.
+//
+// Interval-halving construction on m = 2^L machines with unit tasks and
+// F = log2(m) + 2. Phase k (k = 0..L) works on an interval I(u_k, s_k)
+// (s_k = m / 2^k): it releases s_k interval-wide tasks (G1,k) at t_k, plus
+// F per-machine singleton tasks (G2,k) on every machine of the interval at
+// times t_k .. t_k + F - 1. At t_{k+1} = t_k + F the adversary inspects the
+// algorithm's progress and recurses into the half of the interval holding
+// the most uncompleted singleton tasks. The counting argument guarantees
+// log2(m) uncompleted tasks pile on a single machine, forcing
+// Fmax >= log2(m) + 2, while the offline optimum keeps Fmax <= 3 by running
+// each G1,k on the abandoned half.
+//
+// The adversary only queries completion times of tasks the algorithm has
+// already committed (immediate dispatch), which is the information an
+// adversary legitimately has at time t_{k+1}.
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "adversary/oracle.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+/// General form: drives any online algorithm through its oracle. The oracle
+/// must be freshly constructed for `m = 2^floor(log2(m_prime))` machines.
+AdversaryResult run_th5_nested(OnlineOracle& oracle, int m_prime);
+
+/// Convenience overload for immediate-dispatch algorithms.
+AdversaryResult run_th5_nested(Dispatcher& dispatcher, int m_prime);
+
+/// Number of machines the oracle must be built with for a given m'.
+int th5_machine_count(int m_prime);
+
+}  // namespace flowsched

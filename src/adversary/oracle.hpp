@@ -1,0 +1,84 @@
+// Online-algorithm oracle for adaptive adversaries.
+//
+// Theorems 5 and 7 hold for ANY online algorithm, not only immediate
+// dispatchers. An adaptive adversary may observe, at time t, everything the
+// algorithm has irrevocably done by t — for a non-preemptive algorithm that
+// includes which tasks have completed, since completions by time t cannot
+// depend on releases after t. OnlineOracle captures exactly this interface:
+//
+//   * DispatcherOracle wraps an immediate-dispatch policy (the assignment
+//     is fixed at release, so completions are known immediately);
+//   * FifoEligibleOracle wraps the queue-based FIFO-eligible scheduler by
+//     re-simulating it on the releases so far (FIFO's decisions never use
+//     future information, so the re-simulation reproduces its true state).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/schedule.hpp"
+#include "sched/dispatchers.hpp"
+#include "sched/engine.hpp"
+#include "sched/tiebreak.hpp"
+
+namespace flowsched {
+
+class OnlineOracle {
+ public:
+  virtual ~OnlineOracle() = default;
+
+  virtual int m() const = 0;
+  virtual int released() const = 0;
+
+  /// Releases one task (non-decreasing release times).
+  virtual void release(Task task) = 0;
+
+  /// Completion time of task `idx` given the releases so far. Valid for
+  /// "completed by t" queries with t up to the current release frontier.
+  virtual double completion(int idx) = 0;
+
+  /// Self-contained schedule of everything released so far.
+  virtual Schedule snapshot() = 0;
+};
+
+/// Oracle over an immediate-dispatch algorithm.
+class DispatcherOracle final : public OnlineOracle {
+ public:
+  DispatcherOracle(int m, Dispatcher& dispatcher) : engine_(m, dispatcher) {}
+
+  int m() const override { return engine_.m(); }
+  int released() const override { return engine_.released(); }
+  void release(Task task) override { engine_.release(std::move(task)); }
+  double completion(int idx) override { return engine_.completion_of(idx); }
+  Schedule snapshot() override { return engine_.snapshot(); }
+
+ private:
+  OnlineEngine engine_;
+};
+
+/// Oracle over the queue-based FIFO-eligible scheduler (sched/fifo.hpp).
+class FifoEligibleOracle final : public OnlineOracle {
+ public:
+  explicit FifoEligibleOracle(int m, TieBreakKind tie = TieBreakKind::kMin,
+                              std::uint64_t seed = 0);
+
+  int m() const override { return m_; }
+  int released() const override { return static_cast<int>(tasks_.size()); }
+  void release(Task task) override;
+  double completion(int idx) override;
+  Schedule snapshot() override;
+
+ private:
+  void refresh();  ///< Re-simulates if new tasks arrived since last query.
+
+  int m_;
+  TieBreakKind tie_;
+  std::uint64_t seed_;
+  std::vector<Task> tasks_;
+  double last_release_ = 0.0;
+  std::size_t simulated_count_ = 0;
+  std::shared_ptr<Instance> cached_instance_;
+  std::unique_ptr<Schedule> cached_schedule_;
+};
+
+}  // namespace flowsched

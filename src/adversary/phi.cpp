@@ -1,0 +1,29 @@
+#include "adversary/phi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/profile.hpp"
+
+namespace flowsched {
+
+double phi_weighted_distance(const std::vector<double>& w, int m, int k, int j) {
+  if (j < 0 || j >= m || static_cast<int>(w.size()) != m) {
+    throw std::invalid_argument("phi: bad machine index or profile size");
+  }
+  const double w_tau = stable_profile(m, k)[static_cast<std::size_t>(j)];
+  return std::pow(2.0, w_tau) * (m - k + 1 - w[static_cast<std::size_t>(j)]);
+}
+
+double phi_total(const std::vector<double>& w, int m, int k) {
+  return phi_partial(w, m, k, 0, m - 1);
+}
+
+double phi_partial(const std::vector<double>& w, int m, int k, int j1, int j2) {
+  if (j1 > j2) throw std::invalid_argument("phi_partial: j1 > j2");
+  double total = 0;
+  for (int j = j1; j <= j2; ++j) total += phi_weighted_distance(w, m, k, j);
+  return total;
+}
+
+}  // namespace flowsched

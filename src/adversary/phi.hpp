@@ -1,0 +1,26 @@
+// The weighted distance Phi of Theorem 9's proof (Lemmas 5 and 6).
+//
+//   phi_t(j) = 2^{w_tau(j)} * (m - k + 1 - w_t(j)),     Phi_t = sum_j phi_t(j)
+//
+// measures how far the EFT schedule profile w_t is from (a simplified form
+// of) the stable profile w_tau. Lemma 5 proves Phi never increases under
+// the Theorem 8 adversary, and strictly decreases whenever some early task
+// is not placed on its "last machine"; Theorem 9 turns this into the
+// almost-sure m-k+1 bound for EFT-Rand. These helpers let the test suite
+// and benches verify the monotone descent computationally.
+#pragma once
+
+#include <vector>
+
+namespace flowsched {
+
+/// phi_t(j) for a 0-based profile w (paper's 1-based j translated).
+double phi_weighted_distance(const std::vector<double>& w, int m, int k, int j);
+
+/// Phi_t = sum over machines.
+double phi_total(const std::vector<double>& w, int m, int k);
+
+/// Partial sum Phi_t(j1, j2), 0-based inclusive bounds.
+double phi_partial(const std::vector<double>& w, int m, int k, int j1, int j2);
+
+}  // namespace flowsched

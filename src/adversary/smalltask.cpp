@@ -1,0 +1,82 @@
+#include "adversary/smalltask.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "adversary/th8_stream.hpp"
+#include "sched/engine.hpp"
+
+namespace flowsched {
+namespace {
+
+// Size-k interval covering machine j (clamped at the top end).
+ProcSet covering_interval(int j, int k, int m) {
+  const int lo = std::min(j, m - k);
+  return ProcSet::interval(lo, lo + k - 1);
+}
+
+}  // namespace
+
+AdversaryResult run_th10_smalltask(Dispatcher& dispatcher, int m, int k,
+                                   int steps) {
+  if (!(1 < k && k < m)) throw std::invalid_argument("th10: requires 1 < k < m");
+  if (m > 1024) throw std::invalid_argument("th10: m too large for epsilon margin");
+  if (steps < 0) steps = 4 * m * m + 8;
+
+  OnlineEngine engine(m, dispatcher);
+
+  for (int step = 0; step < steps; ++step) {
+    const double t = step;
+
+    // --- First round of calibration tasks. ---
+    std::vector<std::pair<int, int>> landed;  // (c, machine)
+    int c = 1;
+    while (true) {
+      // Lowest idle machine at time t.
+      int idle = -1;
+      for (int j = 0; j < m; ++j) {
+        if (engine.completions()[static_cast<std::size_t>(j)] <= t) {
+          idle = j;
+          break;
+        }
+      }
+      if (idle < 0) break;
+      const Assignment a = engine.release(
+          Task{.release = t,
+               .proc = c * kTh10Epsilon,
+               .eligible = covering_interval(idle, k, m)});
+      landed.emplace_back(c, a.machine);
+      ++c;
+    }
+
+    // --- Second round: top every calibrated machine up to t + (i+1)*delta. ---
+    for (const auto& [round_c, machine] : landed) {
+      engine.release(Task{.release = t,
+                          .proc = (machine + 1) * kTh10Delta -
+                                  round_c * kTh10Epsilon,
+                          .eligible = covering_interval(machine, k, m)});
+    }
+
+    // --- Regular Theorem-8 tasks. ---
+    for (int i = 1; i <= m; ++i) {
+      const int lo = th8_task_type(i, m, k) - 1;
+      engine.release(Task{.release = t,
+                          .proc = 1.0,
+                          .eligible = ProcSet::interval(lo, lo + k - 1)});
+    }
+  }
+
+  // The offline optimum of the regular stream alone is 1; assigning each
+  // calibration task anywhere in its interval delays any machine by at most
+  // sum_i (i+1)*delta = O(m^2 delta) per step, absorbed before the next
+  // step, so OPT <= 1 + m(m+1)/2 * delta (the paper's "1 + o(1)").
+  const double opt = 1.0 + 0.5 * m * (m + 1) * kTh10Delta;
+  AdversaryResult result{engine.snapshot(), opt, 0.0,
+                         static_cast<double>(m - k + 1)};
+  result.achieved_fmax = result.schedule.max_flow();
+  return result;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,40 @@
+// Theorem 10 adversary: EFT with ANY tie-break policy vs fixed-size
+// intervals.
+//
+// Wraps the Theorem 8 regular stream with two rounds of tiny "calibration"
+// tasks at each integer time t. The calibration tasks stagger the machines'
+// availability by a per-machine delay of (j+1)*delta, so ties between
+// machines never occur and every EFT variant is forced to reproduce the
+// EFT-Min decisions on the regular tasks — hence Fmax >= m - k + 1 again,
+// for an offline optimum of 1 + o(1) (the total calibration volume is
+// O(m^2 * delta) per step).
+//
+// First round:  while an idle machine exists, submit a task of length
+//               c*epsilon covering the lowest idle machine (c = 1, 2, ...).
+// Second round: for each first-round task that landed on machine M_i,
+//               submit a task of length (i+1)*delta - c*epsilon covering
+//               M_i; EFT has no choice but to put it on M_i, topping every
+//               idle machine's frontier up to exactly t + (i+1)*delta.
+//
+// delta and epsilon are powers of two (2^-20 and 2^-32), exactly
+// representable and orders of magnitude above the dispatcher's 1e-12 tie
+// tolerance, so the construction is numerically exact.
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+/// Delay granularity of the construction.
+constexpr double kTh10Delta = 0x1.0p-20;
+constexpr double kTh10Epsilon = 0x1.0p-32;
+
+/// Runs the padded stream against any EFT tie-break (or any other
+/// immediate-dispatch algorithm). Requires 1 < k < m and m <= 1024 (so that
+/// epsilon < delta / (2m) holds strictly). steps < 0 picks the same default
+/// horizon as run_th8.
+AdversaryResult run_th10_smalltask(Dispatcher& dispatcher, int m, int k,
+                                   int steps = -1);
+
+}  // namespace flowsched

@@ -1,0 +1,38 @@
+// The Theorem 8 adversary: EFT-Min vs fixed-size interval processing sets.
+//
+// At every integer time t the adversary releases m unit tasks, in order:
+//   * tasks i = 1..m-k of "type" m-k-i+2 (1-based): their interval starts
+//     high and walks down — type lambda means M_i = {M_lambda..M_lambda+k-1};
+//   * tasks i = m-k+1..m of type 1 (interval {M_1..M_k}).
+//
+// The instance is oblivious (non-adaptive): the same stream defeats EFT-Min
+// regardless of its choices, driving its schedule profile to the stable
+// profile w_tau(j) = min(m-j, m-k) and forcing Fmax >= m-k+1, while the
+// offline optimum keeps every flow at 1 (each task of type >= k+1 goes to
+// the highest compatible machine, reserving M_1..M_k for the k type-1
+// tasks).
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "model/instance.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+/// Type (1-based interval start) of the i-th task (1-based) released at each
+/// step: m-k-i+2 for i <= m-k, and 1 afterwards.
+int th8_task_type(int i, int m, int k);
+
+/// The full stream for `steps` time steps (steps * m unit tasks).
+Instance th8_instance(int m, int k, int steps);
+
+/// The paper's optimal per-step assignment (every flow = 1), for display and
+/// verification.
+Schedule th8_optimal_schedule(const Instance& inst, int m, int k);
+
+/// Runs `dispatcher` (typically EFT-Min) against the stream. The number of
+/// steps defaults to enough for convergence (Theorem 8 proves at most ~m^3
+/// steps are needed; in practice convergence is much faster).
+AdversaryResult run_th8(Dispatcher& dispatcher, int m, int k, int steps = -1);
+
+}  // namespace flowsched

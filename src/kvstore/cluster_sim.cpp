@@ -1,0 +1,81 @@
+#include "kvstore/cluster_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/engine.hpp"
+#include "util/stats.hpp"
+
+namespace flowsched {
+namespace {
+
+double draw_service(ServiceDist dist, double service_time, Rng& rng) {
+  switch (dist) {
+    case ServiceDist::kConstant:
+      return service_time;
+    case ServiceDist::kExponential: {
+      // Clamp away from 0: the model requires p_i > 0.
+      const double p = rng.exponential(1.0 / service_time);
+      return p > 1e-9 ? p : 1e-9;
+    }
+    case ServiceDist::kUniform:
+      return rng.uniform(0.5, 1.5) * service_time;
+  }
+  throw std::logic_error("draw_service: unknown distribution");
+}
+
+}  // namespace
+
+std::string SimReport::str() const {
+  std::ostringstream out;
+  out << "requests=" << requests << " mean=" << mean_latency << " p50=" << p50
+      << " p90=" << p90 << " p99=" << p99 << " max(Fmax)=" << max_latency;
+  return out.str();
+}
+
+SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
+                           Dispatcher& dispatcher, Rng& rng) {
+  if (!(config.lambda > 0)) {
+    throw std::invalid_argument("simulate_cluster: lambda <= 0");
+  }
+  const int m = store.config().m;
+  OnlineEngine engine(m, dispatcher);
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(config.requests));
+  std::vector<double> busy(static_cast<std::size_t>(m), 0.0);
+
+  double t = 0.0;
+  for (int i = 0; i < config.requests; ++i) {
+    t += rng.exponential(config.lambda);
+    const int key = store.sample_key(rng);
+    const double service = draw_service(config.dist, config.service_time, rng);
+    const Assignment a = engine.release(Task{
+        .release = t, .proc = service, .eligible = store.replicas_of_key(key)});
+    latencies.push_back(a.start + service - t);
+    busy[static_cast<std::size_t>(a.machine)] += service;
+  }
+
+  SimReport report;
+  report.requests = config.requests;
+  report.mean_latency = mean(latencies);
+  report.p50 = quantile(latencies, 0.50);
+  report.p90 = quantile(latencies, 0.90);
+  report.p99 = quantile(latencies, 0.99);
+  report.max_latency = quantile(latencies, 1.0);
+
+  double makespan = 0;
+  for (int j = 0; j < m; ++j) {
+    makespan = std::max(makespan, engine.completions()[static_cast<std::size_t>(j)]);
+  }
+  report.makespan = makespan;
+  report.utilization.resize(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    report.utilization[static_cast<std::size_t>(j)] =
+        makespan > 0 ? busy[static_cast<std::size_t>(j)] / makespan : 0.0;
+  }
+  return report;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,68 @@
+#include "kvstore/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowsched {
+
+KeyValueStore::KeyValueStore(const StoreConfig& config, Rng& rng)
+    : KeyValueStore(config, [&config, &rng] {
+        auto w = zipf_weights(config.keys, config.zipf_s);
+        if (config.shuffle_key_ranks) rng.shuffle(w);
+        return w;
+      }()) {}
+
+KeyValueStore::KeyValueStore(const StoreConfig& config,
+                             std::vector<double> key_popularity)
+    : config_(config), key_popularity_(std::move(key_popularity)) {
+  if (config_.m <= 0) throw std::invalid_argument("KeyValueStore: m <= 0");
+  if (config_.keys <= 0) throw std::invalid_argument("KeyValueStore: keys <= 0");
+  if (static_cast<int>(key_popularity_.size()) != config_.keys) {
+    throw std::invalid_argument("KeyValueStore: key popularity size != keys");
+  }
+
+  double total = 0;
+  for (double w : key_popularity_) {
+    if (w < 0) throw std::invalid_argument("KeyValueStore: negative popularity");
+    total += w;
+  }
+  if (!(total > 0)) throw std::invalid_argument("KeyValueStore: zero popularity");
+  for (double& w : key_popularity_) w /= total;
+
+  key_cdf_.resize(key_popularity_.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < key_popularity_.size(); ++i) {
+    acc += key_popularity_[i];
+    key_cdf_[i] = acc;
+  }
+  key_cdf_.back() = 1.0;
+
+  key_owner_.resize(static_cast<std::size_t>(config_.keys));
+  for (int key = 0; key < config_.keys; ++key) {
+    key_owner_[static_cast<std::size_t>(key)] = key % config_.m;
+  }
+
+  replica_by_owner_ = replica_sets(config_.strategy, config_.k, config_.m);
+
+  machine_popularity_.assign(static_cast<std::size_t>(config_.m), 0.0);
+  for (int key = 0; key < config_.keys; ++key) {
+    machine_popularity_[static_cast<std::size_t>(owner(key))] +=
+        key_popularity_[static_cast<std::size_t>(key)];
+  }
+}
+
+int KeyValueStore::owner(int key) const {
+  return key_owner_.at(static_cast<std::size_t>(key));
+}
+
+const ProcSet& KeyValueStore::replicas_of_key(int key) const {
+  return replica_by_owner_.at(static_cast<std::size_t>(owner(key)));
+}
+
+int KeyValueStore::sample_key(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(key_cdf_.begin(), key_cdf_.end(), u);
+  return static_cast<int>(it - key_cdf_.begin());
+}
+
+}  // namespace flowsched

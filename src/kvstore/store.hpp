@@ -1,0 +1,62 @@
+// A replicated key-value store model (Sections 1, 3, 7).
+//
+// Keys are partitioned across m servers (round-robin placement, the effect
+// of hash partitioning); each key's primary owner replicates it on the
+// replica set I_k(owner) given by the replication strategy (overlapping
+// ring à la Dynamo/Cassandra, or disjoint blocks). Key popularity follows a
+// Zipf law over key ranks, optionally permuted so the hot keys land on
+// random servers — the key-level refinement of the paper's machine-level
+// popularity model (the induced machine popularity P(E_j) is exposed for
+// the LP analysis).
+#pragma once
+
+#include <vector>
+
+#include "model/procset.hpp"
+#include "util/rng.hpp"
+#include "workload/replication.hpp"
+#include "workload/zipf.hpp"
+
+namespace flowsched {
+
+struct StoreConfig {
+  int m = 15;               ///< Servers.
+  int keys = 1500;          ///< Distinct keys.
+  double zipf_s = 1.0;      ///< Key popularity skew (0 = uniform).
+  ReplicationStrategy strategy = ReplicationStrategy::kOverlapping;
+  int k = 3;                ///< Replication factor.
+  bool shuffle_key_ranks = true;  ///< Permute popularity over keys.
+};
+
+class KeyValueStore {
+ public:
+  /// Builds the key placement; consumes `rng` for the popularity shuffle.
+  KeyValueStore(const StoreConfig& config, Rng& rng);
+
+  /// Explicit key popularity (e.g. an AccessPattern's weights); must have
+  /// config.keys entries. config.zipf_s / shuffle_key_ranks are ignored.
+  KeyValueStore(const StoreConfig& config, std::vector<double> key_popularity);
+
+  const StoreConfig& config() const { return config_; }
+  int owner(int key) const;
+  const ProcSet& replicas_of_key(int key) const;
+
+  /// Draws a key according to its popularity.
+  int sample_key(Rng& rng) const;
+
+  /// Induced machine popularity P(E_j): total popularity of keys owned by
+  /// each server. Sums to 1.
+  const std::vector<double>& machine_popularity() const {
+    return machine_popularity_;
+  }
+
+ private:
+  StoreConfig config_;
+  std::vector<double> key_popularity_;  ///< Per key, sums to 1.
+  std::vector<double> key_cdf_;
+  std::vector<int> key_owner_;
+  std::vector<ProcSet> replica_by_owner_;
+  std::vector<double> machine_popularity_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,47 @@
+// Dinic max-flow on small dense-ish graphs (double capacities).
+//
+// Used as the independent cross-check of the simplex solution of the
+// max-load LP (15): for a fixed cluster load lambda, feasibility of the
+// work-transfer constraints is a bipartite transportation problem, i.e. a
+// max-flow instance; bisecting on lambda then reproduces the LP optimum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flowsched {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge with the given capacity (>= 0); returns an edge id
+  /// usable with `flow_on`.
+  int add_edge(int from, int to, double capacity);
+
+  /// Computes the max flow from s to t. May be called once per instance.
+  double solve(int s, int t);
+
+  /// Flow routed on edge `id` after solve().
+  double flow_on(int id) const;
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    double cap;  ///< Residual capacity.
+    int rev;     ///< Index of the reverse edge in adj_[to].
+  };
+
+  bool bfs(int s, int t);
+  double dfs(int v, int t, double pushed);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<int, int>> edge_ref_;  ///< id -> (node, slot).
+  std::vector<double> original_cap_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,134 @@
+#include "lp/maxload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lp/maxflow.hpp"
+#include "lp/simplex.hpp"
+
+namespace flowsched {
+namespace {
+
+void check_inputs(const std::vector<double>& popularity,
+                  const std::vector<ProcSet>& replica_sets) {
+  const int m = static_cast<int>(popularity.size());
+  if (m == 0) throw std::invalid_argument("max_load: empty popularity");
+  if (replica_sets.size() != popularity.size()) {
+    throw std::invalid_argument("max_load: popularity/replica size mismatch");
+  }
+  for (double p : popularity) {
+    if (p < 0) throw std::invalid_argument("max_load: negative popularity");
+  }
+  for (const auto& set : replica_sets) {
+    if (set.empty() || !set.within(m)) {
+      throw std::invalid_argument("max_load: bad replica set");
+    }
+  }
+}
+
+}  // namespace
+
+MaxLoadResult max_load_lp(const std::vector<double>& popularity,
+                          const std::vector<ProcSet>& replica_sets) {
+  check_inputs(popularity, replica_sets);
+  const int m = static_cast<int>(popularity.size());
+
+  LpProblemD lp;
+  const int lambda = lp.add_var(1.0);  // maximize lambda
+  // var_of[i][j] = index of a_ij, or -1 when machine i cannot serve owner j.
+  std::vector<std::vector<int>> var_of(
+      static_cast<std::size_t>(m), std::vector<int>(static_cast<std::size_t>(m), -1));
+  for (int j = 0; j < m; ++j) {
+    for (int i : replica_sets[static_cast<std::size_t>(j)].machines()) {
+      var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = lp.add_var(0.0);
+    }
+  }
+
+  // (15b) conservation: sum_i a_ij - lambda P(E_j) = 0.
+  for (int j = 0; j < m; ++j) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < m; ++i) {
+      const int v = var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (v >= 0) terms.emplace_back(v, 1.0);
+    }
+    terms.emplace_back(lambda, -popularity[static_cast<std::size_t>(j)]);
+    lp.add_constraint(terms, Relation::kEq, 0.0);
+  }
+  // (15c) capacity: sum_j a_ij <= 1.
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < m; ++j) {
+      const int v = var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (v >= 0) terms.emplace_back(v, 1.0);
+    }
+    if (!terms.empty()) lp.add_constraint(terms, Relation::kLe, 1.0);
+  }
+
+  const auto sol = lp.solve();
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::runtime_error("max_load_lp: simplex did not reach optimality");
+  }
+
+  MaxLoadResult result;
+  result.lambda = sol.objective;
+  result.transfer.assign(static_cast<std::size_t>(m),
+                         std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const int v = var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (v >= 0) {
+        result.transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            sol.x[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return result;
+}
+
+double max_load_flow(const std::vector<double>& popularity,
+                     const std::vector<ProcSet>& replica_sets, double tol) {
+  check_inputs(popularity, replica_sets);
+  const int m = static_cast<int>(popularity.size());
+  double total_pop = 0;
+  for (double p : popularity) total_pop += p;
+  if (total_pop <= 0) return 0.0;
+
+  // Feasibility oracle: route lambda*P(E_j) from each owner through its
+  // replicas, each machine serving at most 1 unit of work per time unit.
+  const auto feasible = [&](double lambda) {
+    MaxFlow flow(2 * m + 2);
+    const int source = 2 * m;
+    const int sink = 2 * m + 1;
+    double demand = 0;
+    for (int j = 0; j < m; ++j) {
+      const double d = lambda * popularity[static_cast<std::size_t>(j)];
+      demand += d;
+      flow.add_edge(source, j, d);
+      for (int i : replica_sets[static_cast<std::size_t>(j)].machines()) {
+        flow.add_edge(j, m + i, d);
+      }
+    }
+    for (int i = 0; i < m; ++i) flow.add_edge(m + i, sink, 1.0);
+    return flow.solve(source, sink) >= demand - 1e-9;
+  };
+
+  double lo = 0.0;
+  double hi = static_cast<double>(m) / total_pop;  // machines can't do more
+  if (feasible(hi)) return hi;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double max_load_unreplicated(const std::vector<double>& popularity) {
+  if (popularity.empty()) {
+    throw std::invalid_argument("max_load_unreplicated: empty popularity");
+  }
+  const double peak = *std::max_element(popularity.begin(), popularity.end());
+  if (peak <= 0) throw std::invalid_argument("max_load_unreplicated: zero popularity");
+  return 1.0 / peak;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,50 @@
+// Theoretical maximum cluster load under replication (Section 7.2, LP (15)).
+//
+// Given a popularity distribution P(E_j) over the m machines (the share of
+// requests whose key is *owned* by machine j) and a replication scheme
+// mapping each owner j to the replica set I_k(j) of machines able to serve
+// its keys, the maximum sustainable cluster load is
+//
+//     maximize lambda
+//     s.t.  for all owners j:     sum_i a_ij  = lambda * P(E_j)
+//           for all machines i:   sum_j a_ij <= 1
+//           a_ij = 0 when M_i not in I_k(j),   a_ij >= 0.
+//
+// Two independent solvers are provided: the LP itself (two-phase simplex)
+// and a bisection on lambda over a max-flow feasibility oracle. They agree
+// to ~1e-9 and are cross-checked in the test suite.
+#pragma once
+
+#include <vector>
+
+#include "model/procset.hpp"
+
+namespace flowsched {
+
+/// Result of the max-load analysis. `lambda` is the LP optimum; dividing by
+/// m gives the sustainable average cluster load in [0, 1] when sum P = 1.
+struct MaxLoadResult {
+  double lambda = 0.0;
+  /// a[i][j]: work per time unit moved from owner j to machine i.
+  std::vector<std::vector<double>> transfer;
+};
+
+/// Solves LP (15) with the simplex. `replica_sets[j]` = I_k(j).
+/// Requires popularity.size() == replica_sets.size() == m and every replica
+/// set non-empty and within [0, m). More generally, each index j is an
+/// *origin* of work (a machine in the paper; a key works too, as in
+/// bench_ext_ring) while replica-set members are the serving machines —
+/// origins that no set references simply contribute idle capacity-1 nodes.
+MaxLoadResult max_load_lp(const std::vector<double>& popularity,
+                          const std::vector<ProcSet>& replica_sets);
+
+/// Same optimum via bisection on lambda with a Dinic feasibility oracle.
+/// `tol` is the absolute bisection tolerance on lambda.
+double max_load_flow(const std::vector<double>& popularity,
+                     const std::vector<ProcSet>& replica_sets,
+                     double tol = 1e-10);
+
+/// Max load without replication: lambda <= 1 / max_j P(E_j) (Section 7.2).
+double max_load_unreplicated(const std::vector<double>& popularity);
+
+}  // namespace flowsched

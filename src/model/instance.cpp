@@ -1,0 +1,67 @@
+#include "model/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowsched {
+
+Instance::Instance(int m, std::vector<Task> tasks)
+    : m_(m), tasks_(std::move(tasks)) {
+  if (m_ <= 0) throw std::invalid_argument("Instance: m <= 0");
+  for (auto& t : tasks_) {
+    if (t.release < 0) throw std::invalid_argument("Instance: negative release");
+    if (!(t.proc > 0)) throw std::invalid_argument("Instance: proc <= 0");
+    if (t.eligible.empty()) t.eligible = ProcSet::all(m_);
+    if (!t.eligible.within(m_)) {
+      throw std::invalid_argument("Instance: processing set outside [0,m)");
+    }
+  }
+  std::stable_sort(tasks_.begin(), tasks_.end(),
+                   [](const Task& a, const Task& b) { return a.release < b.release; });
+}
+
+Instance Instance::unrestricted(
+    int m, std::vector<std::pair<double, double>> release_proc_pairs) {
+  std::vector<Task> tasks;
+  tasks.reserve(release_proc_pairs.size());
+  for (const auto& [r, p] : release_proc_pairs) {
+    tasks.push_back(Task{.release = r, .proc = p, .eligible = {}});
+  }
+  return Instance(m, std::move(tasks));
+}
+
+bool Instance::unit_tasks() const {
+  return std::all_of(tasks_.begin(), tasks_.end(),
+                     [](const Task& t) { return t.proc == 1.0; });
+}
+
+double Instance::pmax() const { return pmax_prefix(n()); }
+
+double Instance::pmax_prefix(int count) const {
+  double p = 0;
+  for (int i = 0; i < count && i < n(); ++i) {
+    p = std::max(p, tasks_[static_cast<std::size_t>(i)].proc);
+  }
+  return p;
+}
+
+double Instance::total_work() const {
+  double w = 0;
+  for (const auto& t : tasks_) w += t.proc;
+  return w;
+}
+
+StructureFlags Instance::structure() const {
+  std::vector<ProcSet> sets;
+  sets.reserve(tasks_.size());
+  for (const auto& t : tasks_) sets.push_back(t.eligible);
+  return classify_family(sets, m_);
+}
+
+bool Instance::unrestricted_sets() const {
+  return std::all_of(tasks_.begin(), tasks_.end(), [this](const Task& t) {
+    return t.eligible.size() == m_;
+  });
+}
+
+}  // namespace flowsched

@@ -1,0 +1,64 @@
+// Problem instances for P | online-r_i, M_i | Fmax.
+//
+// An instance is m identical machines plus n tasks, each with a release time
+// r_i >= 0, a processing time p_i > 0, and a processing set M_i. Tasks are
+// kept sorted by release time (stable in submission order), matching the
+// paper's convention i < j => r_i <= r_j; online algorithms consume them in
+// that order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/procset.hpp"
+#include "model/structure.hpp"
+
+namespace flowsched {
+
+struct Task {
+  double release = 0.0;
+  double proc = 1.0;
+  ProcSet eligible;  ///< Empty means "all machines" and is expanded on build.
+};
+
+class Instance {
+ public:
+  /// Validates and sorts tasks by release time (stable). Tasks with an empty
+  /// processing set are given ProcSet::all(m). Throws std::invalid_argument
+  /// on m <= 0, negative releases, non-positive processing times, or
+  /// processing sets outside [0, m).
+  Instance(int m, std::vector<Task> tasks);
+
+  /// Instance without processing set restrictions.
+  static Instance unrestricted(int m, std::vector<std::pair<double, double>>
+                                          release_proc_pairs);
+
+  int m() const { return m_; }
+  int n() const { return static_cast<int>(tasks_.size()); }
+  const Task& task(int i) const { return tasks_.at(static_cast<std::size_t>(i)); }
+  std::span<const Task> tasks() const { return tasks_; }
+
+  /// True when every p_i == 1.
+  bool unit_tasks() const;
+
+  /// Max processing time over all tasks (0 for an empty instance).
+  double pmax() const;
+
+  /// Max over the first `count` tasks (prefix pmax_i of the paper).
+  double pmax_prefix(int count) const;
+
+  /// Total work sum p_i.
+  double total_work() const;
+
+  /// Structure of the processing-set family (Figure 1 hierarchy).
+  StructureFlags structure() const;
+
+  /// True when no task is restricted (every M_i = all machines).
+  bool unrestricted_sets() const;
+
+ private:
+  int m_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,120 @@
+#include "model/procset.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowsched {
+
+ProcSet::ProcSet(std::vector<int> machines) : machines_(std::move(machines)) {
+  for (int j : machines_) {
+    if (j < 0) throw std::invalid_argument("ProcSet: negative machine index");
+  }
+  std::sort(machines_.begin(), machines_.end());
+  machines_.erase(std::unique(machines_.begin(), machines_.end()),
+                  machines_.end());
+}
+
+ProcSet ProcSet::all(int m) {
+  if (m <= 0) throw std::invalid_argument("ProcSet::all: m <= 0");
+  std::vector<int> v(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) v[static_cast<std::size_t>(j)] = j;
+  return ProcSet(std::move(v));
+}
+
+ProcSet ProcSet::single(int j) { return ProcSet({j}); }
+
+ProcSet ProcSet::interval(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("ProcSet::interval: lo > hi");
+  std::vector<int> v;
+  v.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int j = lo; j <= hi; ++j) v.push_back(j);
+  return ProcSet(std::move(v));
+}
+
+ProcSet ProcSet::ring_interval(int start, int k, int m) {
+  if (m <= 0 || k <= 0 || k > m) {
+    throw std::invalid_argument("ProcSet::ring_interval: need 1 <= k <= m");
+  }
+  if (start < 0 || start >= m) {
+    throw std::invalid_argument("ProcSet::ring_interval: start outside [0,m)");
+  }
+  std::vector<int> v;
+  v.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) v.push_back((start + i) % m);
+  return ProcSet(std::move(v));
+}
+
+bool ProcSet::contains(int j) const {
+  return std::binary_search(machines_.begin(), machines_.end(), j);
+}
+
+bool ProcSet::is_subset_of(const ProcSet& other) const {
+  return std::includes(other.machines_.begin(), other.machines_.end(),
+                       machines_.begin(), machines_.end());
+}
+
+bool ProcSet::intersects(const ProcSet& other) const {
+  auto a = machines_.begin();
+  auto b = other.machines_.begin();
+  while (a != machines_.end() && b != other.machines_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+bool ProcSet::within(int m) const {
+  return machines_.empty() || (machines_.front() >= 0 && machines_.back() < m);
+}
+
+bool ProcSet::is_contiguous() const {
+  if (machines_.empty()) return true;
+  return machines_.back() - machines_.front() + 1 == size();
+}
+
+bool ProcSet::is_interval(int m) const {
+  if (!within(m)) throw std::invalid_argument("ProcSet::is_interval: set exceeds m");
+  if (is_contiguous()) return true;
+  // Wrapped form: the complement within {0..m-1} must be contiguous.
+  std::vector<int> complement;
+  complement.reserve(static_cast<std::size_t>(m) - machines_.size());
+  std::size_t pos = 0;
+  for (int j = 0; j < m; ++j) {
+    if (pos < machines_.size() && machines_[pos] == j) {
+      ++pos;
+    } else {
+      complement.push_back(j);
+    }
+  }
+  if (complement.empty()) return true;
+  return complement.back() - complement.front() + 1 ==
+         static_cast<int>(complement.size());
+}
+
+int ProcSet::min() const {
+  if (machines_.empty()) throw std::logic_error("ProcSet::min: empty set");
+  return machines_.front();
+}
+
+int ProcSet::max() const {
+  if (machines_.empty()) throw std::logic_error("ProcSet::max: empty set");
+  return machines_.back();
+}
+
+std::string ProcSet::str() const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << 'M' << machines_[i] + 1;
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace flowsched

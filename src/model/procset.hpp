@@ -1,0 +1,70 @@
+// Processing sets (eligibility constraints).
+//
+// A task T_i may only run on a subset M_i of the machines (Section 3 of the
+// paper). Machine indices are 0-based internally; rendering uses the paper's
+// 1-based M_1..M_m convention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+/// An immutable set of eligible machine indices, stored sorted and unique.
+class ProcSet {
+ public:
+  /// Empty set. Invalid on a task; useful as a "not yet set" placeholder.
+  ProcSet() = default;
+
+  /// From arbitrary machine indices; sorts and deduplicates. Negative
+  /// indices throw std::invalid_argument.
+  explicit ProcSet(std::vector<int> machines);
+
+  /// All machines {0, ..., m-1}.
+  static ProcSet all(int m);
+
+  /// The singleton {j}.
+  static ProcSet single(int j);
+
+  /// Contiguous interval {lo, ..., hi} (inclusive); requires lo <= hi.
+  static ProcSet interval(int lo, int hi);
+
+  /// The ring interval I_k(u) of Section 7.2 (overlapping strategy): the k
+  /// machines {u, u+1, ..., u+k-1} taken modulo m. Requires 1 <= k <= m.
+  static ProcSet ring_interval(int start, int k, int m);
+
+  const std::vector<int>& machines() const { return machines_; }
+  int size() const { return static_cast<int>(machines_.size()); }
+  bool empty() const { return machines_.empty(); }
+
+  bool contains(int j) const;
+  bool is_subset_of(const ProcSet& other) const;
+  bool intersects(const ProcSet& other) const;
+
+  /// True when all indices lie in [0, m).
+  bool within(int m) const;
+
+  /// True when the members form one contiguous run of indices.
+  bool is_contiguous() const;
+
+  /// Paper definition of an interval set on m machines: either the members
+  /// are contiguous, or the complement is (the wrapped form
+  /// {j <= a or j >= b}).
+  bool is_interval(int m) const;
+
+  /// Smallest / largest member. Throws std::logic_error when empty.
+  int min() const;
+  int max() const;
+
+  friend bool operator==(const ProcSet& a, const ProcSet& b) {
+    return a.machines_ == b.machines_;
+  }
+
+  /// 1-based rendering, e.g. "{M2,M3,M4}".
+  std::string str() const;
+
+ private:
+  std::vector<int> machines_;
+};
+
+}  // namespace flowsched

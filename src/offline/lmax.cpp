@@ -1,0 +1,150 @@
+#include "offline/lmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "offline/matching.hpp"
+#include "offline/preemptive_optimal.hpp"
+
+namespace flowsched {
+
+DeadlineInstance::DeadlineInstance(int m, std::vector<DeadlineTask> tasks)
+    : m_(m),
+      tasks_(std::move(tasks)),
+      instance_(m, [this] {
+        std::vector<Task> plain;
+        plain.reserve(tasks_.size());
+        for (const auto& dt : tasks_) plain.push_back(dt.task);
+        return plain;
+      }()) {
+  for (const auto& dt : tasks_) {
+    if (dt.deadline < dt.task.release) {
+      throw std::invalid_argument("DeadlineInstance: deadline before release");
+    }
+  }
+  // The Instance re-sorts by release (stably); mirror that order for the
+  // deadlines so indices stay aligned.
+  std::stable_sort(tasks_.begin(), tasks_.end(),
+                   [](const DeadlineTask& a, const DeadlineTask& b) {
+                     return a.task.release < b.task.release;
+                   });
+  deadlines_.reserve(tasks_.size());
+  for (const auto& dt : tasks_) deadlines_.push_back(dt.deadline);
+}
+
+DeadlineInstance DeadlineInstance::fmax_view(const Instance& inst) {
+  std::vector<DeadlineTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(inst.n()));
+  for (const Task& t : inst.tasks()) {
+    tasks.push_back(DeadlineTask{t, t.release});
+  }
+  return DeadlineInstance(inst.m(), std::move(tasks));
+}
+
+bool unit_lmax_feasible(const DeadlineInstance& inst, int L) {
+  const Instance& plain = inst.instance();
+  const int n = plain.n();
+  if (n == 0) return true;
+  for (const Task& t : plain.tasks()) {
+    if (t.proc != 1.0) {
+      throw std::invalid_argument("unit_lmax: non-unit processing time");
+    }
+    if (t.release != std::floor(t.release)) {
+      throw std::invalid_argument("unit_lmax: non-integer release");
+    }
+  }
+
+  std::map<std::pair<long long, int>, int> slot_id;
+  std::vector<std::pair<long long, int>> slot_of;
+  std::vector<std::vector<int>> task_slots(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Task& t = plain.task(i);
+    const double d = inst.deadline(i);
+    if (d != std::floor(d)) {
+      throw std::invalid_argument("unit_lmax: non-integer deadline");
+    }
+    const auto r = static_cast<long long>(t.release);
+    // Latest useful start: completion by d + L, and never beyond
+    // r + n - 1 (a feasible schedule can always be left-shifted so every
+    // task starts within n slots of its own release — only n-1 competitors
+    // exist, and starting earlier never violates a deadline).
+    const long long last =
+        std::min(static_cast<long long>(d) + L - 1, r + n - 1);
+    if (last < r) return false;  // empty window
+    for (long long slot = r; slot <= last; ++slot) {
+      for (int j : t.eligible.machines()) {
+        const auto key = std::make_pair(slot, j);
+        auto [it, inserted] = slot_id.try_emplace(key, static_cast<int>(slot_of.size()));
+        if (inserted) slot_of.push_back(key);
+        task_slots[static_cast<std::size_t>(i)].push_back(it->second);
+      }
+    }
+  }
+
+  BipartiteMatching matching(n, static_cast<int>(slot_of.size()));
+  for (int i = 0; i < n; ++i) {
+    for (int s : task_slots[static_cast<std::size_t>(i)]) matching.add_edge(i, s);
+  }
+  return matching.solve() == n;
+}
+
+int unit_optimal_lmax(const DeadlineInstance& inst) {
+  const Instance& plain = inst.instance();
+  if (plain.n() == 0) return 0;
+  // Lateness of task i is at least r_i + 1 - d_i; Lmax can't beat the max.
+  long long lo = std::numeric_limits<long long>::min();
+  long long hi = 0;
+  for (int i = 0; i < plain.n(); ++i) {
+    const auto floor_bound = static_cast<long long>(plain.task(i).release) + 1 -
+                             static_cast<long long>(inst.deadline(i));
+    lo = std::max(lo, floor_bound);
+    // Serializing everything after the last release bounds the optimum.
+    hi = std::max(hi, floor_bound + plain.n());
+  }
+  if (!unit_lmax_feasible(inst, static_cast<int>(hi))) {
+    throw std::logic_error("unit_optimal_lmax: upper bound infeasible (bug)");
+  }
+  while (lo < hi) {
+    const long long mid = lo + (hi - lo) / 2;
+    if (unit_lmax_feasible(inst, static_cast<int>(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+bool preemptive_lmax_feasible(const DeadlineInstance& inst, double L) {
+  const Instance& plain = inst.instance();
+  std::vector<double> deadlines;
+  deadlines.reserve(static_cast<std::size_t>(plain.n()));
+  for (int i = 0; i < plain.n(); ++i) deadlines.push_back(inst.deadline(i) + L);
+  return preemptive_deadline_feasible(plain, deadlines);
+}
+
+double preemptive_optimal_lmax(const DeadlineInstance& inst, double tol) {
+  const Instance& plain = inst.instance();
+  if (plain.n() == 0) return 0.0;
+  double lo = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < plain.n(); ++i) {
+    lo = std::max(lo, plain.task(i).release + plain.task(i).proc - inst.deadline(i));
+  }
+  if (preemptive_lmax_feasible(inst, lo)) return lo;
+  double hi = lo + plain.total_work() + plain.task(plain.n() - 1).release -
+              plain.task(0).release + plain.pmax();
+  if (!preemptive_lmax_feasible(inst, hi)) {
+    throw std::logic_error("preemptive_optimal_lmax: upper bound infeasible (bug)");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    (preemptive_lmax_feasible(inst, mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,60 @@
+#include "offline/lower_bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+// Max over release windows of W/machines - (t2 - t1) for a release-sorted
+// list of (release, proc) pairs.
+double window_bound(const std::vector<std::pair<double, double>>& tasks,
+                    int machines) {
+  const std::size_t n = tasks.size();
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + tasks[i].second;
+
+  double best = 0.0;
+  for (std::size_t i1 = 0; i1 < n; ++i1) {
+    for (std::size_t i2 = i1; i2 < n; ++i2) {
+      const double work = prefix[i2 + 1] - prefix[i1];
+      const double span = tasks[i2].first - tasks[i1].first;
+      best = std::max(best, work / machines - span);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double lb_pmax(const Instance& inst) { return inst.pmax(); }
+
+double lb_volume(const Instance& inst) {
+  std::vector<std::pair<double, double>> tasks;
+  tasks.reserve(static_cast<std::size_t>(inst.n()));
+  for (const Task& t : inst.tasks()) tasks.emplace_back(t.release, t.proc);
+  return window_bound(tasks, inst.m());
+}
+
+double lb_volume_restricted(const Instance& inst) {
+  double best = 0.0;
+  for (int a = 0; a < inst.m(); ++a) {
+    for (int b = a; b < inst.m(); ++b) {
+      std::vector<std::pair<double, double>> tasks;
+      for (const Task& t : inst.tasks()) {
+        if (t.eligible.min() >= a && t.eligible.max() <= b) {
+          tasks.emplace_back(t.release, t.proc);
+        }
+      }
+      if (tasks.empty()) continue;
+      best = std::max(best, window_bound(tasks, b - a + 1));
+    }
+  }
+  return best;
+}
+
+double opt_lower_bound(const Instance& inst) {
+  return std::max(lb_pmax(inst), lb_volume_restricted(inst));
+}
+
+}  // namespace flowsched

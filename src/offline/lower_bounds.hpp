@@ -1,0 +1,38 @@
+// Lower bounds on the offline optimum Fmax.
+//
+// Competitive-ratio measurements divide an online algorithm's Fmax by OPT;
+// when the exact optimum is unavailable (arbitrary processing times), these
+// certified lower bounds give a conservative (over-)estimate of the ratio's
+// denominator, i.e. an *upper* bound on how well the algorithm could be
+// doing — measured_ratio = alg / LB >= alg / OPT.
+//
+// Bounds implemented:
+//   (3)  F* >= pmax                              (a task must be processed);
+//   (4)  F* >= W_r / m in volume form: tasks released within [t1, t2] carry
+//        work W, and at most m*(t2 - t1 + F*) of it fits by t2 + F*, so
+//        F* >= W/m - (t2 - t1);
+//   restricted variant: tasks whose processing set is contained in a window
+//        of machines S can only use |S| machines, giving
+//        F* >= W_S/|S| - (t2 - t1).
+#pragma once
+
+#include "model/instance.hpp"
+
+namespace flowsched {
+
+/// Max processing time bound (3).
+double lb_pmax(const Instance& inst);
+
+/// Volume bound (4) maximized over all release-time windows. O(n^2) after
+/// sorting; intended for the moderate instance sizes of the ratio benches.
+double lb_volume(const Instance& inst);
+
+/// Volume bound restricted to contiguous machine windows [a, b]: only tasks
+/// with M_i fully inside the window count, and only |b - a + 1| machines
+/// serve them. O(m^2 n^2). Subsumes lb_volume (window = all machines).
+double lb_volume_restricted(const Instance& inst);
+
+/// Best available certified lower bound (max of the above).
+double opt_lower_bound(const Instance& inst);
+
+}  // namespace flowsched

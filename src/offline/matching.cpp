@@ -1,0 +1,83 @@
+#include "offline/matching.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace flowsched {
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}
+
+BipartiteMatching::BipartiteMatching(int left, int right)
+    : left_(left),
+      right_(right),
+      adj_(static_cast<std::size_t>(left)),
+      match_l_(static_cast<std::size_t>(left), -1),
+      match_r_(static_cast<std::size_t>(right), -1),
+      dist_(static_cast<std::size_t>(left), 0) {
+  if (left < 0 || right < 0) throw std::invalid_argument("BipartiteMatching: negative size");
+}
+
+void BipartiteMatching::add_edge(int l, int r) {
+  adj_.at(static_cast<std::size_t>(l)).push_back(r);
+  if (r < 0 || r >= right_) throw std::invalid_argument("BipartiteMatching: bad right node");
+}
+
+bool BipartiteMatching::bfs() {
+  std::queue<int> q;
+  for (int l = 0; l < left_; ++l) {
+    if (match_l_[static_cast<std::size_t>(l)] < 0) {
+      dist_[static_cast<std::size_t>(l)] = 0;
+      q.push(l);
+    } else {
+      dist_[static_cast<std::size_t>(l)] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!q.empty()) {
+    const int l = q.front();
+    q.pop();
+    for (int r : adj_[static_cast<std::size_t>(l)]) {
+      const int next = match_r_[static_cast<std::size_t>(r)];
+      if (next < 0) {
+        found_augmenting = true;
+      } else if (dist_[static_cast<std::size_t>(next)] == kInf) {
+        dist_[static_cast<std::size_t>(next)] = dist_[static_cast<std::size_t>(l)] + 1;
+        q.push(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool BipartiteMatching::dfs(int l) {
+  for (int r : adj_[static_cast<std::size_t>(l)]) {
+    const int next = match_r_[static_cast<std::size_t>(r)];
+    if (next < 0 || (dist_[static_cast<std::size_t>(next)] ==
+                         dist_[static_cast<std::size_t>(l)] + 1 &&
+                     dfs(next))) {
+      match_l_[static_cast<std::size_t>(l)] = r;
+      match_r_[static_cast<std::size_t>(r)] = l;
+      return true;
+    }
+  }
+  dist_[static_cast<std::size_t>(l)] = kInf;
+  return false;
+}
+
+int BipartiteMatching::solve() {
+  int matched = 0;
+  while (bfs()) {
+    for (int l = 0; l < left_; ++l) {
+      if (match_l_[static_cast<std::size_t>(l)] < 0 && dfs(l)) ++matched;
+    }
+  }
+  return matched;
+}
+
+int BipartiteMatching::match_of(int l) const {
+  return match_l_.at(static_cast<std::size_t>(l));
+}
+
+}  // namespace flowsched

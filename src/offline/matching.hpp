@@ -1,0 +1,37 @@
+// Hopcroft-Karp maximum bipartite matching.
+//
+// Substrate for the polynomial offline optimum of P|r_i, p_i=1, M_i|Fmax
+// (offline/unit_optimal.hpp): feasibility of a flow-time bound F reduces to
+// perfectly matching tasks to (time slot, machine) pairs.
+#pragma once
+
+#include <vector>
+
+namespace flowsched {
+
+class BipartiteMatching {
+ public:
+  /// `left` tasks-side nodes, `right` slot-side nodes.
+  BipartiteMatching(int left, int right);
+
+  void add_edge(int l, int r);
+
+  /// Size of a maximum matching (Hopcroft-Karp, O(E sqrt(V))).
+  int solve();
+
+  /// After solve(): right partner of left node l, or -1.
+  int match_of(int l) const;
+
+ private:
+  bool bfs();
+  bool dfs(int l);
+
+  int left_;
+  int right_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> match_l_;
+  std::vector<int> match_r_;
+  std::vector<int> dist_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,146 @@
+#include "offline/mincost_matching.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimal min-cost max-flow with unit capacities: successive shortest
+// paths, Dijkstra on reduced costs (valid because original costs are
+// non-negative and potentials keep them so after each augmentation).
+class UnitMcmf {
+ public:
+  explicit UnitMcmf(int nodes)
+      : adj_(static_cast<std::size_t>(nodes)), potential_(adj_.size(), 0.0) {}
+
+  /// Returns the index of the forward edge in `from`'s adjacency.
+  int add_edge(int from, int to, double cost) {
+    adj_[static_cast<std::size_t>(from)].push_back(
+        {to, 1, cost, static_cast<int>(adj_[static_cast<std::size_t>(to)].size())});
+    adj_[static_cast<std::size_t>(to)].push_back(
+        {from, 0, -cost,
+         static_cast<int>(adj_[static_cast<std::size_t>(from)].size()) - 1});
+    return static_cast<int>(adj_[static_cast<std::size_t>(from)].size()) - 1;
+  }
+
+  /// Sends up to `want` units; returns (sent, cost).
+  std::pair<int, double> run(int s, int t, int want) {
+    int sent = 0;
+    double total = 0;
+    while (sent < want) {
+      // Dijkstra on reduced costs.
+      const std::size_t n = adj_.size();
+      std::vector<double> dist(n, kInf);
+      std::vector<std::pair<int, int>> parent(n, {-1, -1});  // (node, edge idx)
+      using Item = std::pair<double, int>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+      dist[static_cast<std::size_t>(s)] = 0;
+      heap.emplace(0.0, s);
+      while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[static_cast<std::size_t>(v)] + 1e-12) continue;
+        for (std::size_t e = 0; e < adj_[static_cast<std::size_t>(v)].size(); ++e) {
+          const Edge& edge = adj_[static_cast<std::size_t>(v)][e];
+          if (edge.cap <= 0) continue;
+          const double reduced = d + edge.cost +
+                                 potential_[static_cast<std::size_t>(v)] -
+                                 potential_[static_cast<std::size_t>(edge.to)];
+          if (reduced + 1e-12 < dist[static_cast<std::size_t>(edge.to)]) {
+            dist[static_cast<std::size_t>(edge.to)] = reduced;
+            parent[static_cast<std::size_t>(edge.to)] = {v, static_cast<int>(e)};
+            heap.emplace(reduced, edge.to);
+          }
+        }
+      }
+      if (dist[static_cast<std::size_t>(t)] == kInf) break;  // no more paths
+      for (std::size_t v = 0; v < n; ++v) {
+        if (dist[v] < kInf) potential_[v] += dist[v];
+      }
+      // Augment one unit along the path.
+      for (int v = t; v != s;) {
+        const auto [pv, pe] = parent[static_cast<std::size_t>(v)];
+        Edge& edge = adj_[static_cast<std::size_t>(pv)][static_cast<std::size_t>(pe)];
+        edge.cap -= 1;
+        adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(edge.rev)].cap += 1;
+        total += edge.cost;
+        v = pv;
+      }
+      ++sent;
+    }
+    return {sent, total};
+  }
+
+  /// After run(): whether the forward edge (node, index) carries flow.
+  bool used(int node, int index) const {
+    return adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)].cap == 0;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int cap;
+    double cost;
+    int rev;
+  };
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<double> potential_;
+};
+
+}  // namespace
+
+MinCostMatching::MinCostMatching(int left, int right)
+    : left_(left), right_(right), adj_(static_cast<std::size_t>(left)) {
+  if (left < 0 || right < 0) {
+    throw std::invalid_argument("MinCostMatching: negative side size");
+  }
+}
+
+void MinCostMatching::add_edge(int l, int r, double cost) {
+  if (cost < 0) throw std::invalid_argument("MinCostMatching: negative cost");
+  if (r < 0 || r >= right_) throw std::invalid_argument("MinCostMatching: bad right node");
+  adj_.at(static_cast<std::size_t>(l)).push_back(Edge{r, cost});
+}
+
+MinCostMatching::Result MinCostMatching::solve() {
+  const int source = left_ + right_;
+  const int sink = source + 1;
+  UnitMcmf flow(sink + 1);
+  // Handle of each admissible pair's forward edge, for match recovery.
+  std::vector<std::vector<std::pair<int, int>>> handles(
+      static_cast<std::size_t>(left_));  // per l: (edge index on node l, r)
+
+  for (int l = 0; l < left_; ++l) flow.add_edge(source, l, 0.0);
+  for (int l = 0; l < left_; ++l) {
+    for (const Edge& e : adj_[static_cast<std::size_t>(l)]) {
+      const int idx = flow.add_edge(l, left_ + e.to, e.cost);
+      handles[static_cast<std::size_t>(l)].emplace_back(idx, e.to);
+    }
+  }
+  for (int r = 0; r < right_; ++r) flow.add_edge(left_ + r, sink, 0.0);
+
+  const auto [sent, cost] = flow.run(source, sink, left_);
+
+  Result result;
+  result.feasible = sent == left_;
+  result.total_cost = cost;
+  result.match.assign(static_cast<std::size_t>(left_), -1);
+  if (result.feasible) {
+    for (int l = 0; l < left_; ++l) {
+      for (const auto& [idx, r] : handles[static_cast<std::size_t>(l)]) {
+        if (flow.used(l, idx)) {
+          result.match[static_cast<std::size_t>(l)] = r;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flowsched

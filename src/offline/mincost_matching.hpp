@@ -1,0 +1,46 @@
+// Min-cost bipartite perfect matching (successive shortest augmenting
+// paths with Johnson potentials).
+//
+// Substrate for the sum-objective oracles of offline/unit_sum.hpp: the
+// paper derives polynomiality of P|r_i, p_i = 1, M_i|Fmax from Brucker et
+// al.'s result on P|r_i, p_i = 1, M_i|sum w_i T_i, and the classical
+// algorithm behind that result is exactly an assignment problem — tasks
+// matched to (time slot, machine) pairs with per-pair costs.
+//
+// Left nodes must all be matchable (the solver reports infeasibility
+// otherwise). Costs must be non-negative (the reduced-cost Dijkstra relies
+// on it; the callers' tardiness/flow costs are).
+#pragma once
+
+#include <vector>
+
+namespace flowsched {
+
+class MinCostMatching {
+ public:
+  MinCostMatching(int left, int right);
+
+  /// Adds an admissible pair with the given non-negative cost.
+  void add_edge(int l, int r, double cost);
+
+  struct Result {
+    bool feasible = false;   ///< Every left node matched.
+    double total_cost = 0;
+    std::vector<int> match;  ///< match[l] = right partner (or -1).
+  };
+
+  /// Minimum-cost perfect matching of the left side.
+  Result solve();
+
+ private:
+  struct Edge {
+    int to;
+    double cost;
+  };
+
+  int left_;
+  int right_;
+  std::vector<std::vector<Edge>> adj_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,108 @@
+#include "offline/preemptive_optimal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "lp/maxflow.hpp"
+
+namespace flowsched {
+
+bool preemptive_deadline_feasible(const Instance& inst,
+                                  const std::vector<double>& deadlines) {
+  const int n = inst.n();
+  const int m = inst.m();
+  if (static_cast<int>(deadlines.size()) != n) {
+    throw std::invalid_argument("preemptive_deadline_feasible: size mismatch");
+  }
+  if (n == 0) return true;
+
+  // Event points: releases and deadlines.
+  std::vector<double> points;
+  points.reserve(2 * static_cast<std::size_t>(n));
+  double total_work = 0;
+  for (int i = 0; i < n; ++i) {
+    const Task& t = inst.task(i);
+    const double d = deadlines[static_cast<std::size_t>(i)];
+    points.push_back(t.release);
+    points.push_back(d);
+    total_work += t.proc;
+    if (t.proc > d - t.release + 1e-12) return false;  // cannot fit at all
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](double a, double b) { return b - a < 1e-12; }),
+               points.end());
+  const int q = static_cast<int>(points.size()) - 1;  // intervals
+
+  // Node layout: source | tasks | (task, interval) | (interval, machine) |
+  // sink. (task, interval) nodes exist only where the task's window covers
+  // the interval; (interval, machine) nodes are dense (q * m is small).
+  std::vector<std::vector<int>> ti_node(static_cast<std::size_t>(n),
+                                        std::vector<int>(static_cast<std::size_t>(q), -1));
+  int next_node = 1 + n;
+  for (int i = 0; i < n; ++i) {
+    const double r = inst.task(i).release;
+    const double d = deadlines[static_cast<std::size_t>(i)];
+    for (int v = 0; v < q; ++v) {
+      if (points[static_cast<std::size_t>(v)] >= r - 1e-12 &&
+          points[static_cast<std::size_t>(v) + 1] <= d + 1e-12) {
+        ti_node[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)] = next_node++;
+      }
+    }
+  }
+  const int im_base = next_node;
+  next_node += q * m;
+  const int sink = next_node++;
+  const int source = 0;
+
+  MaxFlow flow(next_node);
+  for (int i = 0; i < n; ++i) {
+    flow.add_edge(source, 1 + i, inst.task(i).proc);
+  }
+  for (int v = 0; v < q; ++v) {
+    const double len = points[static_cast<std::size_t>(v) + 1] -
+                       points[static_cast<std::size_t>(v)];
+    for (int j = 0; j < m; ++j) {
+      flow.add_edge(im_base + v * m + j, sink, len);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int node = ti_node[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+      if (node < 0) continue;
+      flow.add_edge(1 + i, node, len);
+      for (int j : inst.task(i).eligible.machines()) {
+        flow.add_edge(node, im_base + v * m + j, len);
+      }
+    }
+  }
+  return flow.solve(source, sink) >= total_work - 1e-7;
+}
+
+bool preemptive_fmax_feasible(const Instance& inst, double F) {
+  if (inst.n() == 0) return true;
+  if (!(F > 0)) return false;
+  std::vector<double> deadlines;
+  deadlines.reserve(static_cast<std::size_t>(inst.n()));
+  for (const Task& t : inst.tasks()) deadlines.push_back(t.release + F);
+  return preemptive_deadline_feasible(inst, deadlines);
+}
+
+double preemptive_optimal_fmax(const Instance& inst, double tol) {
+  if (inst.n() == 0) return 0.0;
+  double lo = inst.pmax();  // F >= pmax always
+  if (preemptive_fmax_feasible(inst, lo)) return lo;
+  // Upper bound: serialize everything after the last release.
+  double hi = inst.total_work() +
+              inst.task(inst.n() - 1).release - inst.task(0).release +
+              inst.pmax();
+  if (!preemptive_fmax_feasible(inst, hi)) {
+    throw std::logic_error("preemptive_optimal_fmax: upper bound infeasible (bug)");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    (preemptive_fmax_feasible(inst, mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace flowsched

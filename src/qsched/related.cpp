@@ -1,0 +1,171 @@
+#include "qsched/related.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace flowsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double finish_time(const Task& t, double completion, double speed) {
+  return std::max(t.release, completion) + t.proc / speed;
+}
+
+std::vector<std::size_t> order_by_speed(const std::vector<double>& speeds) {
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&speeds](std::size_t a, std::size_t b) {
+    return speeds[a] < speeds[b];
+  });
+  return order;
+}
+
+double max_speed(const std::vector<double>& speeds) {
+  return *std::max_element(speeds.begin(), speeds.end());
+}
+
+}  // namespace
+
+int QGreedyDispatcher::dispatch(const Task& t,
+                                const std::vector<double>& completion) {
+  int best = -1;
+  double best_finish = kInf;
+  for (int j : t.eligible.machines()) {
+    const double f = finish_time(t, completion[static_cast<std::size_t>(j)],
+                                 speeds_[static_cast<std::size_t>(j)]);
+    if (f < best_finish - 1e-12) {
+      best_finish = f;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void QSlowFitDispatcher::reset(const std::vector<double>& speeds) {
+  speeds_ = speeds;
+  by_speed_ = order_by_speed(speeds);
+  estimate_ = 0;
+}
+
+int QSlowFitDispatcher::dispatch(const Task& t,
+                                 const std::vector<double>& completion) {
+  // Seed the estimate with the first task's fastest-possible flow.
+  if (estimate_ <= 0) estimate_ = t.proc / max_speed(speeds_);
+  while (true) {
+    for (std::size_t j : by_speed_) {  // slowest first
+      if (!t.eligible.contains(static_cast<int>(j))) continue;
+      const double f = finish_time(t, completion[j], speeds_[j]);
+      if (f - t.release <= wait_factor_ * estimate_ + 1e-12) {
+        return static_cast<int>(j);
+      }
+    }
+    estimate_ *= 2;  // guess-and-double
+  }
+}
+
+void QDoubleFitDispatcher::reset(const std::vector<double>& speeds) {
+  speeds_ = speeds;
+  by_speed_ = order_by_speed(speeds);
+  estimate_ = 0;
+}
+
+int QDoubleFitDispatcher::dispatch(const Task& t,
+                                   const std::vector<double>& completion) {
+  if (estimate_ <= 0) estimate_ = t.proc / max_speed(speeds_);
+  // Greedy safety net: the best achievable finish delay right now.
+  double greedy_delay = kInf;
+  for (int j : t.eligible.machines()) {
+    greedy_delay = std::min(
+        greedy_delay, finish_time(t, completion[static_cast<std::size_t>(j)],
+                                  speeds_[static_cast<std::size_t>(j)]) -
+                          t.release);
+  }
+  while (true) {
+    // Allow up to wait_factor * estimate, but never force a placement worse
+    // than twice the greedy option: that is the "double fit" blend keeping
+    // both failure modes (Slow-Fit piling on slow machines, Greedy
+    // overloading fast ones) in check.
+    const double budget =
+        std::min(wait_factor_ * estimate_, 2.0 * greedy_delay);
+    for (std::size_t j : by_speed_) {
+      if (!t.eligible.contains(static_cast<int>(j))) continue;
+      const double delay = finish_time(t, completion[j], speeds_[j]) - t.release;
+      if (delay <= budget + 1e-12) return static_cast<int>(j);
+    }
+    if (wait_factor_ * estimate_ >= 2.0 * greedy_delay) {
+      // The budget was capped by the greedy term: take the greedy machine.
+      int best = -1;
+      double best_finish = kInf;
+      for (int j : t.eligible.machines()) {
+        const double f = finish_time(t, completion[static_cast<std::size_t>(j)],
+                                     speeds_[static_cast<std::size_t>(j)]);
+        if (f < best_finish - 1e-12) {
+          best_finish = f;
+          best = j;
+        }
+      }
+      return best;
+    }
+    estimate_ *= 2;
+  }
+}
+
+RelatedRun run_related(const Instance& inst, const std::vector<double>& speeds,
+                       RelatedDispatcher& dispatcher) {
+  if (static_cast<int>(speeds.size()) != inst.m()) {
+    throw std::invalid_argument("run_related: speeds size != m");
+  }
+  for (double s : speeds) {
+    if (!(s > 0)) throw std::invalid_argument("run_related: speed <= 0");
+  }
+  dispatcher.reset(speeds);
+
+  std::vector<double> completion(static_cast<std::size_t>(inst.m()), 0.0);
+  RelatedRun run{Schedule(inst), {}, 0.0};
+  run.flows.reserve(static_cast<std::size_t>(inst.n()));
+  for (int i = 0; i < inst.n(); ++i) {
+    const Task& t = inst.task(i);
+    const int u = dispatcher.dispatch(t, completion);
+    if (u < 0 || u >= inst.m() || !t.eligible.contains(u)) {
+      throw std::logic_error("run_related: dispatcher chose bad machine");
+    }
+    const std::size_t uj = static_cast<std::size_t>(u);
+    const double start = std::max(t.release, completion[uj]);
+    completion[uj] = start + t.proc / speeds[uj];
+    run.schedule.assign(i, u, start);
+    const double flow = completion[uj] - t.release;
+    run.flows.push_back(flow);
+    run.max_flow = std::max(run.max_flow, flow);
+  }
+  return run;
+}
+
+double related_opt_lower_bound(const Instance& inst,
+                               const std::vector<double>& speeds) {
+  const double s_max = max_speed(speeds);
+  const double s_total = std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  double lb = 0;
+  for (const Task& t : inst.tasks()) lb = std::max(lb, t.proc / s_max);
+
+  // Volume bound over release windows: work released in [t1, t2] must fit
+  // into s_total * (t2 - t1 + F).
+  std::vector<double> prefix(static_cast<std::size_t>(inst.n()) + 1, 0.0);
+  for (int i = 0; i < inst.n(); ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + inst.task(i).proc;
+  }
+  for (int i1 = 0; i1 < inst.n(); ++i1) {
+    for (int i2 = i1; i2 < inst.n(); ++i2) {
+      const double work = prefix[static_cast<std::size_t>(i2) + 1] -
+                          prefix[static_cast<std::size_t>(i1)];
+      const double span = inst.task(i2).release - inst.task(i1).release;
+      lb = std::max(lb, work / s_total - span);
+    }
+  }
+  return lb;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,61 @@
+#include "sched/composition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "model/structure.hpp"
+#include "sched/fifo.hpp"
+
+namespace flowsched {
+
+Schedule composed_schedule(const Instance& inst, const InnerScheduler& inner) {
+  // Group task indices by processing set.
+  std::map<std::vector<int>, std::vector<int>> groups;
+  for (int i = 0; i < inst.n(); ++i) {
+    groups[inst.task(i).eligible.machines()].push_back(i);
+  }
+  // Verify disjointness of the family (Theorem 6's precondition).
+  {
+    std::vector<ProcSet> sets;
+    sets.reserve(groups.size());
+    for (const auto& [machines, ids] : groups) sets.emplace_back(std::vector<int>(machines));
+    if (!is_disjoint_family(sets)) {
+      throw std::invalid_argument(
+          "composed_schedule: processing sets are not disjoint");
+    }
+  }
+
+  Schedule sched(inst);
+  for (const auto& [machines, ids] : groups) {
+    // Sub-instance I_u on the group's own machines, renumbered to 0..k-1.
+    std::vector<Task> sub_tasks;
+    sub_tasks.reserve(ids.size());
+    for (int i : ids) {
+      sub_tasks.push_back(Task{.release = inst.task(i).release,
+                               .proc = inst.task(i).proc,
+                               .eligible = {}});
+    }
+    const Instance sub(static_cast<int>(machines.size()), std::move(sub_tasks));
+    const Schedule sub_sched = inner(sub);
+    // Releases within a group keep their relative (stable) order through
+    // both Instance constructions, so indices align one-to-one.
+    for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+      const int local = static_cast<int>(pos);
+      sched.assign(ids[pos],
+                   machines[static_cast<std::size_t>(sub_sched.machine(local))],
+                   sub_sched.start(local));
+    }
+  }
+  return sched;
+}
+
+Schedule composed_fifo_schedule(const Instance& inst, TieBreakKind tie,
+                                std::uint64_t seed) {
+  return composed_schedule(inst, [tie, seed](const Instance& sub) {
+    return fifo_schedule(sub, tie, seed);
+  });
+}
+
+}  // namespace flowsched

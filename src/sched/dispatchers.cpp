@@ -1,0 +1,159 @@
+#include "sched/dispatchers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace flowsched {
+namespace {
+
+// Tolerance for "tied" completion times. Theory instances use exactly
+// representable times (integers, powers of two), so ties are exact; the
+// epsilon only guards against accumulated rounding in long stochastic runs,
+// and is far below the smallest intentional gap used anywhere (the
+// Theorem-10 construction uses delta = 2^-20).
+constexpr double kTieEps = 1e-12;
+
+}  // namespace
+
+EftDispatcher::EftDispatcher(TieBreakKind kind, std::uint64_t seed)
+    : tie_(kind, seed) {}
+
+void EftDispatcher::reset(int /*m*/) {}
+
+int EftDispatcher::dispatch(const Task& t, const MachineState& state) {
+  // Equation (2): t'min = max(r_i, min_{M_j in M_i} C_{j,i-1});
+  // U'_i = { M_j in M_i : C_{j,i-1} <= t'min }.
+  double min_completion = std::numeric_limits<double>::infinity();
+  for (int j : t.eligible.machines()) {
+    min_completion = std::min(min_completion, state.completion[static_cast<std::size_t>(j)]);
+  }
+  const double t_min = std::max(t.release, min_completion);
+  std::vector<int> candidates;
+  for (int j : t.eligible.machines()) {
+    if (state.completion[static_cast<std::size_t>(j)] <= t_min + kTieEps) {
+      candidates.push_back(j);
+    }
+  }
+  return tie_.choose(candidates);
+}
+
+std::string EftDispatcher::name() const {
+  return "EFT-" + to_string(tie_.kind());
+}
+
+RandomEligibleDispatcher::RandomEligibleDispatcher(std::uint64_t seed)
+    : rng_(seed), seed_(seed) {}
+
+void RandomEligibleDispatcher::reset(int /*m*/) { rng_ = Rng(seed_); }
+
+int RandomEligibleDispatcher::dispatch(const Task& t,
+                                       const MachineState& /*state*/) {
+  const auto& machines = t.eligible.machines();
+  return machines[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(machines.size()) - 1))];
+}
+
+LeastLoadedDispatcher::LeastLoadedDispatcher(TieBreakKind kind,
+                                             std::uint64_t seed)
+    : tie_(kind, seed) {}
+
+void LeastLoadedDispatcher::reset(int /*m*/) {}
+
+int LeastLoadedDispatcher::dispatch(const Task& t, const MachineState& state) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int j : t.eligible.machines()) {
+    best = std::min(best, state.load[static_cast<std::size_t>(j)]);
+  }
+  std::vector<int> candidates;
+  for (int j : t.eligible.machines()) {
+    if (state.load[static_cast<std::size_t>(j)] <= best + kTieEps) {
+      candidates.push_back(j);
+    }
+  }
+  return tie_.choose(candidates);
+}
+
+std::string LeastLoadedDispatcher::name() const {
+  return "LeastLoaded-" + to_string(tie_.kind());
+}
+
+JsqDispatcher::JsqDispatcher(TieBreakKind kind, std::uint64_t seed)
+    : tie_(kind, seed) {}
+
+void JsqDispatcher::reset(int /*m*/) {}
+
+int JsqDispatcher::dispatch(const Task& t, const MachineState& state) {
+  int best = std::numeric_limits<int>::max();
+  for (int j : t.eligible.machines()) {
+    best = std::min(best, state.queued[static_cast<std::size_t>(j)]);
+  }
+  std::vector<int> candidates;
+  for (int j : t.eligible.machines()) {
+    if (state.queued[static_cast<std::size_t>(j)] == best) candidates.push_back(j);
+  }
+  return tie_.choose(candidates);
+}
+
+std::string JsqDispatcher::name() const { return "JSQ-" + to_string(tie_.kind()); }
+
+void RoundRobinDispatcher::reset(int /*m*/) { next_.clear(); }
+
+int RoundRobinDispatcher::dispatch(const Task& t, const MachineState& /*state*/) {
+  const auto& machines = t.eligible.machines();
+  auto& cursor = next_[machines];
+  const int chosen = machines[cursor % machines.size()];
+  ++cursor;
+  return chosen;
+}
+
+PowerOfDChoicesDispatcher::PowerOfDChoicesDispatcher(int d, std::uint64_t seed)
+    : d_(d), rng_(seed), seed_(seed) {
+  if (d < 1) throw std::invalid_argument("PowerOfDChoices: d < 1");
+}
+
+void PowerOfDChoicesDispatcher::reset(int /*m*/) { rng_ = Rng(seed_); }
+
+int PowerOfDChoicesDispatcher::dispatch(const Task& t,
+                                        const MachineState& state) {
+  const auto& machines = t.eligible.machines();
+  std::vector<int> probes;
+  if (static_cast<int>(machines.size()) <= d_) {
+    probes = machines;
+  } else {
+    // Sample d distinct machines (d is tiny; rejection is fine).
+    while (static_cast<int>(probes.size()) < d_) {
+      const int candidate = machines[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(machines.size()) - 1))];
+      if (std::find(probes.begin(), probes.end(), candidate) == probes.end()) {
+        probes.push_back(candidate);
+      }
+    }
+  }
+  int best = probes.front();
+  for (int j : probes) {
+    if (state.completion[static_cast<std::size_t>(j)] <
+        state.completion[static_cast<std::size_t>(best)]) {
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::string PowerOfDChoicesDispatcher::name() const {
+  return "PowerOf" + std::to_string(d_) + "Choices";
+}
+
+std::unique_ptr<Dispatcher> make_eft_min() {
+  return std::make_unique<EftDispatcher>(TieBreakKind::kMin);
+}
+
+std::unique_ptr<Dispatcher> make_eft_max() {
+  return std::make_unique<EftDispatcher>(TieBreakKind::kMax);
+}
+
+std::unique_ptr<Dispatcher> make_eft_rand(std::uint64_t seed) {
+  return std::make_unique<EftDispatcher>(TieBreakKind::kRand, seed);
+}
+
+}  // namespace flowsched

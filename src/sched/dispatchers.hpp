@@ -1,0 +1,145 @@
+// Immediate-dispatch online algorithms.
+//
+// A Dispatcher sees tasks one by one, in release order, and must commit each
+// task to a machine immediately (the paper's Immediate Dispatch property:
+// r_i <= rho_i < r_i + eps). The engine (sched/engine.hpp) owns the machine
+// state; the dispatcher only picks the machine, so the same machine-state
+// bookkeeping is shared by every policy and cannot drift between them.
+//
+// Implemented policies:
+//   EftDispatcher         — Algorithm 2 with Equation (2) restricted ties;
+//                           EFT-Min / EFT-Max / EFT-Rand via the tie-break.
+//   RandomEligible        — uniform choice in M_i (no load information).
+//   LeastLoadedDispatcher — min total allocated work in M_i (differs from
+//                           EFT only when machines idle after their queue).
+//   JsqDispatcher         — join-shortest-queue: fewest unfinished tasks at
+//                           the release instant, the classic load balancer.
+//   RoundRobinDispatcher  — cycles through each distinct processing set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "sched/tiebreak.hpp"
+
+namespace flowsched {
+
+/// Read-only view of the engine's machine state offered to dispatchers.
+struct MachineState {
+  /// C_{j,i-1}: completion time of everything already assigned to machine j.
+  std::span<const double> completion;
+  /// Total work assigned to machine j so far.
+  std::span<const double> load;
+  /// Number of tasks assigned to machine j so far.
+  std::span<const int> count;
+  /// Number of tasks assigned to j and not finished at the release instant.
+  std::span<const int> queued;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Called once before a run; m is the machine count.
+  virtual void reset(int m) = 0;
+
+  /// Chooses the machine for `t` (must be in t.eligible). Called in release
+  /// order; the engine applies the assignment afterwards.
+  virtual int dispatch(const Task& t, const MachineState& state) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Earliest Finish Time (Algorithm 2). With unrestricted sets it is
+/// equivalent to FIFO (Proposition 1).
+class EftDispatcher final : public Dispatcher {
+ public:
+  explicit EftDispatcher(TieBreakKind kind, std::uint64_t seed = 0);
+
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override;
+
+ private:
+  TieBreak tie_;
+};
+
+class RandomEligibleDispatcher final : public Dispatcher {
+ public:
+  explicit RandomEligibleDispatcher(std::uint64_t seed = 0);
+
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override { return "RandomEligible"; }
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+class LeastLoadedDispatcher final : public Dispatcher {
+ public:
+  explicit LeastLoadedDispatcher(TieBreakKind kind, std::uint64_t seed = 0);
+
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override;
+
+ private:
+  TieBreak tie_;
+};
+
+class JsqDispatcher final : public Dispatcher {
+ public:
+  explicit JsqDispatcher(TieBreakKind kind, std::uint64_t seed = 0);
+
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override;
+
+ private:
+  TieBreak tie_;
+};
+
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  RoundRobinDispatcher() = default;
+
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override { return "RoundRobin"; }
+
+ private:
+  std::map<std::vector<int>, std::size_t> next_;
+};
+
+/// Power of d choices (Mitzenmacher): sample d random machines from M_i and
+/// take the one finishing earliest — the classic cheap approximation of
+/// EFT/JSQ replica selection used by real load balancers (d = 2 gets most
+/// of the benefit at a fraction of the probing cost). Falls back to the
+/// whole set when |M_i| <= d.
+class PowerOfDChoicesDispatcher final : public Dispatcher {
+ public:
+  explicit PowerOfDChoicesDispatcher(int d = 2, std::uint64_t seed = 0);
+
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override;
+
+ private:
+  int d_;
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Factory helpers for the three named EFT variants of the paper.
+std::unique_ptr<Dispatcher> make_eft_min();
+std::unique_ptr<Dispatcher> make_eft_max();
+std::unique_ptr<Dispatcher> make_eft_rand(std::uint64_t seed);
+
+}  // namespace flowsched

@@ -1,0 +1,98 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowsched {
+
+OnlineEngine::OnlineEngine(int m, Dispatcher& dispatcher)
+    : m_(m),
+      dispatcher_(&dispatcher),
+      completion_(static_cast<std::size_t>(m), 0.0),
+      load_(static_cast<std::size_t>(m), 0.0),
+      count_(static_cast<std::size_t>(m), 0),
+      finish_times_(static_cast<std::size_t>(m)),
+      finished_cursor_(static_cast<std::size_t>(m), 0),
+      queued_(static_cast<std::size_t>(m), 0) {
+  if (m <= 0) throw std::invalid_argument("OnlineEngine: m <= 0");
+  dispatcher_->reset(m);
+}
+
+Assignment OnlineEngine::release(Task task) {
+  if (task.release < last_release_) {
+    throw std::invalid_argument("OnlineEngine::release: releases must be non-decreasing");
+  }
+  last_release_ = task.release;
+  if (task.eligible.empty()) task.eligible = ProcSet::all(m_);
+  if (!task.eligible.within(m_)) {
+    throw std::invalid_argument("OnlineEngine::release: processing set outside [0,m)");
+  }
+  if (!(task.proc > 0)) {
+    throw std::invalid_argument("OnlineEngine::release: proc <= 0");
+  }
+
+  // Advance the finished cursors to the release instant so queue depths are
+  // "unfinished tasks at time r".
+  for (int j = 0; j < m_; ++j) {
+    auto& cursor = finished_cursor_[static_cast<std::size_t>(j)];
+    const auto& finishes = finish_times_[static_cast<std::size_t>(j)];
+    while (cursor < finishes.size() && finishes[cursor] <= task.release) ++cursor;
+    queued_[static_cast<std::size_t>(j)] =
+        static_cast<int>(finishes.size() - cursor);
+  }
+
+  const MachineState state{completion_, load_, count_, queued_};
+  const int u = dispatcher_->dispatch(task, state);
+  if (u < 0 || u >= m_ || !task.eligible.contains(u)) {
+    throw std::logic_error("OnlineEngine: dispatcher chose ineligible machine " +
+                           std::to_string(u) + " for set " + task.eligible.str());
+  }
+
+  const std::size_t uj = static_cast<std::size_t>(u);
+  const double start = std::max(task.release, completion_[uj]);
+  completion_[uj] = start + task.proc;
+  load_[uj] += task.proc;
+  ++count_[uj];
+  finish_times_[uj].push_back(completion_[uj]);
+
+  tasks_.push_back(std::move(task));
+  assignments_.push_back(Assignment{u, start});
+  return assignments_.back();
+}
+
+double OnlineEngine::completion_of(int i) const {
+  return assignments_.at(static_cast<std::size_t>(i)).start +
+         tasks_.at(static_cast<std::size_t>(i)).proc;
+}
+
+std::vector<double> OnlineEngine::profile(double t) const {
+  std::vector<double> w(completion_.size());
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    w[j] = std::max(0.0, completion_[j] - t);
+  }
+  return w;
+}
+
+Schedule OnlineEngine::snapshot() const {
+  // Releases were non-decreasing, so the Instance's stable sort preserves
+  // the release order and assignment indices line up one-to-one.
+  auto inst = std::make_shared<Instance>(m_, tasks_);
+  Schedule sched(inst);
+  for (int i = 0; i < inst->n(); ++i) {
+    const auto& a = assignments_[static_cast<std::size_t>(i)];
+    sched.assign(i, a.machine, a.start);
+  }
+  return sched;
+}
+
+Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher) {
+  OnlineEngine engine(inst.m(), dispatcher);
+  Schedule sched(inst);
+  for (int i = 0; i < inst.n(); ++i) {
+    const Assignment a = engine.release(inst.task(i));
+    sched.assign(i, a.machine, a.start);
+  }
+  return sched;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,74 @@
+// Online engine for immediate-dispatch algorithms.
+//
+// The engine owns the machine state (completion frontier C_{j,i}, loads,
+// queue depths), feeds tasks to a Dispatcher in release order, and records
+// the resulting schedule. It is usable in two modes:
+//
+//  * batch: run_dispatcher(instance, dispatcher) replays a whole instance;
+//  * incremental: adaptive adversaries (Section 6) release tasks one at a
+//    time, observe the assignment the algorithm is now committed to, and
+//    craft the next release accordingly — exactly the information an
+//    adversary is allowed to use against an immediate-dispatch algorithm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+class OnlineEngine {
+ public:
+  /// The dispatcher is borrowed (and reset); it must outlive the engine.
+  OnlineEngine(int m, Dispatcher& dispatcher);
+
+  int m() const { return m_; }
+  int released() const { return static_cast<int>(tasks_.size()); }
+
+  /// Releases one task; releases must be non-decreasing. Returns the
+  /// (machine, start) assignment the algorithm committed to.
+  Assignment release(Task task);
+
+  /// C_{j, released()}: machine completion frontier.
+  const std::vector<double>& completions() const { return completion_; }
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  int machine_of(int i) const { return assignments_.at(static_cast<std::size_t>(i)).machine; }
+  double start_of(int i) const { return assignments_.at(static_cast<std::size_t>(i)).start; }
+  double completion_of(int i) const;
+
+  /// Number of tasks allocated to machine j so far.
+  int count_of(int j) const { return count_.at(static_cast<std::size_t>(j)); }
+
+  /// Profile w_t(j) = max(0, C_j - t) over everything released so far.
+  std::vector<double> profile(double t) const;
+
+  /// Self-contained schedule of everything released so far (owns a copy of
+  /// the instance). Validates by construction order, not re-checked here.
+  Schedule snapshot() const;
+
+ private:
+  int m_;
+  Dispatcher* dispatcher_;
+  std::vector<Task> tasks_;
+  std::vector<Assignment> assignments_;
+  std::vector<double> completion_;
+  std::vector<double> load_;
+  std::vector<int> count_;
+  // Per machine: completion times of its tasks in assignment order, with a
+  // cursor marking those already finished at the last release instant, so
+  // queue depths are O(1) amortized.
+  std::vector<std::vector<double>> finish_times_;
+  std::vector<std::size_t> finished_cursor_;
+  std::vector<int> queued_;
+  double last_release_ = 0.0;
+};
+
+/// Replays a full instance through `dispatcher` and returns the schedule
+/// (non-owning: references `inst`).
+Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher);
+
+}  // namespace flowsched

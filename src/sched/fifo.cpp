@@ -1,0 +1,114 @@
+#include "sched/fifo.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Earliest pending event strictly relevant at time t: the next release, or
+// the next machine to free up (only useful when work is waiting).
+double next_event_time(const Instance& inst, int next_release_idx,
+                       const std::vector<double>& machine_free, double t,
+                       bool work_waiting) {
+  double next = kInf;
+  if (next_release_idx < inst.n()) {
+    next = inst.task(next_release_idx).release;
+  }
+  if (work_waiting) {
+    for (double f : machine_free) {
+      if (f > t) next = std::min(next, f);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+Schedule fifo_schedule(const Instance& inst, TieBreakKind tie,
+                       std::uint64_t seed) {
+  if (!inst.unrestricted_sets()) {
+    throw std::invalid_argument(
+        "fifo_schedule: instance has processing set restrictions; "
+        "use fifo_eligible_schedule");
+  }
+  TieBreak breaker(tie, seed);
+  Schedule sched(inst);
+  std::vector<double> machine_free(static_cast<std::size_t>(inst.m()), 0.0);
+  std::deque<int> queue;
+  int next_release = 0;
+  double t = 0.0;
+
+  while (next_release < inst.n() || !queue.empty()) {
+    while (next_release < inst.n() && inst.task(next_release).release <= t) {
+      queue.push_back(next_release++);
+    }
+    // Drain the queue onto idle machines, one tie-break per started task
+    // ("the selected machine runs first").
+    while (!queue.empty()) {
+      std::vector<int> idle;
+      for (int j = 0; j < inst.m(); ++j) {
+        if (machine_free[static_cast<std::size_t>(j)] <= t) idle.push_back(j);
+      }
+      if (idle.empty()) break;
+      const int u = breaker.choose(idle);
+      const int i = queue.front();
+      queue.pop_front();
+      sched.assign(i, u, t);
+      machine_free[static_cast<std::size_t>(u)] = t + inst.task(i).proc;
+    }
+    const double next =
+        next_event_time(inst, next_release, machine_free, t, !queue.empty());
+    if (next == kInf) break;
+    t = std::max(t, next);
+  }
+  return sched;
+}
+
+Schedule fifo_eligible_schedule(const Instance& inst, TieBreakKind tie,
+                                std::uint64_t seed) {
+  TieBreak breaker(tie, seed);
+  Schedule sched(inst);
+  std::vector<double> machine_free(static_cast<std::size_t>(inst.m()), 0.0);
+  std::vector<int> waiting;  // indices in release (= FIFO) order
+  int next_release = 0;
+  double t = 0.0;
+
+  while (next_release < inst.n() || !waiting.empty()) {
+    while (next_release < inst.n() && inst.task(next_release).release <= t) {
+      waiting.push_back(next_release++);
+    }
+    // Repeatedly start the earliest-released waiting task that has an idle
+    // eligible machine.
+    bool progress = true;
+    while (progress && !waiting.empty()) {
+      progress = false;
+      for (std::size_t q = 0; q < waiting.size(); ++q) {
+        const int i = waiting[q];
+        std::vector<int> idle;
+        for (int j : inst.task(i).eligible.machines()) {
+          if (machine_free[static_cast<std::size_t>(j)] <= t) idle.push_back(j);
+        }
+        if (idle.empty()) continue;
+        const int u = breaker.choose(idle);
+        sched.assign(i, u, t);
+        machine_free[static_cast<std::size_t>(u)] = t + inst.task(i).proc;
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(q));
+        progress = true;
+        break;
+      }
+    }
+    const double next =
+        next_event_time(inst, next_release, machine_free, t, !waiting.empty());
+    if (next == kInf) break;
+    t = std::max(t, next);
+  }
+  return sched;
+}
+
+}  // namespace flowsched

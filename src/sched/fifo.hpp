@@ -1,0 +1,36 @@
+// FIFO scheduling (Algorithm 1) and a restricted-set extension.
+//
+// FIFO keeps a single global queue; whenever machines are idle, the head of
+// the queue starts on one of them (tie broken by BreakTie). The paper proves
+// (Proposition 1) that FIFO and EFT produce the *same* schedule on every
+// instance of P | online-r_i | Fmax when they share a tie-break policy; the
+// implementation here is a genuine discrete-event simulation of the queue,
+// so that the equivalence is a meaningful cross-check of both codes rather
+// than true by construction.
+//
+// FIFO does not extend naturally to processing set restrictions (the paper
+// calls the transformation "cumbersome"); fifo_eligible_schedule implements
+// the natural head-of-line variant — an idle machine takes the
+// earliest-released *eligible* waiting task — as an extra baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+#include "sched/tiebreak.hpp"
+
+namespace flowsched {
+
+/// Classic FIFO on identical machines. Requires an unrestricted instance
+/// (every M_i = all machines); throws std::invalid_argument otherwise.
+Schedule fifo_schedule(const Instance& inst, TieBreakKind tie = TieBreakKind::kMin,
+                       std::uint64_t seed = 0);
+
+/// FIFO with eligibility: an idle machine pulls the earliest-released
+/// waiting task it may process. Works on any instance.
+Schedule fifo_eligible_schedule(const Instance& inst,
+                                TieBreakKind tie = TieBreakKind::kMin,
+                                std::uint64_t seed = 0);
+
+}  // namespace flowsched

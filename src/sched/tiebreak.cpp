@@ -1,0 +1,38 @@
+#include "sched/tiebreak.hpp"
+
+#include <stdexcept>
+
+namespace flowsched {
+
+std::string to_string(TieBreakKind kind) {
+  switch (kind) {
+    case TieBreakKind::kMin:
+      return "Min";
+    case TieBreakKind::kMax:
+      return "Max";
+    case TieBreakKind::kRand:
+      return "Rand";
+  }
+  return "?";
+}
+
+TieBreak::TieBreak(TieBreakKind kind, std::uint64_t seed)
+    : kind_(kind), rng_(seed) {}
+
+int TieBreak::choose(std::span<const int> candidates) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("TieBreak::choose: no candidates");
+  }
+  switch (kind_) {
+    case TieBreakKind::kMin:
+      return candidates.front();
+    case TieBreakKind::kMax:
+      return candidates.back();
+    case TieBreakKind::kRand:
+      return candidates[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  }
+  throw std::logic_error("TieBreak::choose: unknown kind");
+}
+
+}  // namespace flowsched

@@ -1,0 +1,41 @@
+// Tie-break policies (the paper's BreakTie).
+//
+// Both FIFO and EFT reduce their choice to picking one machine out of a
+// candidate set U_i (machines tied for the earliest finish / idle at the
+// same instant). The paper studies three policies:
+//   Min  — lowest index (EFT-Min, Algorithm 3),
+//   Max  — highest index (EFT-Max, Section 7.4),
+//   Rand — uniformly random among candidates (EFT-Rand, Algorithm 4); every
+//          candidate has positive probability, satisfying the theta > 0
+//          condition of Theorem 9.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace flowsched {
+
+enum class TieBreakKind { kMin, kMax, kRand };
+
+std::string to_string(TieBreakKind kind);
+
+/// Stateful tie-break policy; Rand consumes the embedded RNG stream, so a
+/// fixed seed gives a reproducible run.
+class TieBreak {
+ public:
+  explicit TieBreak(TieBreakKind kind, std::uint64_t seed = 0);
+
+  TieBreakKind kind() const { return kind_; }
+
+  /// Picks one machine from a non-empty candidate list (ascending indices).
+  int choose(std::span<const int> candidates);
+
+ private:
+  TieBreakKind kind_;
+  Rng rng_;
+};
+
+}  // namespace flowsched

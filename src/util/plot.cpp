@@ -1,0 +1,95 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowsched {
+namespace {
+constexpr char kGlyphs[] = "ox+*#%@&";
+}
+
+AsciiPlot::AsciiPlot(int width, int height) : width_(width), height_(height) {
+  if (width < 8 || height < 3) throw std::invalid_argument("AsciiPlot: too small");
+}
+
+void AsciiPlot::add_series(const std::string& name,
+                           std::vector<std::pair<double, double>> points) {
+  const char glyph = kGlyphs[series_.size() % (sizeof(kGlyphs) - 1)];
+  series_.push_back(Series{name, std::move(points), glyph});
+}
+
+void AsciiPlot::add_vline(double x, const std::string& label) {
+  vlines_.push_back(VLine{x, label});
+}
+
+std::string AsciiPlot::render() const {
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -y_lo;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  for (const auto& v : vlines_) {
+    x_lo = std::min(x_lo, v.x);
+    x_hi = std::max(x_hi, v.x);
+  }
+  if (!(x_lo <= x_hi)) return "(empty plot)\n";
+  if (x_hi == x_lo) x_hi = x_lo + 1;
+  if (y_hi == y_lo) y_hi = y_lo + 1;
+
+  auto y_map = [&](double y) {
+    if (log_y_) {
+      const double lo = std::log10(std::max(y_lo, 1e-12));
+      const double hi = std::log10(std::max(y_hi, 1e-12));
+      const double t = (std::log10(std::max(y, 1e-12)) - lo) / (hi - lo);
+      return static_cast<int>(std::lround(t * (height_ - 1)));
+    }
+    return static_cast<int>(std::lround((y - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+  };
+  auto x_map = [&](double x) {
+    return static_cast<int>(std::lround((x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& v : vlines_) {
+    const int col = std::clamp(x_map(v.x), 0, width_ - 1);
+    for (auto& row : grid) row[static_cast<std::size_t>(col)] = '|';
+  }
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      const int col = std::clamp(x_map(x), 0, width_ - 1);
+      const int row = std::clamp(y_map(y), 0, height_ - 1);
+      grid[static_cast<std::size_t>(height_ - 1 - row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << std::setprecision(4);
+  out << y_hi << (log_y_ ? " (log)" : "") << "\n";
+  for (const auto& row : grid) out << "  |" << row << "\n";
+  out << y_lo << " +" << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+  out << "   " << x_lo << std::string(static_cast<std::size_t>(width_) / 2, ' ')
+      << "x" << std::string(static_cast<std::size_t>(width_) / 2 - 4, ' ') << x_hi
+      << "\n";
+  for (const auto& s : series_) {
+    out << "   " << s.glyph << " = " << s.name << "\n";
+  }
+  for (const auto& v : vlines_) {
+    if (!v.label.empty()) out << "   | at x=" << v.x << ": " << v.label << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace flowsched

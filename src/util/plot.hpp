@@ -1,0 +1,47 @@
+// ASCII line/scatter plots for bench output: multiple named series over a
+// shared x-axis, rendered on a character grid with per-series glyphs and a
+// legend. Optional logarithmic y-axis for the saturation plots (Figure 11),
+// whose Fmax spans two orders of magnitude past the LP threshold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+class AsciiPlot {
+ public:
+  /// Grid size in characters (plot area, excluding axes).
+  AsciiPlot(int width = 60, int height = 16);
+
+  /// Adds a series; points need not be sorted. Each series gets the next
+  /// glyph from "ox+*#%@&".
+  void add_series(const std::string& name,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Marks a vertical line at `x` (rendered with '|'), e.g. a threshold.
+  void add_vline(double x, const std::string& label = "");
+
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+    char glyph;
+  };
+  struct VLine {
+    double x;
+    std::string label;
+  };
+
+  int width_;
+  int height_;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+  std::vector<VLine> vlines_;
+};
+
+}  // namespace flowsched

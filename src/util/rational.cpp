@@ -1,0 +1,105 @@
+#include "util/rational.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowsched {
+namespace {
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t narrow(__int128 x) {
+  if (x > std::numeric_limits<std::int64_t>::max() ||
+      x < std::numeric_limits<std::int64_t>::min()) {
+    throw std::overflow_error("Rational: 64-bit overflow after reduction");
+  }
+  return static_cast<std::int64_t>(x);
+}
+
+}  // namespace
+
+Rational Rational::make(__int128 num, __int128 den) {
+  if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) den = 1;
+  const __int128 g = num == 0 ? 1 : gcd128(num, den);
+  Rational r;
+  r.num_ = narrow(num / g);
+  r.den_ = narrow(den / g);
+  return r;
+}
+
+Rational::Rational(std::int64_t numerator) : num_(numerator), den_(1) {}
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator) {
+  *this = make(numerator, denominator);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::str() const {
+  std::ostringstream out;
+  out << *this;
+  return out.str();
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  *this = make(static_cast<__int128>(num_) * o.den_ +
+                   static_cast<__int128>(o.num_) * den_,
+               static_cast<__int128>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  *this = make(static_cast<__int128>(num_) * o.num_,
+               static_cast<__int128>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  *this = make(static_cast<__int128>(num_) * o.den_,
+               static_cast<__int128>(den_) * o.num_);
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+  const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace flowsched

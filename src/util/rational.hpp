@@ -1,0 +1,58 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Used by the exact instantiation of the simplex solver (lp/simplex.hpp) and
+// by tie-sensitive checks in the adversary constructions, where floating
+// point could turn an exact tie into an arbitrary ordering. Intermediate
+// products are computed in 128 bits and every result is normalized; overflow
+// of the reduced result throws std::overflow_error rather than wrapping.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace flowsched {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t numerator);  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t numerator, std::int64_t denominator);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const;
+  std::string str() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  friend Rational abs(const Rational& r) { return r.num_ < 0 ? -r : r; }
+
+ private:
+  // Normalizes sign (den > 0) and reduces by gcd; throws on den == 0 or if
+  // the reduced value does not fit in 64 bits.
+  static Rational make(__int128 num, __int128 den);
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace flowsched

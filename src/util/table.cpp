@@ -1,0 +1,111 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowsched {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << std::left << std::setw(static_cast<int>(width[c]))
+          << cells[c] << ' ';
+    }
+    out << "|\n";
+  };
+  emit(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+HeatGrid::HeatGrid(std::vector<std::string> row_labels,
+                   std::vector<std::string> col_labels)
+    : row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      values_(row_labels_.size() * col_labels_.size(),
+              std::numeric_limits<double>::quiet_NaN()) {
+  if (row_labels_.empty() || col_labels_.empty()) {
+    throw std::invalid_argument("HeatGrid: empty labels");
+  }
+}
+
+void HeatGrid::set(std::size_t row, std::size_t col, double value) {
+  values_.at(row * cols() + col) = value;
+}
+
+double HeatGrid::at(std::size_t row, std::size_t col) const {
+  return values_.at(row * cols() + col);
+}
+
+std::string HeatGrid::render(const std::string& corner, int precision) const {
+  TextTable table([&] {
+    std::vector<std::string> headers{corner};
+    headers.insert(headers.end(), col_labels_.begin(), col_labels_.end());
+    return headers;
+  }());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    std::vector<std::string> row{row_labels_[r]};
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const double v = at(r, c);
+      row.push_back(std::isnan(v) ? "-" : TextTable::num(v, precision));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string HeatGrid::render_shades(double lo, double hi) const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr int kLevels = sizeof(kShades) - 2;  // last index of the palette
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const double v = at(r, c);
+      if (std::isnan(v)) {
+        out << '?';
+        continue;
+      }
+      const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+      out << kShades[static_cast<int>(std::lround(t * kLevels))];
+    }
+    out << "  " << row_labels_[r] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace flowsched

@@ -1,0 +1,59 @@
+// Plain-text table and heatmap rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures; these
+// helpers produce aligned, diff-friendly output so runs can be compared in
+// EXPERIMENTS.md without plotting tools.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flowsched {
+
+/// Column-aligned text table. Cells are free-form strings; numeric helpers
+/// format with a fixed precision so benchmark output is stable.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimal places.
+  static std::string num(double v, int precision = 3);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Numeric grid rendered as a table with row/column labels, plus an optional
+/// coarse ASCII shade map — the text stand-in for the paper's heatmaps
+/// (Figure 10).
+class HeatGrid {
+ public:
+  HeatGrid(std::vector<std::string> row_labels,
+           std::vector<std::string> col_labels);
+
+  void set(std::size_t row, std::size_t col, double value);
+  double at(std::size_t row, std::size_t col) const;
+  std::size_t rows() const { return row_labels_.size(); }
+  std::size_t cols() const { return col_labels_.size(); }
+
+  /// Numeric table, `precision` decimals, `corner` printed over row labels.
+  std::string render(const std::string& corner, int precision = 1) const;
+
+  /// Shade map: each cell becomes one glyph from " .:-=+*#%@" scaled between
+  /// lo and hi.
+  std::string render_shades(double lo, double hi) const;
+
+ private:
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> values_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,55 @@
+// Workload generators.
+//
+// * generate_kv_instance — the Section 7.4 workload: unit tasks released by
+//   a Poisson process with rate lambda, each requesting a key owned by a
+//   machine drawn from a popularity distribution, served by the owner's
+//   replica set. lambda = m means the cluster is offered 100% load.
+// * random_instance — unstructured stochastic instances for property tests
+//   (FIFO/EFT equivalence, validation invariants, ratio sanity checks).
+#pragma once
+
+#include <vector>
+
+#include "model/instance.hpp"
+#include "util/rng.hpp"
+#include "workload/popularity.hpp"
+#include "workload/replication.hpp"
+
+namespace flowsched {
+
+struct KvWorkloadConfig {
+  int m = 15;
+  int n = 10000;          ///< Number of requests (tasks).
+  double lambda = 7.5;    ///< Poisson arrival rate (tasks per time unit).
+  ReplicationStrategy strategy = ReplicationStrategy::kOverlapping;
+  int k = 3;              ///< Replication factor.
+  double proc = 1.0;      ///< Service time per request (paper: unit).
+};
+
+/// Builds the instance for one simulation run. `popularity` is the machine
+/// popularity vector P(E_j) (size m, non-negative; normalized internally).
+Instance generate_kv_instance(const KvWorkloadConfig& config,
+                              const std::vector<double>& popularity, Rng& rng);
+
+/// How processing sets are drawn in random_instance.
+enum class RandomSets {
+  kUnrestricted,   ///< Every task may run anywhere.
+  kIntervals,      ///< Random contiguous intervals (random size/position).
+  kRingIntervals,  ///< Random ring intervals of a random size.
+  kArbitrary,      ///< Random non-empty subsets.
+};
+
+struct RandomInstanceOptions {
+  int m = 4;
+  int n = 20;
+  double max_release = 10.0;
+  double min_proc = 0.5;
+  double max_proc = 3.0;
+  bool unit_tasks = false;        ///< Overrides min/max proc with 1.
+  bool integer_releases = false;  ///< Floor releases (for the unit-OPT oracle).
+  RandomSets sets = RandomSets::kUnrestricted;
+};
+
+Instance random_instance(const RandomInstanceOptions& opts, Rng& rng);
+
+}  // namespace flowsched

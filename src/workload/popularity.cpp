@@ -1,0 +1,35 @@
+#include "workload/popularity.hpp"
+
+#include "workload/zipf.hpp"
+
+namespace flowsched {
+
+std::string to_string(PopularityCase c) {
+  switch (c) {
+    case PopularityCase::kUniform:
+      return "Uniform";
+    case PopularityCase::kWorstCase:
+      return "Worst-case";
+    case PopularityCase::kShuffled:
+      return "Shuffled";
+  }
+  return "?";
+}
+
+std::vector<double> make_popularity(PopularityCase c, int m, double s,
+                                    Rng& rng) {
+  switch (c) {
+    case PopularityCase::kUniform:
+      return zipf_weights(m, 0.0);
+    case PopularityCase::kWorstCase:
+      return zipf_weights(m, s);
+    case PopularityCase::kShuffled: {
+      auto w = zipf_weights(m, s);
+      rng.shuffle(w);
+      return w;
+    }
+  }
+  return {};
+}
+
+}  // namespace flowsched

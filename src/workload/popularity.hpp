@@ -1,0 +1,25 @@
+// The three machine-popularity cases of Section 7.1 / Figure 8.
+//
+//   Uniform    — s = 0: every machine equally popular.
+//   Worst-case — Zipf(s) as-is: monotonically decreasing load, the most
+//                popular keys all packed onto the first machines.
+//   Shuffled   — Zipf(s) weights under a uniformly random permutation,
+//                modeling a realistic unknown placement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace flowsched {
+
+enum class PopularityCase { kUniform, kWorstCase, kShuffled };
+
+std::string to_string(PopularityCase c);
+
+/// Machine popularity vector P(E_j) for the given case. `s` is ignored for
+/// kUniform; kShuffled consumes the RNG for its permutation.
+std::vector<double> make_popularity(PopularityCase c, int m, double s, Rng& rng);
+
+}  // namespace flowsched

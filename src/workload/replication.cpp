@@ -1,0 +1,77 @@
+#include "workload/replication.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowsched {
+
+std::string to_string(ReplicationStrategy strategy) {
+  switch (strategy) {
+    case ReplicationStrategy::kOverlapping:
+      return "Overlapping";
+    case ReplicationStrategy::kDisjoint:
+      return "Disjoint";
+    case ReplicationStrategy::kSpread:
+      return "Spread";
+    case ReplicationStrategy::kNone:
+      return "None";
+  }
+  return "?";
+}
+
+ProcSet replica_set(ReplicationStrategy strategy, int owner, int k, int m) {
+  if (owner < 0 || owner >= m) {
+    throw std::invalid_argument("replica_set: owner outside [0,m)");
+  }
+  if (k < 1 || k > m) throw std::invalid_argument("replica_set: need 1 <= k <= m");
+  switch (strategy) {
+    case ReplicationStrategy::kNone:
+      return ProcSet::single(owner);
+    case ReplicationStrategy::kOverlapping:
+      return ProcSet::ring_interval(owner, k, m);
+    case ReplicationStrategy::kSpread: {
+      if (k == m) return ProcSet::all(m);
+      // Replicas spaced ~m/k apart. If the stride tiles the ring exactly
+      // (stride * k == m), the m sets collapse into a disjoint partition —
+      // structurally equivalent to kDisjoint after renumbering (Figure 1's
+      // reduction) and with the same weak load absorption. Bumping the
+      // stride by one breaks the tiling: all m sets become distinct and
+      // overlapping while staying scattered.
+      int stride = std::max(1, m / k);
+      if (stride * k == m) ++stride;
+      std::vector<int> members;
+      members.reserve(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) members.push_back((owner + i * stride) % m);
+      // The stride walk can still revisit a machine when k does not divide
+      // m; pad with ring successors so |I_k(u)| is always k.
+      ProcSet set{std::move(members)};
+      int next = (owner + 1) % m;
+      while (set.size() < k) {
+        if (!set.contains(next)) {
+          auto padded = set.machines();
+          padded.push_back(next);
+          set = ProcSet(std::move(padded));
+        }
+        next = (next + 1) % m;
+      }
+      return set;
+    }
+    case ReplicationStrategy::kDisjoint: {
+      // Paper (Section 7.2), 1-based u: u' = k*floor((u-1)/k), interval
+      // [u'+1, min(m, u'+k)]. In 0-based terms: the block containing owner.
+      const int block_lo = k * (owner / k);
+      const int block_hi = std::min(m - 1, block_lo + k - 1);
+      return ProcSet::interval(block_lo, block_hi);
+    }
+  }
+  throw std::logic_error("replica_set: unknown strategy");
+}
+
+std::vector<ProcSet> replica_sets(ReplicationStrategy strategy, int k, int m) {
+  std::vector<ProcSet> sets;
+  sets.reserve(static_cast<std::size_t>(m));
+  for (int u = 0; u < m; ++u) sets.push_back(replica_set(strategy, u, k, m));
+  return sets;
+}
+
+}  // namespace flowsched

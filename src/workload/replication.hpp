@@ -1,0 +1,38 @@
+// Replication strategies (Section 7.2, Figure 9).
+//
+// Starting from "each key lives on one machine M_u", replication extends the
+// processing set of every request for that key to an interval I_k(u) of k
+// machines:
+//
+//   Overlapping — the ring strategy of Dynamo/Cassandra: I_k(u) =
+//                 {u, u+1, ..., u+k-1} mod m. m distinct, overlapping sets.
+//   Disjoint    — ceil(m/k) consecutive blocks of size k (the last block is
+//                 shorter when k does not divide m): I_k(u) = the block
+//                 containing u. Theorem 6 / Corollary 1 apply to this one.
+//   Spread      — an exploration of the paper's "future directions": the k
+//                 replicas are spaced floor(m/k) apart on the ring,
+//                 I_k(u) = {u, u+floor(m/k), u+2*floor(m/k), ...} mod m, so
+//                 a popularity hot-spot and its replicas land in distant
+//                 parts of the cluster. Sets are neither intervals nor
+//                 nested; no worst-case guarantee is known, but see
+//                 bench_ablation_strategies for its average behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/procset.hpp"
+
+namespace flowsched {
+
+enum class ReplicationStrategy { kOverlapping, kDisjoint, kSpread, kNone };
+
+std::string to_string(ReplicationStrategy strategy);
+
+/// Replica set I_k(owner) for one owner machine (0-based).
+ProcSet replica_set(ReplicationStrategy strategy, int owner, int k, int m);
+
+/// All m replica sets, indexed by owner.
+std::vector<ProcSet> replica_sets(ReplicationStrategy strategy, int k, int m);
+
+}  // namespace flowsched

@@ -1,0 +1,35 @@
+// Zipf popularity law (Section 7.1).
+//
+// P(E_j) = 1 / (j^s * H_{m,s}) for 1-based rank j, where H_{m,s} is the m-th
+// generalized harmonic number of order s. s = 0 degenerates to the uniform
+// distribution; larger s concentrates popularity on low ranks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace flowsched {
+
+/// Generalized harmonic number H_{m,s} = sum_{j=1..m} j^-s.
+double generalized_harmonic(int m, double s);
+
+/// The probability vector {P(E_1), ..., P(E_m)} (sums to 1, decreasing).
+std::vector<double> zipf_weights(int m, double s);
+
+/// Sampler over ranks 0..m-1 with Zipf(s) probabilities (0-based rank 0 is
+/// the most popular). Uses inverse-CDF lookup, O(log m) per draw.
+class ZipfSampler {
+ public:
+  ZipfSampler(int m, double s);
+
+  std::size_t sample(Rng& rng) const;
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace flowsched

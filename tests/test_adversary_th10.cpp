@@ -1,0 +1,88 @@
+#include "adversary/smalltask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/th8_stream.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(Th10SmallTask, ConstantsSatisfyTheConstruction) {
+  // epsilon < delta / (2m) for every supported m, and both far above the
+  // dispatcher tie tolerance.
+  EXPECT_LT(kTh10Epsilon, kTh10Delta / (2 * 1024));
+  EXPECT_GT(kTh10Epsilon, 1e-11);
+}
+
+TEST(Th10SmallTask, DefeatsEftMax) {
+  // The whole point of the construction: a tie-break that escapes the plain
+  // Theorem 8 stream (EFT-Max) is forced into the same m-k+1 flow.
+  const int m = 6;
+  const int k = 3;
+  EftDispatcher max_d(TieBreakKind::kMax);
+  const auto padded = run_th10_smalltask(max_d, m, k);
+  EXPECT_GE(padded.achieved_fmax, m - k + 1);
+  EXPECT_TRUE(padded.schedule.validate().ok());
+
+  // Control: without padding, EFT-Max does NOT reach m-k+1 on this stream
+  // (it breaks ties toward high, lightly-typed machines).
+  EftDispatcher max_plain(TieBreakKind::kMax);
+  const auto plain = run_th8(max_plain, m, k);
+  EXPECT_LT(plain.achieved_fmax, m - k + 1);
+}
+
+TEST(Th10SmallTask, DefeatsEftRandWithAnySeed) {
+  const int m = 6;
+  const int k = 3;
+  for (std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    EftDispatcher rand_d(TieBreakKind::kRand, seed);
+    const auto result = run_th10_smalltask(rand_d, m, k);
+    EXPECT_GE(result.achieved_fmax, m - k + 1) << "seed " << seed;
+  }
+}
+
+TEST(Th10SmallTask, MinAndMaxBecomeIndistinguishable) {
+  // With the calibration delays there are no ties left, so every tie-break
+  // policy produces the same Fmax.
+  const int m = 5;
+  const int k = 2;
+  EftDispatcher min_d(TieBreakKind::kMin);
+  EftDispatcher max_d(TieBreakKind::kMax);
+  const auto r_min = run_th10_smalltask(min_d, m, k);
+  const auto r_max = run_th10_smalltask(max_d, m, k);
+  EXPECT_DOUBLE_EQ(r_min.achieved_fmax, r_max.achieved_fmax);
+}
+
+TEST(Th10SmallTask, OptRemainsNearOne) {
+  const int m = 6;
+  const int k = 3;
+  EftDispatcher max_d(TieBreakKind::kMax);
+  const auto result = run_th10_smalltask(max_d, m, k);
+  EXPECT_LT(result.opt_fmax, 1.001);
+  EXPECT_GE(result.ratio(), (m - k + 1) / 1.001);
+}
+
+TEST(Th10SmallTask, CalibrationVolumeIsNegligible) {
+  // Total small-task work per step is at most sum_i (i+1)*delta.
+  const int m = 6;
+  const int k = 3;
+  EftDispatcher max_d(TieBreakKind::kMax);
+  const auto result = run_th10_smalltask(max_d, m, k, 20);
+  double small_work = 0;
+  double regular_work = 0;
+  for (const Task& t : result.schedule.instance().tasks()) {
+    (t.proc < 0.5 ? small_work : regular_work) += t.proc;
+  }
+  EXPECT_LT(small_work, regular_work * 1e-4);
+}
+
+TEST(Th10SmallTask, RejectsBadParameters) {
+  EftDispatcher d(TieBreakKind::kMin);
+  EXPECT_THROW(run_th10_smalltask(d, 4, 1), std::invalid_argument);
+  EXPECT_THROW(run_th10_smalltask(d, 4, 4), std::invalid_argument);
+  EXPECT_THROW(run_th10_smalltask(d, 2048, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowsched

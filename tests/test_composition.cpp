@@ -1,0 +1,89 @@
+// Theorem 6's composition operator: any per-group scheduler lifted to the
+// disjoint case.
+#include "sched/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/unit_optimal.hpp"
+#include "sched/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/replication.hpp"
+
+namespace flowsched {
+namespace {
+
+Instance disjoint_instance(int m, int k, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto blocks = replica_sets(ReplicationStrategy::kDisjoint, k, m);
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(
+        {.release = static_cast<double>(rng.uniform_int(0, n / m)),
+         .proc = 1.0,
+         .eligible = blocks[static_cast<std::size_t>(rng.uniform_int(0, m - 1))]});
+  }
+  return Instance(m, std::move(tasks));
+}
+
+TEST(Composition, ProducesValidSchedules) {
+  const auto inst = disjoint_instance(6, 3, 80, 1);
+  const auto sched = composed_fifo_schedule(inst);
+  EXPECT_TRUE(sched.validate().ok()) << sched.validate().str();
+}
+
+TEST(Composition, MatchesRestrictedEftOnDisjointInstances) {
+  // Proposition 1 within each group: composed FIFO == restricted EFT.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = disjoint_instance(6, 3, 60, 10 + seed);
+    const auto composed = composed_fifo_schedule(inst, TieBreakKind::kMin);
+    EftDispatcher eft(TieBreakKind::kMin);
+    const auto direct = run_dispatcher(inst, eft);
+    for (int i = 0; i < inst.n(); ++i) {
+      EXPECT_NEAR(composed.start(i), direct.start(i), 1e-9)
+          << "seed " << seed << " task " << i;
+      EXPECT_EQ(composed.machine(i), direct.machine(i))
+          << "seed " << seed << " task " << i;
+    }
+  }
+}
+
+TEST(Composition, Corollary1RatioBoundHolds) {
+  const int k = 3;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = disjoint_instance(9, k, 72, 50 + seed);
+    const auto sched = composed_fifo_schedule(inst);
+    const double opt = unit_optimal_fmax(inst);
+    EXPECT_LE(sched.max_flow(), (3.0 - 2.0 / k) * opt + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Composition, WorksWithArbitraryInnerScheduler) {
+  // Plug EFT-Max inside instead of FIFO: still valid, group-local.
+  const auto inst = disjoint_instance(6, 3, 40, 7);
+  const auto sched = composed_schedule(inst, [](const Instance& sub) {
+    EftDispatcher eft(TieBreakKind::kMax);
+    return run_dispatcher(sub, eft);
+  });
+  EXPECT_TRUE(sched.validate().ok()) << sched.validate().str();
+}
+
+TEST(Composition, UnevenLastBlockHandled) {
+  // m = 7, k = 3: blocks {0..2}, {3..5}, {6} — the singleton block is a
+  // one-machine sub-instance.
+  const auto inst = disjoint_instance(7, 3, 35, 3);
+  const auto sched = composed_fifo_schedule(inst);
+  EXPECT_TRUE(sched.validate().ok()) << sched.validate().str();
+}
+
+TEST(Composition, RejectsOverlappingFamilies) {
+  std::vector<Task> tasks{
+      {.release = 0, .proc = 1, .eligible = ProcSet({0, 1})},
+      {.release = 0, .proc = 1, .eligible = ProcSet({1, 2})},
+  };
+  const Instance inst(3, std::move(tasks));
+  EXPECT_THROW(composed_fifo_schedule(inst), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,107 @@
+#include "sched/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(OnlineEngine, TracksCompletionsIncrementally) {
+  EftDispatcher eft(TieBreakKind::kMin);
+  OnlineEngine engine(2, eft);
+  const auto a0 = engine.release({.release = 0, .proc = 2, .eligible = {}});
+  EXPECT_EQ(a0.machine, 0);
+  EXPECT_DOUBLE_EQ(a0.start, 0.0);
+  EXPECT_DOUBLE_EQ(engine.completions()[0], 2.0);
+
+  const auto a1 = engine.release({.release = 0, .proc = 1, .eligible = {}});
+  EXPECT_EQ(a1.machine, 1);
+  const auto a2 = engine.release({.release = 0, .proc = 1, .eligible = {}});
+  EXPECT_EQ(a2.machine, 1);  // M1 finishes at 1 < M0's 2
+  EXPECT_DOUBLE_EQ(a2.start, 1.0);
+  EXPECT_EQ(engine.released(), 3);
+  EXPECT_EQ(engine.count_of(1), 2);
+}
+
+TEST(OnlineEngine, RejectsDecreasingReleases) {
+  EftDispatcher eft(TieBreakKind::kMin);
+  OnlineEngine engine(2, eft);
+  engine.release({.release = 5, .proc = 1, .eligible = {}});
+  EXPECT_THROW(engine.release({.release = 4, .proc = 1, .eligible = {}}),
+               std::invalid_argument);
+}
+
+TEST(OnlineEngine, RejectsBadTasks) {
+  EftDispatcher eft(TieBreakKind::kMin);
+  OnlineEngine engine(2, eft);
+  EXPECT_THROW(engine.release({.release = 0, .proc = 0, .eligible = {}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      engine.release({.release = 0, .proc = 1, .eligible = ProcSet({4})}),
+      std::invalid_argument);
+}
+
+TEST(OnlineEngine, EmptyEligibleMeansAllMachines) {
+  EftDispatcher eft(TieBreakKind::kMax);
+  OnlineEngine engine(3, eft);
+  const auto a = engine.release({.release = 0, .proc = 1, .eligible = {}});
+  EXPECT_EQ(a.machine, 2);  // Max tie-break over all three idle machines
+}
+
+TEST(OnlineEngine, ProfileMatchesDefinition) {
+  EftDispatcher eft(TieBreakKind::kMin);
+  OnlineEngine engine(2, eft);
+  engine.release({.release = 0, .proc = 3, .eligible = ProcSet({0})});
+  engine.release({.release = 0, .proc = 1, .eligible = ProcSet({1})});
+  const auto w = engine.profile(1.0);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(OnlineEngine, SnapshotIsSelfContainedAndValid) {
+  EftDispatcher eft(TieBreakKind::kMin);
+  OnlineEngine engine(3, eft);
+  for (int t = 0; t < 5; ++t) {
+    engine.release({.release = static_cast<double>(t),
+                    .proc = 2.0,
+                    .eligible = ProcSet({t % 3, (t + 1) % 3})});
+  }
+  const Schedule snap = engine.snapshot();
+  EXPECT_EQ(snap.instance().n(), 5);
+  EXPECT_TRUE(snap.validate().ok()) << snap.validate().str();
+  // The snapshot agrees with the engine's record.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(snap.machine(i), engine.machine_of(i));
+    EXPECT_DOUBLE_EQ(snap.start(i), engine.start_of(i));
+    EXPECT_DOUBLE_EQ(snap.completion(i), engine.completion_of(i));
+  }
+}
+
+TEST(OnlineEngine, RunDispatcherMatchesIncremental) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back({.release = i * 0.5,
+                     .proc = 1.0 + (i % 3),
+                     .eligible = ProcSet({i % 4, (i + 2) % 4})});
+  }
+  const Instance inst(4, tasks);
+
+  EftDispatcher eft1(TieBreakKind::kMin);
+  const auto batch = run_dispatcher(inst, eft1);
+
+  EftDispatcher eft2(TieBreakKind::kMin);
+  OnlineEngine engine(4, eft2);
+  for (const auto& t : inst.tasks()) engine.release(t);
+
+  for (int i = 0; i < inst.n(); ++i) {
+    EXPECT_EQ(batch.machine(i), engine.machine_of(i));
+    EXPECT_DOUBLE_EQ(batch.start(i), engine.start_of(i));
+  }
+}
+
+TEST(OnlineEngine, ThrowsOnNonPositiveMachineCount) {
+  EftDispatcher eft(TieBreakKind::kMin);
+  EXPECT_THROW(OnlineEngine(0, eft), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,112 @@
+#include "sched/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(Fifo, SingleMachineProcessesInOrder) {
+  const auto inst = Instance::unrestricted(1, {{0, 2}, {1, 1}, {1, 1}});
+  const auto sched = fifo_schedule(inst);
+  EXPECT_TRUE(sched.validate().ok());
+  EXPECT_DOUBLE_EQ(sched.start(0), 0.0);
+  EXPECT_DOUBLE_EQ(sched.start(1), 2.0);
+  EXPECT_DOUBLE_EQ(sched.start(2), 3.0);
+}
+
+TEST(Fifo, UsesIdleMachineImmediately) {
+  const auto inst = Instance::unrestricted(2, {{0, 10}, {3, 1}});
+  const auto sched = fifo_schedule(inst);
+  EXPECT_EQ(sched.machine(1), 1);
+  EXPECT_DOUBLE_EQ(sched.start(1), 3.0);
+}
+
+TEST(Fifo, QueueHoldsWhenAllBusy) {
+  const auto inst = Instance::unrestricted(2, {{0, 5}, {0, 5}, {1, 1}});
+  const auto sched = fifo_schedule(inst);
+  EXPECT_DOUBLE_EQ(sched.start(2), 5.0);  // waits for a machine to free
+  EXPECT_DOUBLE_EQ(sched.flow(2), 5.0);
+}
+
+TEST(Fifo, RejectsRestrictedInstances) {
+  std::vector<Task> tasks{{.release = 0, .proc = 1, .eligible = ProcSet({0})}};
+  const Instance inst(2, std::move(tasks));
+  EXPECT_THROW(fifo_schedule(inst), std::invalid_argument);
+}
+
+TEST(Fifo, MinAndMaxTieBreaksDiffer) {
+  const auto inst = Instance::unrestricted(2, {{0, 1}});
+  EXPECT_EQ(fifo_schedule(inst, TieBreakKind::kMin).machine(0), 0);
+  EXPECT_EQ(fifo_schedule(inst, TieBreakKind::kMax).machine(0), 1);
+}
+
+TEST(Fifo, IdleGapThenBurst) {
+  // A long idle gap between batches must not confuse the event loop.
+  const auto inst =
+      Instance::unrestricted(2, {{0, 1}, {100, 1}, {100, 1}, {100, 1}});
+  const auto sched = fifo_schedule(inst);
+  EXPECT_TRUE(sched.validate().ok());
+  EXPECT_DOUBLE_EQ(sched.start(1), 100.0);
+  EXPECT_DOUBLE_EQ(sched.start(2), 100.0);
+  EXPECT_DOUBLE_EQ(sched.start(3), 101.0);
+}
+
+TEST(FifoEligible, RespectsProcessingSets) {
+  std::vector<Task> tasks{
+      {.release = 0, .proc = 2, .eligible = ProcSet({0})},
+      {.release = 0, .proc = 1, .eligible = ProcSet({0})},  // must wait on M0
+      {.release = 0, .proc = 1, .eligible = ProcSet({1})},
+  };
+  const Instance inst(2, std::move(tasks));
+  const auto sched = fifo_eligible_schedule(inst);
+  EXPECT_TRUE(sched.validate().ok()) << sched.validate().str();
+  EXPECT_EQ(sched.machine(1), 0);
+  EXPECT_DOUBLE_EQ(sched.start(1), 2.0);
+  EXPECT_DOUBLE_EQ(sched.start(2), 0.0);
+}
+
+TEST(FifoEligible, SkipsBlockedHeadOfLine) {
+  // Head task only runs on busy M0; a later task eligible on idle M1 must
+  // not be starved behind it.
+  std::vector<Task> tasks{
+      {.release = 0, .proc = 10, .eligible = ProcSet({0})},
+      {.release = 1, .proc = 1, .eligible = ProcSet({0})},
+      {.release = 2, .proc = 1, .eligible = ProcSet({1})},
+  };
+  const Instance inst(2, std::move(tasks));
+  const auto sched = fifo_eligible_schedule(inst);
+  EXPECT_DOUBLE_EQ(sched.start(2), 2.0);
+  EXPECT_DOUBLE_EQ(sched.start(1), 10.0);
+}
+
+TEST(FifoEligible, MatchesFifoOnUnrestrictedInstances) {
+  Rng rng(17);
+  RandomInstanceOptions opts;
+  opts.m = 3;
+  opts.n = 60;
+  const auto inst = random_instance(opts, rng);
+  const auto a = fifo_schedule(inst, TieBreakKind::kMin);
+  const auto b = fifo_eligible_schedule(inst, TieBreakKind::kMin);
+  for (int i = 0; i < inst.n(); ++i) {
+    EXPECT_DOUBLE_EQ(a.start(i), b.start(i)) << "task " << i;
+    EXPECT_EQ(a.machine(i), b.machine(i)) << "task " << i;
+  }
+}
+
+TEST(FifoEligible, ValidOnRandomRestrictedInstances) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions opts;
+    opts.m = 5;
+    opts.n = 80;
+    opts.sets = RandomSets::kArbitrary;
+    const auto inst = random_instance(opts, rng);
+    const auto sched = fifo_eligible_schedule(inst);
+    EXPECT_TRUE(sched.validate().ok()) << sched.validate().str();
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

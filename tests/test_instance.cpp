@@ -1,0 +1,79 @@
+#include "model/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(Instance, SortsByReleaseStably) {
+  std::vector<Task> tasks{
+      {.release = 2.0, .proc = 1.0, .eligible = ProcSet::single(0)},
+      {.release = 1.0, .proc = 1.0, .eligible = ProcSet::single(1)},
+      {.release = 2.0, .proc = 1.0, .eligible = ProcSet::single(2)},
+  };
+  const Instance inst(3, std::move(tasks));
+  EXPECT_EQ(inst.task(0).eligible.machines().front(), 1);
+  EXPECT_EQ(inst.task(1).eligible.machines().front(), 0);  // stable order
+  EXPECT_EQ(inst.task(2).eligible.machines().front(), 2);
+}
+
+TEST(Instance, EmptyEligibleExpandsToAllMachines) {
+  const Instance inst(4, {Task{.release = 0, .proc = 1, .eligible = {}}});
+  EXPECT_EQ(inst.task(0).eligible.size(), 4);
+}
+
+TEST(Instance, RejectsBadInputs) {
+  EXPECT_THROW(Instance(0, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, {Task{.release = -1, .proc = 1, .eligible = {}}}),
+               std::invalid_argument);
+  EXPECT_THROW(Instance(2, {Task{.release = 0, .proc = 0, .eligible = {}}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Instance(2, {Task{.release = 0, .proc = 1, .eligible = ProcSet({5})}}),
+      std::invalid_argument);
+}
+
+TEST(Instance, UnrestrictedFactory) {
+  const auto inst = Instance::unrestricted(3, {{0.0, 1.0}, {1.0, 2.0}});
+  EXPECT_EQ(inst.n(), 2);
+  EXPECT_TRUE(inst.unrestricted_sets());
+  EXPECT_DOUBLE_EQ(inst.task(1).proc, 2.0);
+}
+
+TEST(Instance, UnitTasksDetection) {
+  const auto unit = Instance::unrestricted(2, {{0, 1}, {1, 1}});
+  EXPECT_TRUE(unit.unit_tasks());
+  const auto mixed = Instance::unrestricted(2, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(mixed.unit_tasks());
+}
+
+TEST(Instance, PmaxAndPrefix) {
+  const auto inst = Instance::unrestricted(2, {{0, 1}, {1, 5}, {2, 3}});
+  EXPECT_DOUBLE_EQ(inst.pmax(), 5.0);
+  EXPECT_DOUBLE_EQ(inst.pmax_prefix(1), 1.0);
+  EXPECT_DOUBLE_EQ(inst.pmax_prefix(2), 5.0);
+  EXPECT_DOUBLE_EQ(inst.pmax_prefix(100), 5.0);
+}
+
+TEST(Instance, TotalWork) {
+  const auto inst = Instance::unrestricted(2, {{0, 1.5}, {1, 2.5}});
+  EXPECT_DOUBLE_EQ(inst.total_work(), 4.0);
+}
+
+TEST(Instance, StructureReflectsSets) {
+  std::vector<Task> tasks{
+      {.release = 0, .proc = 1, .eligible = ProcSet({0, 1})},
+      {.release = 0, .proc = 1, .eligible = ProcSet({2, 3})},
+  };
+  const Instance inst(4, std::move(tasks));
+  EXPECT_TRUE(inst.structure().disjoint);
+}
+
+TEST(Instance, UnrestrictedSetsFalseWhenRestricted) {
+  std::vector<Task> tasks{{.release = 0, .proc = 1, .eligible = ProcSet({0})}};
+  const Instance inst(2, std::move(tasks));
+  EXPECT_FALSE(inst.unrestricted_sets());
+}
+
+}  // namespace
+}  // namespace flowsched

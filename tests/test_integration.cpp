@@ -1,0 +1,156 @@
+// Cross-module integration tests: the paper's experimental pipeline end to
+// end, plus qualitative claims of the evaluation section at reduced scale.
+#include <gtest/gtest.h>
+
+#include "kvstore/cluster_sim.hpp"
+#include "lp/maxload.hpp"
+#include "offline/lower_bounds.hpp"
+#include "sched/engine.hpp"
+#include "sched/fifo.hpp"
+#include "util/stats.hpp"
+#include "workload/generator.hpp"
+
+namespace flowsched {
+namespace {
+
+// Theorem 1: FIFO (== EFT) stays within (3 - 2/m) * OPT. We compare against
+// the certified lower bound, which can only overestimate the ratio.
+TEST(Integration, FifoRatioWithinTheorem1Bound) {
+  Rng rng(101);
+  for (int m : {2, 3, 5}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      RandomInstanceOptions opts;
+      opts.m = m;
+      opts.n = 40;
+      opts.max_release = 10.0;
+      const auto inst = random_instance(opts, rng);
+      const auto sched = fifo_schedule(inst);
+      const double lb = opt_lower_bound(inst);
+      ASSERT_GT(lb, 0.0);
+      EXPECT_LE(sched.max_flow() / lb, 3.0 - 2.0 / m + 1e-9)
+          << "m=" << m << " trial=" << trial;
+    }
+  }
+}
+
+// Figure 11's qualitative claim at reduced scale: under Zipf bias and
+// moderate-to-high load, overlapping replication yields a lower Fmax than
+// disjoint replication for EFT.
+TEST(Integration, OverlappingBeatsDisjointUnderBias) {
+  const int m = 15;
+  const int k = 3;
+  const double lambda = 0.6 * m;
+  double fmax_overlapping = 0;
+  double fmax_disjoint = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng pop_rng(900 + seed);
+    const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, pop_rng);
+    for (auto strategy :
+         {ReplicationStrategy::kOverlapping, ReplicationStrategy::kDisjoint}) {
+      KvWorkloadConfig config;
+      config.m = m;
+      config.n = 4000;
+      config.lambda = lambda;
+      config.strategy = strategy;
+      config.k = k;
+      Rng rng(1000 + seed);
+      const auto inst = generate_kv_instance(config, pop, rng);
+      EftDispatcher eft(TieBreakKind::kMin);
+      const auto sched = run_dispatcher(inst, eft);
+      (strategy == ReplicationStrategy::kOverlapping ? fmax_overlapping
+                                                     : fmax_disjoint) +=
+          sched.max_flow();
+    }
+  }
+  EXPECT_LE(fmax_overlapping, fmax_disjoint);
+}
+
+// The LP max-load threshold predicts simulation saturation: a run offered
+// less than the LP load keeps latencies bounded, one offered more than the
+// unreplicated bottleneck load diverges.
+TEST(Integration, LpMaxLoadPredictsSaturation) {
+  const int m = 8;
+  const int k = 2;
+  Rng pop_rng(55);
+  const auto pop = make_popularity(PopularityCase::kWorstCase, m, 1.0, pop_rng);
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, k, m);
+  const double lambda_star = max_load_lp(pop, sets).lambda;
+  ASSERT_GT(lambda_star, 0.0);
+  ASSERT_LT(lambda_star, m + 1e-9);
+
+  auto run_at = [&](double lambda) {
+    KvWorkloadConfig config;
+    config.m = m;
+    config.n = 6000;
+    config.lambda = lambda;
+    config.strategy = ReplicationStrategy::kOverlapping;
+    config.k = k;
+    Rng rng(77);
+    const auto inst = generate_kv_instance(config, pop, rng);
+    EftDispatcher eft(TieBreakKind::kMin);
+    return run_dispatcher(inst, eft).max_flow();
+  };
+
+  const double under = run_at(0.7 * lambda_star);
+  const double over = run_at(1.6 * lambda_star);
+  EXPECT_LT(under, over);
+  EXPECT_GT(over, 20.0);  // saturated: flows grow with the backlog
+}
+
+// The kvstore layer and the raw generator must tell the same story: the
+// machine popularity induced by the store feeds the LP, and the sustainable
+// load matches a direct simulation through the store.
+TEST(Integration, StorePopularityFeedsLp) {
+  StoreConfig sc;
+  sc.m = 6;
+  sc.keys = 120;
+  sc.zipf_s = 1.0;
+  sc.strategy = ReplicationStrategy::kOverlapping;
+  sc.k = 3;
+  Rng rng(31);
+  const KeyValueStore store(sc, rng);
+  const auto sets = replica_sets(sc.strategy, sc.k, sc.m);
+  const double lam = max_load_lp(store.machine_popularity(), sets).lambda;
+  EXPECT_GT(lam, 0.0);
+  EXPECT_LE(lam, 6.0 + 1e-9);
+
+  SimConfig sim;
+  sim.lambda = 0.5 * lam;
+  sim.requests = 4000;
+  EftDispatcher eft(TieBreakKind::kMin);
+  Rng sim_rng(32);
+  const auto report = simulate_cluster(store, sim, eft, sim_rng);
+  EXPECT_LT(report.p99, 30.0);  // below the threshold: no divergence
+}
+
+// EFT-Max vs EFT-Min under the Worst-case popularity (Figure 11, right
+// facet): with overlapping intervals and sorted-decreasing bias, EFT-Max
+// should not be worse than EFT-Min on average.
+TEST(Integration, EftMaxHelpsUnderWorstCaseBias) {
+  const int m = 15;
+  const int k = 3;
+  Rng pop_rng(41);
+  const auto pop = make_popularity(PopularityCase::kWorstCase, m, 1.0, pop_rng);
+  double min_total = 0;
+  double max_total = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    KvWorkloadConfig config;
+    config.m = m;
+    config.n = 5000;
+    config.lambda = 0.5 * m;
+    config.strategy = ReplicationStrategy::kOverlapping;
+    config.k = k;
+    Rng rng_min(500 + seed);
+    Rng rng_max(500 + seed);  // identical workload for both policies
+    const auto inst_min = generate_kv_instance(config, pop, rng_min);
+    const auto inst_max = generate_kv_instance(config, pop, rng_max);
+    EftDispatcher min_d(TieBreakKind::kMin);
+    EftDispatcher max_d(TieBreakKind::kMax);
+    min_total += run_dispatcher(inst_min, min_d).max_flow();
+    max_total += run_dispatcher(inst_max, max_d).max_flow();
+  }
+  EXPECT_LE(max_total, min_total + 1e-9);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,178 @@
+#include "kvstore/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kvstore/store.hpp"
+
+namespace flowsched {
+namespace {
+
+StoreConfig small_store() {
+  StoreConfig c;
+  c.m = 6;
+  c.keys = 60;
+  c.zipf_s = 1.0;
+  c.strategy = ReplicationStrategy::kOverlapping;
+  c.k = 3;
+  return c;
+}
+
+TEST(KeyValueStore, OwnersAreRoundRobin) {
+  Rng rng(1);
+  const KeyValueStore store(small_store(), rng);
+  EXPECT_EQ(store.owner(0), 0);
+  EXPECT_EQ(store.owner(7), 1);
+  EXPECT_EQ(store.owner(59), 5);
+}
+
+TEST(KeyValueStore, ReplicasFollowStrategy) {
+  Rng rng(2);
+  const KeyValueStore store(small_store(), rng);
+  for (int key = 0; key < 60; ++key) {
+    const auto expected =
+        replica_set(ReplicationStrategy::kOverlapping, store.owner(key), 3, 6);
+    EXPECT_EQ(store.replicas_of_key(key), expected);
+  }
+}
+
+TEST(KeyValueStore, MachinePopularitySumsToOne) {
+  Rng rng(3);
+  const KeyValueStore store(small_store(), rng);
+  const auto& pop = store.machine_popularity();
+  EXPECT_EQ(pop.size(), 6u);
+  EXPECT_NEAR(std::accumulate(pop.begin(), pop.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(KeyValueStore, ShuffleChangesPlacementNotMass) {
+  auto config = small_store();
+  config.shuffle_key_ranks = false;
+  Rng rng(4);
+  const KeyValueStore fixed(config, rng);
+  // Without shuffling, key 0 is the most popular and lives on machine 0.
+  const auto& pop = fixed.machine_popularity();
+  EXPECT_GT(pop[0], pop[5]);
+}
+
+TEST(KeyValueStore, SampleKeyInRange) {
+  Rng rng(5);
+  const KeyValueStore store(small_store(), rng);
+  for (int i = 0; i < 1000; ++i) {
+    const int key = store.sample_key(rng);
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 60);
+  }
+}
+
+TEST(KeyValueStore, RejectsBadConfig) {
+  Rng rng(6);
+  StoreConfig bad = small_store();
+  bad.m = 0;
+  EXPECT_THROW(KeyValueStore(bad, rng), std::invalid_argument);
+  bad = small_store();
+  bad.keys = 0;
+  EXPECT_THROW(KeyValueStore(bad, rng), std::invalid_argument);
+}
+
+TEST(ClusterSim, LowLoadHasUnitLatency) {
+  Rng rng(7);
+  const KeyValueStore store(small_store(), rng);
+  SimConfig sim;
+  sim.lambda = 0.5;  // ~8% load: queues essentially empty
+  sim.requests = 2000;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const auto report = simulate_cluster(store, sim, eft, rng);
+  EXPECT_EQ(report.requests, 2000);
+  EXPECT_NEAR(report.p50, 1.0, 0.1);
+  EXPECT_GE(report.max_latency, 1.0);
+}
+
+TEST(ClusterSim, LatencyGrowsWithLoad) {
+  Rng rng(8);
+  const KeyValueStore store(small_store(), rng);
+  EftDispatcher eft(TieBreakKind::kMin);
+  SimConfig low;
+  low.lambda = 1.0;
+  low.requests = 4000;
+  SimConfig high;
+  high.lambda = 5.4;  // 90% of m = 6
+  high.requests = 4000;
+  Rng rng_low(9);
+  Rng rng_high(9);
+  const auto r_low = simulate_cluster(store, low, eft, rng_low);
+  const auto r_high = simulate_cluster(store, high, eft, rng_high);
+  EXPECT_GT(r_high.mean_latency, r_low.mean_latency);
+  EXPECT_GT(r_high.p99, r_low.p99);
+}
+
+TEST(ClusterSim, PercentilesAreOrdered) {
+  Rng rng(10);
+  const KeyValueStore store(small_store(), rng);
+  SimConfig sim;
+  sim.lambda = 4.0;
+  sim.requests = 3000;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const auto report = simulate_cluster(store, sim, eft, rng);
+  EXPECT_LE(report.p50, report.p90);
+  EXPECT_LE(report.p90, report.p99);
+  EXPECT_LE(report.p99, report.max_latency);
+  EXPECT_GE(report.mean_latency, 1.0);  // service time alone is 1
+}
+
+TEST(ClusterSim, UtilizationBoundedByOne) {
+  Rng rng(11);
+  const KeyValueStore store(small_store(), rng);
+  SimConfig sim;
+  sim.lambda = 5.0;
+  sim.requests = 3000;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const auto report = simulate_cluster(store, sim, eft, rng);
+  ASSERT_EQ(report.utilization.size(), 6u);
+  for (double u : report.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(ClusterSim, ServiceDistributionsProduceValidRuns) {
+  Rng rng(12);
+  const KeyValueStore store(small_store(), rng);
+  EftDispatcher eft(TieBreakKind::kMin);
+  for (auto dist : {ServiceDist::kConstant, ServiceDist::kExponential,
+                    ServiceDist::kUniform}) {
+    SimConfig sim;
+    sim.lambda = 2.0;
+    sim.requests = 1000;
+    sim.dist = dist;
+    Rng run_rng(13);
+    const auto report = simulate_cluster(store, sim, eft, run_rng);
+    EXPECT_EQ(report.requests, 1000);
+    EXPECT_GT(report.mean_latency, 0.0);
+  }
+}
+
+TEST(ClusterSim, ReportStringMentionsKeyFigures) {
+  Rng rng(14);
+  const KeyValueStore store(small_store(), rng);
+  SimConfig sim;
+  sim.lambda = 2.0;
+  sim.requests = 500;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const auto report = simulate_cluster(store, sim, eft, rng);
+  const auto text = report.str();
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  EXPECT_NE(text.find("requests=500"), std::string::npos);
+}
+
+TEST(ClusterSim, RejectsNonPositiveLambda) {
+  Rng rng(15);
+  const KeyValueStore store(small_store(), rng);
+  SimConfig sim;
+  sim.lambda = 0.0;
+  EftDispatcher eft(TieBreakKind::kMin);
+  EXPECT_THROW(simulate_cluster(store, sim, eft, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowsched

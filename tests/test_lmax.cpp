@@ -1,0 +1,153 @@
+#include "offline/lmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/preemptive_optimal.hpp"
+#include "offline/unit_optimal.hpp"
+#include "workload/generator.hpp"
+
+namespace flowsched {
+namespace {
+
+DeadlineInstance unit_deadlines(
+    int m, std::vector<std::tuple<double, double, ProcSet>> specs) {
+  std::vector<DeadlineTask> tasks;
+  for (auto& [r, d, set] : specs) {
+    tasks.push_back(DeadlineTask{
+        Task{.release = r, .proc = 1.0, .eligible = std::move(set)}, d});
+  }
+  return DeadlineInstance(m, std::move(tasks));
+}
+
+TEST(DeadlineInstance, SortsAndAligns) {
+  auto inst = unit_deadlines(2, {{2.0, 5.0, ProcSet({0})},
+                                 {0.0, 1.0, ProcSet({1})}});
+  EXPECT_DOUBLE_EQ(inst.instance().task(0).release, 0.0);
+  EXPECT_DOUBLE_EQ(inst.deadline(0), 1.0);
+  EXPECT_DOUBLE_EQ(inst.deadline(1), 5.0);
+}
+
+TEST(DeadlineInstance, RejectsDeadlineBeforeRelease) {
+  EXPECT_THROW(unit_deadlines(2, {{3.0, 2.0, ProcSet({0})}}),
+               std::invalid_argument);
+}
+
+TEST(UnitLmax, SingleTaskLatenessExact) {
+  // Released at 0, deadline 3: completes at 1 -> lateness -2.
+  const auto inst = unit_deadlines(1, {{0.0, 3.0, ProcSet({0})}});
+  EXPECT_EQ(unit_optimal_lmax(inst), -2);
+}
+
+TEST(UnitLmax, ContentionPushesLatenessPositive) {
+  // Three unit tasks at 0, all on M0, deadlines 1: completions 1,2,3 ->
+  // Lmax = 2.
+  const auto inst = unit_deadlines(1, {{0.0, 1.0, ProcSet({0})},
+                                       {0.0, 1.0, ProcSet({0})},
+                                       {0.0, 1.0, ProcSet({0})}});
+  EXPECT_EQ(unit_optimal_lmax(inst), 2);
+}
+
+TEST(UnitLmax, SlackDeadlinesAbsorbContention) {
+  // Same three tasks but deadlines 1, 2, 3: achievable with Lmax = 0.
+  const auto inst = unit_deadlines(1, {{0.0, 1.0, ProcSet({0})},
+                                       {0.0, 2.0, ProcSet({0})},
+                                       {0.0, 3.0, ProcSet({0})}});
+  EXPECT_EQ(unit_optimal_lmax(inst), 0);
+}
+
+TEST(UnitLmax, FmaxViewMatchesUnitOptimalFmax) {
+  // With d_i = r_i, Lmax == Fmax (the paper's reduction).
+  Rng rng(5);
+  RandomInstanceOptions opts;
+  opts.m = 3;
+  opts.n = 12;
+  opts.unit_tasks = true;
+  opts.integer_releases = true;
+  opts.sets = RandomSets::kArbitrary;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto inst = random_instance(opts, rng);
+    const auto view = DeadlineInstance::fmax_view(inst);
+    EXPECT_EQ(unit_optimal_lmax(view), unit_optimal_fmax(inst))
+        << "trial " << trial;
+  }
+}
+
+TEST(UnitLmax, FeasibilityMonotone) {
+  const auto inst = unit_deadlines(1, {{0.0, 1.0, ProcSet({0})},
+                                       {0.0, 1.0, ProcSet({0})}});
+  const int opt = unit_optimal_lmax(inst);
+  EXPECT_FALSE(unit_lmax_feasible(inst, opt - 1));
+  EXPECT_TRUE(unit_lmax_feasible(inst, opt));
+  EXPECT_TRUE(unit_lmax_feasible(inst, opt + 3));
+}
+
+TEST(UnitLmax, SparseReleasesStayCheap) {
+  // Regression: slot windows are bounded by r_i + n, not by the global
+  // max release, so huge release gaps stay cheap.
+  const auto inst = unit_deadlines(1, {{0.0, 1.0, ProcSet({0})},
+                                       {1000000.0, 1000000.0, ProcSet({0})}});
+  EXPECT_EQ(unit_optimal_lmax(inst), 1);
+}
+
+TEST(UnitLmax, RejectsNonUnitInput) {
+  std::vector<DeadlineTask> tasks{
+      DeadlineTask{Task{.release = 0, .proc = 2, .eligible = ProcSet({0})}, 1.0}};
+  const DeadlineInstance inst(1, std::move(tasks));
+  EXPECT_THROW(unit_lmax_feasible(inst, 3), std::invalid_argument);
+}
+
+TEST(PreemptiveLmax, MatchesClosedFormOnOneMachine) {
+  // Work 4 on one machine released at 0; deadlines 2 and 2; EDF-style
+  // optimum: completions 2 and 4, lateness max = 2.
+  std::vector<DeadlineTask> tasks{
+      DeadlineTask{Task{.release = 0, .proc = 2, .eligible = ProcSet({0})}, 2.0},
+      DeadlineTask{Task{.release = 0, .proc = 2, .eligible = ProcSet({0})}, 2.0}};
+  const DeadlineInstance inst(1, std::move(tasks));
+  EXPECT_NEAR(preemptive_optimal_lmax(inst), 2.0, 1e-6);
+}
+
+TEST(PreemptiveLmax, NegativeLatenessWhenSlack) {
+  std::vector<DeadlineTask> tasks{
+      DeadlineTask{Task{.release = 0, .proc = 1, .eligible = ProcSet({0})}, 10.0}};
+  const DeadlineInstance inst(1, std::move(tasks));
+  EXPECT_NEAR(preemptive_optimal_lmax(inst), -9.0, 1e-6);
+}
+
+TEST(PreemptiveLmax, FmaxViewMatchesPreemptiveOptimalFmax) {
+  Rng rng(7);
+  RandomInstanceOptions opts;
+  opts.m = 3;
+  opts.n = 10;
+  opts.max_release = 5.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto inst = random_instance(opts, rng);
+    const auto view = DeadlineInstance::fmax_view(inst);
+    EXPECT_NEAR(preemptive_optimal_lmax(view), preemptive_optimal_fmax(inst),
+                1e-5)
+        << "trial " << trial;
+  }
+}
+
+TEST(PreemptiveLmax, NeverExceedsUnitNonPreemptiveLmax) {
+  Rng rng(11);
+  RandomInstanceOptions opts;
+  opts.m = 2;
+  opts.n = 8;
+  opts.unit_tasks = true;
+  opts.integer_releases = true;
+  opts.sets = RandomSets::kIntervals;
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto plain = random_instance(opts, rng);
+    std::vector<DeadlineTask> tasks;
+    for (const Task& t : plain.tasks()) {
+      tasks.push_back(DeadlineTask{t, t.release + 2.0});
+    }
+    const DeadlineInstance inst(plain.m(), std::move(tasks));
+    EXPECT_LE(preemptive_optimal_lmax(inst),
+              unit_optimal_lmax(inst) + 1e-6)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,78 @@
+#include "offline/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/bruteforce.hpp"
+#include "workload/generator.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(LowerBounds, PmaxBound) {
+  const auto inst = Instance::unrestricted(3, {{0, 2}, {1, 7}, {2, 1}});
+  EXPECT_DOUBLE_EQ(lb_pmax(inst), 7.0);
+}
+
+TEST(LowerBounds, VolumeBoundSimultaneousRelease) {
+  // 4 unit tasks at t=0 on 2 machines: W/m = 2.
+  const auto inst = Instance::unrestricted(2, {{0, 1}, {0, 1}, {0, 1}, {0, 1}});
+  EXPECT_DOUBLE_EQ(lb_volume(inst), 2.0);
+}
+
+TEST(LowerBounds, VolumeBoundAccountsForSpread) {
+  // Same work spread over time is a weaker bound.
+  const auto inst = Instance::unrestricted(2, {{0, 1}, {1, 1}, {2, 1}, {3, 1}});
+  EXPECT_LT(lb_volume(inst), 2.0);
+  EXPECT_GE(lb_volume(inst), 0.5);
+}
+
+TEST(LowerBounds, RestrictedBoundSeesNarrowWindows) {
+  // 4 unit tasks at t=0 all restricted to M0 on a 4-machine cluster: the
+  // unrestricted volume bound gives 1, the restricted one gives 4.
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back({.release = 0, .proc = 1, .eligible = ProcSet({0})});
+  }
+  const Instance inst(4, std::move(tasks));
+  EXPECT_DOUBLE_EQ(lb_volume(inst), 1.0);
+  EXPECT_DOUBLE_EQ(lb_volume_restricted(inst), 4.0);
+}
+
+TEST(LowerBounds, RestrictedSubsumesUnrestricted) {
+  Rng rng(31);
+  RandomInstanceOptions opts;
+  opts.m = 4;
+  opts.n = 25;
+  opts.sets = RandomSets::kIntervals;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = random_instance(opts, rng);
+    EXPECT_GE(lb_volume_restricted(inst) + 1e-12, lb_volume(inst));
+  }
+}
+
+// The defining property: every bound is a true lower bound on the exact
+// optimum, verified against branch-and-bound on small instances.
+TEST(LowerBounds, NeverExceedOptimum) {
+  Rng rng(37);
+  RandomInstanceOptions opts;
+  opts.m = 3;
+  opts.n = 8;
+  opts.sets = RandomSets::kArbitrary;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = random_instance(opts, rng);
+    const double opt = brute_force_opt_fmax(inst);
+    EXPECT_LE(lb_pmax(inst), opt + 1e-9) << "trial " << trial;
+    EXPECT_LE(lb_volume(inst), opt + 1e-9) << "trial " << trial;
+    EXPECT_LE(lb_volume_restricted(inst), opt + 1e-9) << "trial " << trial;
+    EXPECT_LE(opt_lower_bound(inst), opt + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LowerBounds, CombinedBoundTakesMax) {
+  const auto inst = Instance::unrestricted(2, {{0, 5}, {0, 1}, {0, 1}});
+  EXPECT_GE(opt_lower_bound(inst), lb_pmax(inst));
+  EXPECT_GE(opt_lower_bound(inst), lb_volume_restricted(inst));
+}
+
+}  // namespace
+}  // namespace flowsched

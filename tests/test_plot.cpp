@@ -1,0 +1,77 @@
+#include "util/plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(AsciiPlot, EmptyPlot) {
+  AsciiPlot plot;
+  EXPECT_EQ(plot.render(), "(empty plot)\n");
+}
+
+TEST(AsciiPlot, RendersSeriesGlyphAndLegend) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("alpha", {{0, 0}, {1, 1}, {2, 4}});
+  const std::string r = plot.render();
+  EXPECT_NE(r.find('o'), std::string::npos);       // first glyph
+  EXPECT_NE(r.find("o = alpha"), std::string::npos);
+}
+
+TEST(AsciiPlot, DistinctGlyphsPerSeries) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("a", {{0, 0}, {2, 2}});
+  plot.add_series("b", {{0, 2}, {2, 0}});
+  const std::string r = plot.render();
+  EXPECT_NE(r.find("o = a"), std::string::npos);
+  EXPECT_NE(r.find("x = b"), std::string::npos);
+}
+
+TEST(AsciiPlot, ExtremePointsLandOnCorners) {
+  AsciiPlot plot(10, 4);
+  plot.add_series("s", {{0, 0}, {9, 3}});
+  const std::string r = plot.render();
+  // Max y appears in the top plot row, min y in the bottom plot row.
+  const auto first_row = r.find("|");
+  ASSERT_NE(first_row, std::string::npos);
+  const std::string top = r.substr(first_row, 12);
+  EXPECT_NE(top.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, VerticalLineRendered) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("s", {{0, 0}, {10, 1}});
+  plot.add_vline(5.0, "threshold");
+  const std::string r = plot.render();
+  EXPECT_NE(r.find('|'), std::string::npos);
+  EXPECT_NE(r.find("threshold"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleHandlesWideRanges) {
+  AsciiPlot plot(30, 8);
+  plot.set_log_y(true);
+  plot.add_series("s", {{0, 1}, {1, 10}, {2, 100}, {3, 1000}});
+  const std::string r = plot.render();
+  EXPECT_NE(r.find("(log)"), std::string::npos);
+  // With log scaling the four points occupy four distinct rows.
+  int rows_with_glyph = 0;
+  std::istringstream lines(r);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find('o') != std::string::npos) ++rows_with_glyph;
+  }
+  EXPECT_GE(rows_with_glyph, 4);
+}
+
+TEST(AsciiPlot, RejectsTinyGrids) {
+  EXPECT_THROW(AsciiPlot(2, 2), std::invalid_argument);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("flat", {{0, 2}, {1, 2}, {2, 2}});
+  EXPECT_NE(plot.render().find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowsched

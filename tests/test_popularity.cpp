@@ -1,0 +1,59 @@
+#include "workload/popularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/zipf.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(Popularity, UniformIgnoresShape) {
+  Rng rng(1);
+  const auto p = make_popularity(PopularityCase::kUniform, 5, 3.0, rng);
+  for (double x : p) EXPECT_NEAR(x, 0.2, 1e-12);
+}
+
+TEST(Popularity, WorstCaseIsSortedDecreasing) {
+  Rng rng(1);
+  const auto p = make_popularity(PopularityCase::kWorstCase, 8, 1.0, rng);
+  EXPECT_TRUE(std::is_sorted(p.rbegin(), p.rend()));
+  EXPECT_EQ(p, zipf_weights(8, 1.0));
+}
+
+TEST(Popularity, ShuffledIsPermutationOfZipf) {
+  Rng rng(42);
+  auto p = make_popularity(PopularityCase::kShuffled, 8, 1.0, rng);
+  auto z = zipf_weights(8, 1.0);
+  std::sort(p.begin(), p.end());
+  std::sort(z.begin(), z.end());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_DOUBLE_EQ(p[i], z[i]);
+}
+
+TEST(Popularity, ShuffledVariesWithSeed) {
+  Rng a(1);
+  Rng b(2);
+  const auto pa = make_popularity(PopularityCase::kShuffled, 10, 1.0, a);
+  const auto pb = make_popularity(PopularityCase::kShuffled, 10, 1.0, b);
+  EXPECT_NE(pa, pb);
+}
+
+TEST(Popularity, AllCasesSumToOne) {
+  Rng rng(7);
+  for (auto c : {PopularityCase::kUniform, PopularityCase::kWorstCase,
+                 PopularityCase::kShuffled}) {
+    const auto p = make_popularity(c, 15, 1.25, rng);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST(Popularity, ToStringNames) {
+  EXPECT_EQ(to_string(PopularityCase::kUniform), "Uniform");
+  EXPECT_EQ(to_string(PopularityCase::kWorstCase), "Worst-case");
+  EXPECT_EQ(to_string(PopularityCase::kShuffled), "Shuffled");
+}
+
+}  // namespace
+}  // namespace flowsched

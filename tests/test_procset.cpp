@@ -1,0 +1,103 @@
+#include "model/procset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(ProcSet, SortsAndDeduplicates) {
+  const ProcSet s({3, 1, 3, 2});
+  EXPECT_EQ(s.machines(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.size(), 3);
+}
+
+TEST(ProcSet, RejectsNegativeIndex) {
+  EXPECT_THROW(ProcSet({0, -1}), std::invalid_argument);
+}
+
+TEST(ProcSet, AllAndSingle) {
+  EXPECT_EQ(ProcSet::all(3).machines(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ProcSet::single(4).machines(), (std::vector<int>{4}));
+  EXPECT_THROW(ProcSet::all(0), std::invalid_argument);
+}
+
+TEST(ProcSet, Interval) {
+  EXPECT_EQ(ProcSet::interval(2, 4).machines(), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(ProcSet::interval(3, 3).machines(), (std::vector<int>{3}));
+  EXPECT_THROW(ProcSet::interval(4, 2), std::invalid_argument);
+}
+
+TEST(ProcSet, RingIntervalWraps) {
+  // I_3(5) on m=6: machines {5, 0, 1}.
+  EXPECT_EQ(ProcSet::ring_interval(5, 3, 6).machines(),
+            (std::vector<int>{0, 1, 5}));
+  EXPECT_EQ(ProcSet::ring_interval(1, 3, 6).machines(),
+            (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ProcSet::ring_interval(0, 6, 6).size(), 6);
+  EXPECT_THROW(ProcSet::ring_interval(0, 7, 6), std::invalid_argument);
+  EXPECT_THROW(ProcSet::ring_interval(6, 2, 6), std::invalid_argument);
+}
+
+TEST(ProcSet, Contains) {
+  const ProcSet s({1, 3, 5});
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(ProcSet, SubsetAndIntersection) {
+  const ProcSet a({1, 2});
+  const ProcSet b({1, 2, 3});
+  const ProcSet c({4, 5});
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(ProcSet().is_subset_of(a));  // empty set is subset of anything
+}
+
+TEST(ProcSet, Within) {
+  EXPECT_TRUE(ProcSet({0, 4}).within(5));
+  EXPECT_FALSE(ProcSet({0, 5}).within(5));
+  EXPECT_TRUE(ProcSet().within(1));
+}
+
+TEST(ProcSet, Contiguity) {
+  EXPECT_TRUE(ProcSet({2, 3, 4}).is_contiguous());
+  EXPECT_FALSE(ProcSet({2, 4}).is_contiguous());
+  EXPECT_TRUE(ProcSet().is_contiguous());
+}
+
+TEST(ProcSet, IntervalDefinitionIncludesWrappedForm) {
+  // {0, 1, 5} on m=6 is the wrapped interval {j <= 1 or j >= 5}.
+  EXPECT_TRUE(ProcSet({0, 1, 5}).is_interval(6));
+  EXPECT_TRUE(ProcSet({2, 3}).is_interval(6));
+  // {0, 2, 4}: neither itself nor its complement {1, 3, 5} is contiguous.
+  EXPECT_FALSE(ProcSet({0, 2, 4}).is_interval(6));
+  // Full set is trivially an interval.
+  EXPECT_TRUE(ProcSet::all(6).is_interval(6));
+  EXPECT_THROW(ProcSet({7}).is_interval(6), std::invalid_argument);
+}
+
+TEST(ProcSet, RingIntervalsAreIntervalsInPaperSense) {
+  for (int start = 0; start < 6; ++start) {
+    for (int k = 1; k <= 6; ++k) {
+      EXPECT_TRUE(ProcSet::ring_interval(start, k, 6).is_interval(6))
+          << "start=" << start << " k=" << k;
+    }
+  }
+}
+
+TEST(ProcSet, MinMaxAndEmptyThrows) {
+  const ProcSet s({2, 7});
+  EXPECT_EQ(s.min(), 2);
+  EXPECT_EQ(s.max(), 7);
+  EXPECT_THROW(ProcSet().min(), std::logic_error);
+  EXPECT_THROW(ProcSet().max(), std::logic_error);
+}
+
+TEST(ProcSet, StringUsesOneBasedNames) {
+  EXPECT_EQ(ProcSet({1, 2}).str(), "{M2,M3}");
+}
+
+}  // namespace
+}  // namespace flowsched

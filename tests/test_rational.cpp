@@ -1,0 +1,83 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flowsched {
+namespace {
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  const Rational r(0, 7);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 3);
+  const Rational b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(5, 10), Rational(1, 2));
+}
+
+TEST(Rational, AbsAndNegation) {
+  EXPECT_EQ(abs(Rational(-3, 4)), Rational(3, 4));
+  EXPECT_EQ(-Rational(3, 4), Rational(-3, 4));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-7, 2).to_double(), -3.5);
+}
+
+TEST(Rational, StreamOutput) {
+  std::ostringstream out;
+  out << Rational(3, 4) << ' ' << Rational(5);
+  EXPECT_EQ(out.str(), "3/4 5");
+}
+
+TEST(Rational, LargeIntermediatesReduce) {
+  // (2^40 / 3) * (3 / 2^40) = 1: the 128-bit intermediate products must not
+  // overflow before reduction.
+  const Rational big(1LL << 40, 3);
+  const Rational inv(3, 1LL << 40);
+  EXPECT_EQ(big * inv, Rational(1));
+}
+
+TEST(Rational, OverflowAfterReductionThrows) {
+  const Rational big((1LL << 62), 1);
+  EXPECT_THROW(big * Rational(4), std::overflow_error);
+}
+
+TEST(Rational, SummingSeriesExactly) {
+  // 1/1 + 1/2 + ... + 1/10 = 7381/2520.
+  Rational sum(0);
+  for (int i = 1; i <= 10; ++i) sum += Rational(1, i);
+  EXPECT_EQ(sum, Rational(7381, 2520));
+}
+
+}  // namespace
+}  // namespace flowsched

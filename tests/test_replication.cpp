@@ -1,0 +1,140 @@
+#include "workload/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/structure.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(Replication, NoneIsSingleton) {
+  EXPECT_EQ(replica_set(ReplicationStrategy::kNone, 3, 1, 6),
+            ProcSet::single(3));
+}
+
+TEST(Replication, OverlappingMatchesFigure9) {
+  // Figure 9: m=6, k=3. A task on M3 (0-based owner 2) gets {M3,M4,M5}.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kOverlapping, 2, 3, 6),
+            ProcSet({2, 3, 4}));
+  // Owner M5 (0-based 4): {M5, M6, M1} wraps the ring.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kOverlapping, 4, 3, 6),
+            ProcSet({4, 5, 0}));
+  // Owner M6 (0-based 5): {M6, M1, M2}.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kOverlapping, 5, 3, 6),
+            ProcSet({5, 0, 1}));
+}
+
+TEST(Replication, DisjointMatchesFigure9) {
+  // Figure 9: m=6, k=3, blocks {M1..M3} and {M4..M6}. A task on M3
+  // (0-based 2) gets {M1,M2,M3}.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kDisjoint, 2, 3, 6),
+            ProcSet({0, 1, 2}));
+  EXPECT_EQ(replica_set(ReplicationStrategy::kDisjoint, 3, 3, 6),
+            ProcSet({3, 4, 5}));
+}
+
+TEST(Replication, DisjointShortLastBlock) {
+  // m=7, k=3: blocks {0,1,2}, {3,4,5}, {6}.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kDisjoint, 6, 3, 7), ProcSet({6}));
+  EXPECT_EQ(replica_set(ReplicationStrategy::kDisjoint, 5, 3, 7),
+            ProcSet({3, 4, 5}));
+}
+
+TEST(Replication, EveryOwnerIsInItsReplicaSet) {
+  for (auto strategy : {ReplicationStrategy::kOverlapping,
+                        ReplicationStrategy::kDisjoint,
+                        ReplicationStrategy::kNone}) {
+    const int k = strategy == ReplicationStrategy::kNone ? 1 : 3;
+    for (int u = 0; u < 10; ++u) {
+      EXPECT_TRUE(replica_set(strategy, u, k, 10).contains(u))
+          << to_string(strategy) << " owner " << u;
+    }
+  }
+}
+
+TEST(Replication, SizesAreK) {
+  for (int u = 0; u < 15; ++u) {
+    EXPECT_EQ(replica_set(ReplicationStrategy::kOverlapping, u, 3, 15).size(), 3);
+  }
+  // Disjoint with k | m: every block full size.
+  for (int u = 0; u < 15; ++u) {
+    EXPECT_EQ(replica_set(ReplicationStrategy::kDisjoint, u, 3, 15).size(), 3);
+  }
+}
+
+TEST(Replication, OverlappingSetsAreDistinctPerOwner) {
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, 3, 15);
+  for (std::size_t a = 0; a < sets.size(); ++a) {
+    for (std::size_t b = a + 1; b < sets.size(); ++b) {
+      EXPECT_FALSE(sets[a] == sets[b]) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Replication, DisjointFamilyIsDisjoint) {
+  EXPECT_TRUE(is_disjoint_family(replica_sets(ReplicationStrategy::kDisjoint, 4, 15)));
+  EXPECT_TRUE(is_disjoint_family(replica_sets(ReplicationStrategy::kDisjoint, 3, 7)));
+}
+
+TEST(Replication, KEqualsMFullReplication) {
+  const auto over = replica_set(ReplicationStrategy::kOverlapping, 4, 6, 6);
+  const auto disj = replica_set(ReplicationStrategy::kDisjoint, 4, 6, 6);
+  EXPECT_EQ(over, ProcSet::all(6));
+  EXPECT_EQ(disj, ProcSet::all(6));
+}
+
+TEST(Replication, SpreadSpacesReplicasApart) {
+  // m=15, k=3: stride 5 would tile the ring into a disjoint partition, so
+  // the construction bumps it to 6 -> {u, u+6, u+12}.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kSpread, 0, 3, 15),
+            ProcSet({0, 6, 12}));
+  EXPECT_EQ(replica_set(ReplicationStrategy::kSpread, 12, 3, 15),
+            ProcSet({12, 3, 9}));
+  // m=16, k=3: stride 5 does not tile; kept as is.
+  EXPECT_EQ(replica_set(ReplicationStrategy::kSpread, 0, 3, 16),
+            ProcSet({0, 5, 10}));
+}
+
+TEST(Replication, SpreadIsNotAPartition) {
+  // The whole point of the stride bump: the family must overlap (m distinct
+  // sets), not collapse into disjoint groups.
+  const auto sets = replica_sets(ReplicationStrategy::kSpread, 3, 15);
+  EXPECT_FALSE(is_disjoint_family(sets));
+  for (std::size_t a = 0; a < sets.size(); ++a) {
+    for (std::size_t b = a + 1; b < sets.size(); ++b) {
+      EXPECT_FALSE(sets[a] == sets[b]) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Replication, SpreadAlwaysSizeK) {
+  for (int m : {6, 7, 15}) {
+    for (int k = 1; k <= m; ++k) {
+      for (int u = 0; u < m; ++u) {
+        const auto set = replica_set(ReplicationStrategy::kSpread, u, k, m);
+        EXPECT_EQ(set.size(), k) << "m=" << m << " k=" << k << " u=" << u;
+        EXPECT_TRUE(set.contains(u));
+        EXPECT_TRUE(set.within(m));
+      }
+    }
+  }
+}
+
+TEST(Replication, SpreadIsNotAnIntervalFamily) {
+  const auto sets = replica_sets(ReplicationStrategy::kSpread, 3, 15);
+  EXPECT_FALSE(is_interval_family(sets, 15));
+}
+
+TEST(Replication, RejectsBadArguments) {
+  EXPECT_THROW(replica_set(ReplicationStrategy::kOverlapping, -1, 3, 6),
+               std::invalid_argument);
+  EXPECT_THROW(replica_set(ReplicationStrategy::kOverlapping, 6, 3, 6),
+               std::invalid_argument);
+  EXPECT_THROW(replica_set(ReplicationStrategy::kOverlapping, 0, 0, 6),
+               std::invalid_argument);
+  EXPECT_THROW(replica_set(ReplicationStrategy::kOverlapping, 0, 7, 6),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowsched

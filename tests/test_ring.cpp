@@ -1,0 +1,107 @@
+#include "kvstore/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(HashRing, DeterministicForSeed) {
+  const HashRing a(8, 16, 42);
+  const HashRing b(8, 16, 42);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(a.primary_of_key(key), b.primary_of_key(key));
+    EXPECT_EQ(a.replicas_of_key(key, 3), b.replicas_of_key(key, 3));
+  }
+}
+
+TEST(HashRing, PrimaryIsFirstReplica) {
+  const HashRing ring(10, 8, 7);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const auto replicas = ring.replicas_of_key(key, 3);
+    EXPECT_TRUE(replicas.contains(ring.primary_of_key(key))) << "key " << key;
+  }
+}
+
+TEST(HashRing, ReplicasAreDistinctMachines) {
+  const HashRing ring(6, 4, 3);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(ring.replicas_of_key(key, 3).size(), 3);
+  }
+}
+
+TEST(HashRing, FullReplicationCoversCluster) {
+  const HashRing ring(5, 4, 9);
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    EXPECT_EQ(ring.replicas_of_key(key, 5), ProcSet::all(5));
+  }
+}
+
+TEST(HashRing, OwnershipSumsToOne) {
+  for (int vnodes : {1, 4, 64}) {
+    const HashRing ring(9, vnodes, 5);
+    const auto own = ring.ownership();
+    EXPECT_NEAR(std::accumulate(own.begin(), own.end(), 0.0), 1.0, 1e-9)
+        << "vnodes " << vnodes;
+    for (double o : own) EXPECT_GE(o, 0.0);
+  }
+}
+
+TEST(HashRing, OwnershipMatchesEmpiricalKeyPlacement) {
+  const HashRing ring(6, 32, 11);
+  const auto own = ring.ownership();
+  std::vector<int> counts(6, 0);
+  const int keys = 200000;
+  for (std::uint64_t key = 0; key < static_cast<std::uint64_t>(keys); ++key) {
+    ++counts[static_cast<std::size_t>(ring.primary_of_key(key))];
+  }
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(j)] / static_cast<double>(keys),
+                own[static_cast<std::size_t>(j)], 0.01)
+        << "machine " << j;
+  }
+}
+
+TEST(HashRing, MoreVnodesReduceImbalance) {
+  // The classic consistent-hashing result: ownership stddev shrinks with
+  // the number of virtual nodes. Compare a single-token ring to a
+  // 128-token ring across several seeds.
+  double coarse = 0;
+  double fine = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    coarse += stddev(HashRing(12, 1, seed).ownership());
+    fine += stddev(HashRing(12, 128, seed).ownership());
+  }
+  EXPECT_LT(fine, coarse / 2);
+}
+
+TEST(HashRing, HashIsStable) {
+  // Regression pin: placement must never change across releases, or stored
+  // data would be "lost" by rehashing.
+  EXPECT_EQ(HashRing::hash_key(0), HashRing::hash_key(0));
+  EXPECT_NE(HashRing::hash_key(1), HashRing::hash_key(2));
+}
+
+TEST(HashRing, RejectsBadArguments) {
+  EXPECT_THROW(HashRing(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(HashRing(4, 0, 1), std::invalid_argument);
+  const HashRing ring(4, 4, 1);
+  EXPECT_THROW(ring.replicas_at(0, 0), std::invalid_argument);
+  EXPECT_THROW(ring.replicas_at(0, 5), std::invalid_argument);
+}
+
+TEST(HashRing, WrapAroundAtRingEnd) {
+  // Points beyond the last token wrap to the first token's machine.
+  const HashRing ring(3, 2, 13);
+  const int wrap_owner = ring.primary_at(~0ULL);
+  EXPECT_GE(wrap_owner, 0);
+  EXPECT_LT(wrap_owner, 3);
+  // And the preference list from there is still k distinct machines.
+  EXPECT_EQ(ring.replicas_at(~0ULL, 3).size(), 3);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -1,0 +1,151 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(Simplex, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+  LpProblemD lp;
+  const int x = lp.add_var(3.0);
+  const int y = lp.add_var(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::kLe, 6.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj 8/3.
+  LpProblemD lp;
+  const int x = lp.add_var(1.0);
+  const int y = lp.add_var(1.0);
+  lp.add_constraint({{x, 2.0}, {y, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLe, 4.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 4.0 / 3.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x s.t. x + y = 3, x <= 2 -> x=2, y=1.
+  LpProblemD lp;
+  const int x = lp.add_var(1.0);
+  const int y = lp.add_var(0.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 3.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 2.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min x + y s.t. x + y >= 2 (as max of negative) -> obj -2.
+  LpProblemD lp;
+  const int x = lp.add_var(-1.0);
+  const int y = lp.add_var(-1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 2.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblemD lp;
+  const int x = lp.add_var(1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblemD lp;
+  const int x = lp.add_var(1.0);
+  const int y = lp.add_var(0.0);
+  lp.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLe, 1.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsHandledByRowFlip) {
+  // x - y <= -1 with max -x - y ... feasible needs y >= x + 1.
+  LpProblemD lp;
+  const int x = lp.add_var(0.0);
+  const int y = lp.add_var(-1.0);  // minimize y
+  lp.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLe, -1.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);  // y = 1 at x = 0
+}
+
+TEST(Simplex, DegenerateProgramTerminates) {
+  // Multiple identical constraints create degeneracy; Bland's rule must
+  // still terminate at the optimum.
+  LpProblemD lp;
+  const int x = lp.add_var(1.0);
+  const int y = lp.add_var(1.0);
+  for (int i = 0; i < 4; ++i) {
+    lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 1.0);
+  }
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, RepeatedTermsAccumulate) {
+  // x + x <= 2 means 2x <= 2.
+  LpProblemD lp;
+  const int x = lp.add_var(1.0);
+  lp.add_constraint({{x, 1.0}, {x, 1.0}}, Relation::kLe, 2.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+}
+
+TEST(SimplexExact, RationalSolverAgreesWithDouble) {
+  // Same program in exact arithmetic: max 3x + 2y, x + y <= 4, x + 3y <= 6.
+  LpProblemQ lp;
+  const int x = lp.add_var(Rational(3));
+  const int y = lp.add_var(Rational(2));
+  lp.add_constraint({{x, Rational(1)}, {y, Rational(1)}}, Relation::kLe,
+                    Rational(4));
+  lp.add_constraint({{x, Rational(1)}, {y, Rational(3)}}, Relation::kLe,
+                    Rational(6));
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(12));
+  EXPECT_EQ(sol.x[0], Rational(4));
+}
+
+TEST(SimplexExact, ExactFractionalOptimum) {
+  // max x + y, 2x + y <= 4, x + 2y <= 4 -> exactly 8/3.
+  LpProblemQ lp;
+  const int x = lp.add_var(Rational(1));
+  const int y = lp.add_var(Rational(1));
+  lp.add_constraint({{x, Rational(2)}, {y, Rational(1)}}, Relation::kLe,
+                    Rational(4));
+  lp.add_constraint({{x, Rational(1)}, {y, Rational(2)}}, Relation::kLe,
+                    Rational(4));
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(8, 3));
+  EXPECT_EQ(sol.x[0], Rational(4, 3));
+}
+
+TEST(SimplexExact, InfeasibleDetectedExactly) {
+  LpProblemQ lp;
+  const int x = lp.add_var(Rational(1));
+  lp.add_constraint({{x, Rational(1)}}, Relation::kEq, Rational(1));
+  lp.add_constraint({{x, Rational(1)}}, Relation::kEq, Rational(2));
+  EXPECT_EQ(lp.solve().status, LpStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace flowsched

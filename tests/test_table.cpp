@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowsched {
+namespace {
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(r.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(r.find("| b     | 22.5  |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(HeatGrid, StoresAndRendersValues) {
+  HeatGrid g({"r1", "r2"}, {"c1", "c2", "c3"});
+  g.set(0, 0, 1.0);
+  g.set(1, 2, 9.5);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 2), 9.5);
+  const std::string r = g.render("s\\k", 1);
+  EXPECT_NE(r.find("1.0"), std::string::npos);
+  EXPECT_NE(r.find("9.5"), std::string::npos);
+  EXPECT_NE(r.find("-"), std::string::npos);  // unset cells
+}
+
+TEST(HeatGrid, OutOfRangeThrows) {
+  HeatGrid g({"r"}, {"c"});
+  EXPECT_THROW(g.set(1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(g.at(0, 1), std::out_of_range);
+}
+
+TEST(HeatGrid, ShadesScaleWithValue) {
+  HeatGrid g({"row"}, {"a", "b"});
+  g.set(0, 0, 0.0);
+  g.set(0, 1, 1.0);
+  const std::string r = g.render_shades(0.0, 1.0);
+  EXPECT_EQ(r[0], ' ');  // low end of palette
+  EXPECT_EQ(r[1], '@');  // high end of palette
+}
+
+}  // namespace
+}  // namespace flowsched

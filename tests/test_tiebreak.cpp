@@ -1,0 +1,69 @@
+#include "sched/tiebreak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+TEST(TieBreak, MinPicksSmallest) {
+  TieBreak tb(TieBreakKind::kMin);
+  const std::vector<int> c{2, 5, 7};
+  EXPECT_EQ(tb.choose(c), 2);
+}
+
+TEST(TieBreak, MaxPicksLargest) {
+  TieBreak tb(TieBreakKind::kMax);
+  const std::vector<int> c{2, 5, 7};
+  EXPECT_EQ(tb.choose(c), 7);
+}
+
+TEST(TieBreak, RandCoversAllCandidatesWithPositiveProbability) {
+  // The Theorem 9 condition: Rand never systematically discards a
+  // candidate.
+  TieBreak tb(TieBreakKind::kRand, 123);
+  const std::vector<int> c{1, 4, 9};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(tb.choose(c));
+  EXPECT_EQ(seen, (std::set<int>{1, 4, 9}));
+}
+
+TEST(TieBreak, RandOnlyReturnsCandidates) {
+  TieBreak tb(TieBreakKind::kRand, 7);
+  const std::vector<int> c{3, 8};
+  for (int i = 0; i < 100; ++i) {
+    const int chosen = tb.choose(c);
+    EXPECT_TRUE(chosen == 3 || chosen == 8);
+  }
+}
+
+TEST(TieBreak, RandIsDeterministicPerSeed) {
+  TieBreak a(TieBreakKind::kRand, 99);
+  TieBreak b(TieBreakKind::kRand, 99);
+  const std::vector<int> c{0, 1, 2, 3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.choose(c), b.choose(c));
+}
+
+TEST(TieBreak, SingletonAlwaysChosen) {
+  for (auto kind : {TieBreakKind::kMin, TieBreakKind::kMax, TieBreakKind::kRand}) {
+    TieBreak tb(kind, 1);
+    const std::vector<int> c{6};
+    EXPECT_EQ(tb.choose(c), 6);
+  }
+}
+
+TEST(TieBreak, EmptyCandidatesThrow) {
+  TieBreak tb(TieBreakKind::kMin);
+  EXPECT_THROW(tb.choose(std::vector<int>{}), std::invalid_argument);
+}
+
+TEST(TieBreak, ToString) {
+  EXPECT_EQ(to_string(TieBreakKind::kMin), "Min");
+  EXPECT_EQ(to_string(TieBreakKind::kMax), "Max");
+  EXPECT_EQ(to_string(TieBreakKind::kRand), "Rand");
+}
+
+}  // namespace
+}  // namespace flowsched

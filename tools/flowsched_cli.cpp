@@ -1,0 +1,180 @@
+// flowsched_cli — run the library's schedulers on instance files.
+//
+// Usage:
+//   flowsched_cli run  --algo <name> [--input FILE] [--csv] [--gantt]
+//                      [--seed N]
+//   flowsched_cli opt  [--input FILE] [--preemptive]
+//   flowsched_cli gen  [--m N] [--n N] [--lambda X] [--k N] [--s X]
+//                      [--strategy overlapping|disjoint|spread|none]
+//                      [--seed N]
+//   flowsched_cli bounds [--input FILE]
+//
+// `run` schedules the instance (from --input or stdin) and prints flow-time
+// metrics; `opt` computes the exact offline optimum (unit tasks via
+// matching, or the preemptive optimum for arbitrary tasks); `gen` emits a
+// key-value-store workload in the instance format; `bounds` prints the
+// certified lower bounds. Instance format: see src/io/instance_io.hpp.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "io/instance_io.hpp"
+#include "util/args.hpp"
+#include "offline/lower_bounds.hpp"
+#include "offline/preemptive_optimal.hpp"
+#include "offline/unit_optimal.hpp"
+#include "sched/engine.hpp"
+#include "sched/composition.hpp"
+#include "sched/fifo.hpp"
+#include "workload/generator.hpp"
+
+using namespace flowsched;
+
+namespace {
+
+Instance read_input(const ArgParser& args) {
+  const std::string path = args.get("input", "");
+  if (path.empty()) return parse_instance(std::cin);
+  return load_instance(path);
+}
+
+int cmd_run(const ArgParser& args) {
+  const auto inst = read_input(args);
+  const std::string algo = args.get("algo", "eft-min");
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 0));
+
+  Schedule sched(inst);
+  if (algo == "fifo") {
+    sched = fifo_schedule(inst);
+  } else if (algo == "fifo-eligible") {
+    sched = fifo_eligible_schedule(inst);
+  } else if (algo == "fifo-disjoint") {
+    // Theorem 6: independent FIFO per disjoint group (Corollary 1).
+    sched = composed_fifo_schedule(inst);
+  } else {
+    std::unique_ptr<Dispatcher> dispatcher;
+    if (algo == "eft-min") {
+      dispatcher = make_eft_min();
+    } else if (algo == "eft-max") {
+      dispatcher = make_eft_max();
+    } else if (algo == "eft-rand") {
+      dispatcher = make_eft_rand(seed);
+    } else if (algo == "random") {
+      dispatcher = std::make_unique<RandomEligibleDispatcher>(seed);
+    } else if (algo == "jsq") {
+      dispatcher = std::make_unique<JsqDispatcher>(TieBreakKind::kMin);
+    } else if (algo == "rr") {
+      dispatcher = std::make_unique<RoundRobinDispatcher>();
+    } else if (algo == "po2") {
+      dispatcher = std::make_unique<PowerOfDChoicesDispatcher>(2, seed);
+    } else {
+      std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+      return 2;
+    }
+    sched = run_dispatcher(inst, *dispatcher);
+  }
+
+  const auto validation = sched.validate();
+  if (!validation.ok()) {
+    std::fprintf(stderr, "INVALID SCHEDULE:\n%s", validation.str().c_str());
+    return 3;
+  }
+  const bool want_csv = args.has("csv");
+  const bool want_gantt = args.has("gantt");
+  args.reject_unknown();
+  if (want_csv) {
+    write_schedule_csv(std::cout, sched);
+    return 0;
+  }
+  if (want_gantt) std::printf("%s\n", sched.gantt().c_str());
+  std::printf("algo=%s n=%d m=%d structure=%s\n", algo.c_str(), inst.n(),
+              inst.m(), inst.structure().most_specific().c_str());
+  std::printf("Fmax=%.6g mean_flow=%.6g max_stretch=%.6g makespan=%.6g\n",
+              sched.max_flow(), sched.mean_flow(), sched.max_stretch(),
+              sched.makespan());
+  return 0;
+}
+
+int cmd_opt(const ArgParser& args) {
+  const auto inst = read_input(args);
+  if (args.has("preemptive")) {
+    std::printf("preemptive OPT Fmax = %.6g\n", preemptive_optimal_fmax(inst));
+    return 0;
+  }
+  bool integer_releases = true;
+  for (const Task& t : inst.tasks()) {
+    integer_releases = integer_releases && t.release == std::floor(t.release);
+  }
+  if (inst.unit_tasks() && integer_releases) {
+    std::printf("OPT Fmax = %d (unit tasks, matching oracle)\n",
+                unit_optimal_fmax(inst));
+    return 0;
+  }
+  std::fprintf(stderr,
+               "exact non-preemptive OPT needs unit tasks with integer "
+               "releases (this instance: %s); use --preemptive for the exact "
+               "preemptive optimum, or 'bounds' for certified lower bounds\n",
+               !inst.unit_tasks() ? "non-unit processing times"
+                                  : "fractional release times");
+  return 2;
+}
+
+int cmd_gen(const ArgParser& args) {
+  KvWorkloadConfig config;
+  config.m = args.integer("m", 15);
+  config.n = args.integer("n", 1000);
+  config.k = args.integer("k", 3);
+  config.lambda = args.num("lambda", 0.5 * config.m);
+  const std::string strategy = args.get("strategy", "overlapping");
+  if (strategy == "overlapping") {
+    config.strategy = ReplicationStrategy::kOverlapping;
+  } else if (strategy == "disjoint") {
+    config.strategy = ReplicationStrategy::kDisjoint;
+  } else if (strategy == "spread") {
+    config.strategy = ReplicationStrategy::kSpread;
+  } else if (strategy == "none") {
+    config.strategy = ReplicationStrategy::kNone;
+    config.k = 1;
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
+  const auto pop = make_popularity(PopularityCase::kShuffled, config.m,
+                                   args.num("s", 1.0), rng);
+  const auto inst = generate_kv_instance(config, pop, rng);
+  write_instance(std::cout, inst);
+  return 0;
+}
+
+int cmd_bounds(const ArgParser& args) {
+  const auto inst = read_input(args);
+  std::printf("pmax bound:              %.6g\n", lb_pmax(inst));
+  std::printf("volume bound:            %.6g\n", lb_volume(inst));
+  std::printf("restricted volume bound: %.6g\n", lb_volume_restricted(inst));
+  std::printf("combined lower bound:    %.6g\n", opt_lower_bound(inst));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.command() == "run") return cmd_run(args);
+    if (args.command() == "opt") return cmd_opt(args);
+    if (args.command() == "gen") return cmd_gen(args);
+    if (args.command() == "bounds") return cmd_bounds(args);
+    std::fprintf(stderr, "unknown command '%s'\n", args.command().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
+  std::fprintf(stderr,
+               "usage: flowsched_cli run|opt|gen|bounds [--options]\n"
+               "see the header of tools/flowsched_cli.cpp\n");
+  return 2;
+}
