@@ -1,10 +1,17 @@
 // Ablation: effect of the replication factor k on the *simulated* Fmax
 // (Figure 10 answers this for the LP bound only). m = 15, Shuffled s = 1,
 // EFT-Min, fixed offered load; median over repetitions.
+//
+// All (load, k, strategy, rep) runs form one flat job list on the
+// experiment runner (--threads N); seeds derive from the (load, k,
+// strategy) cell, so output is byte-identical at any thread count.
 #include <cstdio>
+#include <span>
 #include <vector>
 
+#include "runner/experiment.hpp"
 #include "sched/engine.hpp"
+#include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
@@ -13,39 +20,73 @@ using namespace flowsched;
 
 namespace {
 
-double median_fmax(int k, ReplicationStrategy strategy, double load, int reps) {
-  std::vector<double> fmaxes;
-  for (int rep = 0; rep < reps; ++rep) {
-    Rng rng(9000 + rep);
-    const auto pop = make_popularity(PopularityCase::kShuffled, 15, 1.0, rng);
-    KvWorkloadConfig config;
-    config.m = 15;
-    config.n = 8000;
-    config.lambda = load * 15;
-    config.strategy = strategy;
-    config.k = k;
-    const auto inst = generate_kv_instance(config, pop, rng);
-    EftDispatcher eft(TieBreakKind::kMin);
-    fmaxes.push_back(run_dispatcher(inst, eft).max_flow());
-  }
-  return median(fmaxes);
+double one_fmax(std::uint64_t seed, int k, ReplicationStrategy strategy,
+                double load) {
+  Rng rng(seed);
+  const auto pop = make_popularity(PopularityCase::kShuffled, 15, 1.0, rng);
+  KvWorkloadConfig config;
+  config.m = 15;
+  config.n = 8000;
+  config.lambda = load * 15;
+  config.strategy = strategy;
+  config.k = k;
+  const auto inst = generate_kv_instance(config, pop, rng);
+  EftDispatcher eft(TieBreakKind::kMin);
+  return run_dispatcher(inst, eft).max_flow();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 7;
+  const ArgParser args(argc, argv);
+  const int reps = args.integer("reps", 7);
+  ExperimentRunner runner(args.integer("threads", 0));
+  args.reject_unknown();
+  const std::uint64_t exp = experiment_id("ablation_k");
+
+  const std::vector<double> loads{0.4, 0.6};
+  const std::vector<int> ks{1, 2, 3, 5, 8, 15};
+  const std::vector<ReplicationStrategy> strategies{
+      ReplicationStrategy::kOverlapping, ReplicationStrategy::kDisjoint,
+      ReplicationStrategy::kSpread};
+
+  // Flat fan-out: loads x ks x strategies x reps.
+  const int n_k = static_cast<int>(ks.size());
+  const int n_strat = static_cast<int>(strategies.size());
+  const auto fmaxes = runner.map<double>(
+      static_cast<int>(loads.size()) * n_k * n_strat * reps, [&](int job) {
+        const int rep = job % reps;
+        const auto strategy =
+            strategies[static_cast<std::size_t>((job / reps) % n_strat)];
+        const int k = ks[static_cast<std::size_t>((job / (reps * n_strat)) % n_k)];
+        const double load =
+            loads[static_cast<std::size_t>(job / (reps * n_strat * n_k))];
+        const std::uint64_t cell =
+            cell_id({static_cast<std::uint64_t>(load * 100),
+                     static_cast<std::uint64_t>(k),
+                     static_cast<std::uint64_t>(strategy)});
+        return one_fmax(replicate_seed(exp, cell, static_cast<std::uint64_t>(rep)),
+                        k, strategy, load);
+      });
+  auto cell_median = [&](std::size_t li, std::size_t ki, std::size_t sti) {
+    const std::size_t offset =
+        ((li * static_cast<std::size_t>(n_k) + ki) * static_cast<std::size_t>(n_strat) + sti) *
+        static_cast<std::size_t>(reps);
+    return median(std::span<const double>(fmaxes.data() + offset,
+                                          static_cast<std::size_t>(reps)));
+  };
+
+  std::fprintf(stderr, "[runner] %d threads\n", runner.threads());
   std::printf("== Ablation: replication factor k vs simulated Fmax "
               "(m=15, Shuffled s=1, EFT-Min) ==\n\n");
-  for (double load : {0.4, 0.6}) {
-    std::printf("--- offered load %.0f%% ---\n", load * 100);
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::printf("--- offered load %.0f%% ---\n", loads[li] * 100);
     TextTable table({"k", "Overlapping Fmax", "Disjoint Fmax", "Spread Fmax"});
-    for (int k : {1, 2, 3, 5, 8, 15}) {
-      table.add_row(
-          {std::to_string(k),
-           TextTable::num(median_fmax(k, ReplicationStrategy::kOverlapping, load, reps), 1),
-           TextTable::num(median_fmax(k, ReplicationStrategy::kDisjoint, load, reps), 1),
-           TextTable::num(median_fmax(k, ReplicationStrategy::kSpread, load, reps), 1)});
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      table.add_row({std::to_string(ks[ki]),
+                     TextTable::num(cell_median(li, ki, 0), 1),
+                     TextTable::num(cell_median(li, ki, 1), 1),
+                     TextTable::num(cell_median(li, ki, 2), 1)});
     }
     std::printf("%s\n", table.render().c_str());
   }

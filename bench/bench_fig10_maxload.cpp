@@ -10,11 +10,19 @@
 // spot cells below), keeping the 63,000-solve sweep honest with two
 // independent algorithms. Both are microsecond-fast at m = 15 (see
 // micro_lp for the exact numbers).
+//
+// The (s, k) cells are independent jobs on the experiment runner
+// (--threads N). Popularity permutation p of row s is regenerated inside
+// each cell from replicate_seed(experiment, s-index, p), so every k and
+// both strategies see the *same* 100 permutations (the paper's paired
+// protocol) and the output is byte-identical at any thread count.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "lp/maxload.hpp"
+#include "runner/experiment.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -25,7 +33,11 @@ using namespace flowsched;
 
 int main(int argc, char** argv) {
   const int m = 15;
-  const int permutations = argc > 1 ? std::atoi(argv[1]) : 100;
+  const ArgParser args(argc, argv);
+  const int permutations = args.integer("permutations", 100);
+  ExperimentRunner runner(args.integer("threads", 0));
+  args.reject_unknown();
+  const std::uint64_t exp = experiment_id("fig10_maxload");
 
   std::vector<double> s_values;
   for (int i = 0; i <= 20; ++i) s_values.push_back(0.25 * i);
@@ -41,34 +53,43 @@ int main(int argc, char** argv) {
   HeatGrid disj(row_labels, col_labels);
   HeatGrid ratio(row_labels, col_labels);
 
-  Rng rng(19123139);  // figshare id of the paper's artifact, as a nod
+  // One job per (s, k) cell: 21 x 15 = 315 jobs, each ~2 * permutations
+  // flow solves. Regenerating the permutations per cell is microseconds
+  // against that, and is what makes the cells order-independent.
+  struct Cell {
+    double over;
+    double disj;
+  };
+  const int n_k = static_cast<int>(k_values.size());
+  const auto cells = runner.map<Cell>(
+      static_cast<int>(s_values.size()) * n_k, [&](int job) {
+        const std::size_t si = static_cast<std::size_t>(job / n_k);
+        const int k = k_values[static_cast<std::size_t>(job % n_k)];
+        const auto over_sets =
+            replica_sets(ReplicationStrategy::kOverlapping, k, m);
+        const auto disj_sets = replica_sets(ReplicationStrategy::kDisjoint, k, m);
+        std::vector<double> over_loads;
+        std::vector<double> disj_loads;
+        for (int p = 0; p < permutations; ++p) {
+          Rng rng(replicate_seed(exp, si, static_cast<std::uint64_t>(p)));
+          const auto pop =
+              make_popularity(PopularityCase::kShuffled, m, s_values[si], rng);
+          over_loads.push_back(100.0 * max_load_flow(pop, over_sets, 1e-7) / m);
+          disj_loads.push_back(100.0 * max_load_flow(pop, disj_sets, 1e-7) / m);
+        }
+        return Cell{median(over_loads), median(disj_loads)};
+      });
+
   for (std::size_t si = 0; si < s_values.size(); ++si) {
-    const double s = s_values[si];
-    // One popularity sample set per s, shared across k and strategies so the
-    // comparison is paired (the paper's protocol: median of 100 shuffles).
-    std::vector<std::vector<double>> pops;
-    pops.reserve(static_cast<std::size_t>(permutations));
-    for (int p = 0; p < permutations; ++p) {
-      pops.push_back(make_popularity(PopularityCase::kShuffled, m, s, rng));
-    }
     for (std::size_t ki = 0; ki < k_values.size(); ++ki) {
-      const int k = k_values[ki];
-      const auto over_sets = replica_sets(ReplicationStrategy::kOverlapping, k, m);
-      const auto disj_sets = replica_sets(ReplicationStrategy::kDisjoint, k, m);
-      std::vector<double> over_loads;
-      std::vector<double> disj_loads;
-      for (const auto& pop : pops) {
-        over_loads.push_back(100.0 * max_load_flow(pop, over_sets, 1e-7) / m);
-        disj_loads.push_back(100.0 * max_load_flow(pop, disj_sets, 1e-7) / m);
-      }
-      const double mo = median(over_loads);
-      const double md = median(disj_loads);
-      over.set(si, ki, mo);
-      disj.set(si, ki, md);
-      ratio.set(si, ki, mo / md);
+      const Cell& cell = cells[si * static_cast<std::size_t>(n_k) + ki];
+      over.set(si, ki, cell.over);
+      disj.set(si, ki, cell.disj);
+      ratio.set(si, ki, cell.over / cell.disj);
     }
   }
 
+  std::fprintf(stderr, "[runner] %d threads\n", runner.threads());
   std::printf("== Figure 10a: median max-load (%%), m=%d, %d permutations ==\n\n",
               m, permutations);
   std::printf("--- Overlapping ---\n%s\n", over.render("s\\k", 1).c_str());

@@ -5,11 +5,18 @@
 // Protocol per the paper: m = 15, k = 3, 10,000 unit tasks per run released
 // by a Poisson process, 10 repetitions, median Fmax. The theoretical
 // maximum load from LP (15) is printed per facet (the red vertical lines).
+//
+// The replicates of one facet are fanned out across the experiment runner
+// (--threads N, default hardware concurrency); every run derives its RNG
+// stream from replicate_seed(experiment, cell, rep), so the output is
+// byte-identical at any thread count.
 #include <cstdio>
 #include <vector>
 
 #include "lp/maxload.hpp"
+#include "runner/experiment.hpp"
 #include "sched/engine.hpp"
+#include "util/args.hpp"
 #include "util/plot.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -22,48 +29,45 @@ namespace {
 constexpr int kM = 15;
 constexpr int kK = 3;
 
-double median_fmax(PopularityCase pop_case, double s, double load_fraction,
-                   ReplicationStrategy strategy, TieBreakKind tie, int reps,
-                   int requests) {
-  std::vector<double> fmaxes;
-  for (int rep = 0; rep < reps; ++rep) {
-    // The seed deliberately ignores the tie-break so EFT-Min and EFT-Max
-    // face the exact same workload in each repetition (paired comparison).
-    Rng rng(10'000ULL * static_cast<std::uint64_t>(pop_case) +
-            1'000ULL * static_cast<std::uint64_t>(strategy) +
-            static_cast<std::uint64_t>(load_fraction * 1000) + rep);
-    const auto pop = make_popularity(pop_case, kM, s, rng);
-    KvWorkloadConfig config;
-    config.m = kM;
-    config.n = requests;
-    config.lambda = load_fraction * kM;
-    config.strategy = strategy;
-    config.k = kK;
-    const auto inst = generate_kv_instance(config, pop, rng);
-    EftDispatcher eft(tie, rep);
-    const auto sched = run_dispatcher(inst, eft);
-    fmaxes.push_back(sched.max_flow());
-  }
-  return median(fmaxes);
+double one_fmax(std::uint64_t seed, PopularityCase pop_case, double s,
+                double load_fraction, ReplicationStrategy strategy,
+                TieBreakKind tie, int requests) {
+  Rng rng(seed);
+  const auto pop = make_popularity(pop_case, kM, s, rng);
+  KvWorkloadConfig config;
+  config.m = kM;
+  config.n = requests;
+  config.lambda = load_fraction * kM;
+  config.strategy = strategy;
+  config.k = kK;
+  const auto inst = generate_kv_instance(config, pop, rng);
+  EftDispatcher eft(tie, seed);
+  const auto sched = run_dispatcher(inst, eft);
+  return sched.max_flow();
 }
 
-double lp_load_percent(PopularityCase pop_case, double s,
+double lp_load_percent(ExperimentRunner& runner, std::uint64_t exp,
+                       PopularityCase pop_case, double s,
                        ReplicationStrategy strategy, int reps) {
-  std::vector<double> loads;
-  for (int rep = 0; rep < reps; ++rep) {
-    Rng rng(4242 + rep);
-    const auto pop = make_popularity(pop_case, kM, s, rng);
-    loads.push_back(
-        100.0 * max_load_flow(pop, replica_sets(strategy, kK, kM)) / kM);
-  }
-  return median(loads);
+  return runner.median_replicates(
+      exp, cell_id({1, static_cast<std::uint64_t>(pop_case),
+                    static_cast<std::uint64_t>(strategy)}),
+      reps, [&](std::uint64_t seed, int /*rep*/) {
+        Rng rng(seed);
+        const auto pop = make_popularity(pop_case, kM, s, rng);
+        return 100.0 * max_load_flow(pop, replica_sets(strategy, kK, kM)) / kM;
+      });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 10;
-  const int requests = argc > 2 ? std::atoi(argv[2]) : 10000;
+  const ArgParser args(argc, argv);
+  const int reps = args.integer("reps", 10);
+  const int requests = args.integer("requests", 10000);
+  ExperimentRunner runner(args.integer("threads", 0));
+  args.reject_unknown();
+  const std::uint64_t exp = experiment_id("fig11_simulation");
 
   struct Facet {
     PopularityCase pop_case;
@@ -76,41 +80,65 @@ int main(int argc, char** argv) {
       {PopularityCase::kWorstCase, 1.0, {10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}},
   };
 
+  // Thread count goes to stderr: stdout must be byte-identical at any
+  // --threads value (enforced by the bench_determinism ctest).
+  std::fprintf(stderr, "[runner] %d threads\n", runner.threads());
   std::printf("== Figure 11: Fmax vs average load (m=%d, k=%d, %d tasks, "
               "median of %d runs) ==\n\n", kM, kK, requests, reps);
+
+  struct SeriesSpec {
+    const char* name;
+    ReplicationStrategy strategy;
+    TieBreakKind tie;
+  };
+  const std::vector<SeriesSpec> specs{
+      {"EFT-Min/Over", ReplicationStrategy::kOverlapping, TieBreakKind::kMin},
+      {"EFT-Max/Over", ReplicationStrategy::kOverlapping, TieBreakKind::kMax},
+      {"EFT-Min/Disj", ReplicationStrategy::kDisjoint, TieBreakKind::kMin},
+      {"EFT-Max/Disj", ReplicationStrategy::kDisjoint, TieBreakKind::kMax}};
 
   for (const auto& facet : facets) {
     std::printf("--- %s case (s=%.1f) ---\n", to_string(facet.pop_case).c_str(),
                 facet.s);
-    const double lp_over = lp_load_percent(
-        facet.pop_case, facet.s, ReplicationStrategy::kOverlapping, reps);
-    const double lp_disj = lp_load_percent(
-        facet.pop_case, facet.s, ReplicationStrategy::kDisjoint, reps);
+    const double lp_over =
+        lp_load_percent(runner, exp, facet.pop_case, facet.s,
+                        ReplicationStrategy::kOverlapping, reps);
+    const double lp_disj =
+        lp_load_percent(runner, exp, facet.pop_case, facet.s,
+                        ReplicationStrategy::kDisjoint, reps);
     std::printf("LP max load: overlapping %.0f%%, disjoint %.0f%%\n", lp_over,
                 lp_disj);
 
-    struct SeriesSpec {
-      const char* name;
-      ReplicationStrategy strategy;
-      TieBreakKind tie;
-    };
-    const std::vector<SeriesSpec> specs{
-        {"EFT-Min/Over", ReplicationStrategy::kOverlapping, TieBreakKind::kMin},
-        {"EFT-Max/Over", ReplicationStrategy::kOverlapping, TieBreakKind::kMax},
-        {"EFT-Min/Disj", ReplicationStrategy::kDisjoint, TieBreakKind::kMin},
-        {"EFT-Max/Disj", ReplicationStrategy::kDisjoint, TieBreakKind::kMax}};
+    // One flat job list for the whole facet: loads x specs x reps. The seed
+    // cell deliberately ignores the tie-break so EFT-Min and EFT-Max face
+    // the exact same workload in each repetition (paired comparison).
+    const int n_loads = static_cast<int>(facet.loads.size());
+    const int n_specs = static_cast<int>(specs.size());
+    const auto fmaxes = runner.map<double>(
+        n_loads * n_specs * reps, [&](int job) {
+          const int rep = job % reps;
+          const auto& spec = specs[static_cast<std::size_t>((job / reps) % n_specs)];
+          const int load = facet.loads[static_cast<std::size_t>(job / (reps * n_specs))];
+          const std::uint64_t cell =
+              cell_id({static_cast<std::uint64_t>(facet.pop_case),
+                       static_cast<std::uint64_t>(spec.strategy),
+                       static_cast<std::uint64_t>(load)});
+          return one_fmax(replicate_seed(exp, cell, static_cast<std::uint64_t>(rep)),
+                          facet.pop_case, facet.s, load / 100.0, spec.strategy,
+                          spec.tie, requests);
+        });
 
     TextTable table({"load %", specs[0].name, specs[1].name, specs[2].name,
                      specs[3].name});
     std::vector<std::vector<std::pair<double, double>>> series(specs.size());
-    for (int load : facet.loads) {
-      const double frac = load / 100.0;
+    for (int li = 0; li < n_loads; ++li) {
+      const int load = facet.loads[static_cast<std::size_t>(li)];
       std::vector<std::string> row{std::to_string(load)};
-      for (std::size_t si = 0; si < specs.size(); ++si) {
-        const double fmax = median_fmax(facet.pop_case, facet.s, frac,
-                                        specs[si].strategy, specs[si].tie,
-                                        reps, requests);
-        series[si].emplace_back(load, fmax);
+      for (int si = 0; si < n_specs; ++si) {
+        const double fmax = median(std::span<const double>(
+            fmaxes.data() + (li * n_specs + si) * reps,
+            static_cast<std::size_t>(reps)));
+        series[static_cast<std::size_t>(si)].emplace_back(load, fmax);
         row.push_back(TextTable::num(fmax, 1));
       }
       table.add_row(std::move(row));

@@ -1,6 +1,17 @@
 // Google-benchmark micro benches: scheduling throughput of the dispatchers
-// and the FIFO event loop.
+// and the FIFO event loop, plus a large-m scaling series (m up to 4096,
+// fixed-size ring-interval sets) that isolates the engine hot path — the
+// per-release queue-depth bookkeeping and the per-dispatch candidate scan.
+//
+// Custom main: `micro_sched --json out.json` writes the google-benchmark
+// JSON report alongside the usual ASCII console table (it is shorthand for
+// --benchmark_out=out.json --benchmark_out_format=json), so perf
+// trajectories can be tracked machine-readably.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
@@ -21,6 +32,26 @@ Instance make_kv(int m, int n, RandomSets sets) {
   return random_instance(opts, rng);
 }
 
+// Unit tasks on fixed-size ring intervals (|Mi| = k), offered load spread
+// evenly. Dispatch work is O(k) per task, so with k fixed the series
+// exposes the engine's per-release costs as m grows: before the lazy
+// cursor scheme, every release paid an O(m) finished-cursor sweep that
+// dwarfed the O(k) dispatch at m = 4096.
+Instance make_restricted(int m, int n, int k) {
+  Rng rng(42);
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  double release = 0;
+  for (int i = 0; i < n; ++i) {
+    release += rng.exponential(static_cast<double>(m));  // ~full load
+    tasks.push_back({.release = release,
+                     .proc = 1.0,
+                     .eligible = ProcSet::ring_interval(
+                         static_cast<int>(rng.uniform_int(0, m - 1)), k, m)});
+  }
+  return Instance(m, std::move(tasks));
+}
+
 void BM_EftDispatch(benchmark::State& state) {
   const auto inst = make_kv(static_cast<int>(state.range(0)), 10000,
                             RandomSets::kRingIntervals);
@@ -31,6 +62,33 @@ void BM_EftDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * inst.n());
 }
 BENCHMARK(BM_EftDispatch)->Arg(4)->Arg(15)->Arg(64);
+
+// The large-m scaling series (restricted sets, k = 8). ns/task should stay
+// roughly flat in m now that a release does no per-machine work outside the
+// eligible set; the pre-optimization engine degraded linearly in m here.
+void BM_EftDispatchLargeM(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto inst = make_restricted(m, 10000, 8);
+  EftDispatcher eft(TieBreakKind::kMin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dispatcher(inst, eft));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_EftDispatchLargeM)->Arg(16)->Arg(256)->Arg(4096);
+
+// Same series for JSQ, the one dispatcher that *does* read queue depths:
+// it now pays O(k) per release for them instead of O(m).
+void BM_JsqDispatchLargeM(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto inst = make_restricted(m, 10000, 8);
+  JsqDispatcher jsq(TieBreakKind::kMin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dispatcher(inst, jsq));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_JsqDispatchLargeM)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_FifoEventLoop(benchmark::State& state) {
   const auto inst = make_kv(static_cast<int>(state.range(0)), 10000,
@@ -51,6 +109,18 @@ void BM_JsqDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * inst.n());
 }
 BENCHMARK(BM_JsqDispatch);
+
+void BM_RoundRobinDispatch(benchmark::State& state) {
+  // Hits the per-set cursor map on every dispatch; the cached ProcSet hash
+  // keeps this O(1) instead of re-walking the machine vector.
+  const auto inst = make_restricted(64, 10000, 8);
+  RoundRobinDispatcher rr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dispatcher(inst, rr));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_RoundRobinDispatch);
 
 void BM_KvInstanceGeneration(benchmark::State& state) {
   const auto pop = zipf_weights(15, 1.0);
@@ -78,3 +148,29 @@ BENCHMARK(BM_ScheduleValidation);
 
 }  // namespace
 }  // namespace flowsched
+
+int main(int argc, char** argv) {
+  // Translate `--json <path>` into google-benchmark's out/out_format pair
+  // before Initialize() consumes the argument list.
+  std::vector<std::string> arg_storage;
+  arg_storage.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      arg_storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      arg_storage.push_back("--benchmark_out_format=json");
+    } else {
+      arg_storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> arg_ptrs;
+  arg_ptrs.reserve(arg_storage.size());
+  for (auto& arg : arg_storage) arg_ptrs.push_back(arg.data());
+  int patched_argc = static_cast<int>(arg_ptrs.size());
+  benchmark::Initialize(&patched_argc, arg_ptrs.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, arg_ptrs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,22 @@
 #include <stdexcept>
 
 namespace flowsched {
+namespace {
+
+// splitmix64-style mixing over the sorted, deduplicated member list. The
+// members fully determine the hash, so equal sets always hash equally.
+std::uint64_t hash_machines(const std::vector<int>& machines) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL + machines.size();
+  for (int j : machines) {
+    std::uint64_t z = h ^ static_cast<std::uint64_t>(j);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+}  // namespace
 
 ProcSet::ProcSet(std::vector<int> machines) : machines_(std::move(machines)) {
   for (int j : machines_) {
@@ -13,6 +29,7 @@ ProcSet::ProcSet(std::vector<int> machines) : machines_(std::move(machines)) {
   std::sort(machines_.begin(), machines_.end());
   machines_.erase(std::unique(machines_.begin(), machines_.end()),
                   machines_.end());
+  hash_ = hash_machines(machines_);
 }
 
 ProcSet ProcSet::all(int m) {

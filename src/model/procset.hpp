@@ -5,6 +5,8 @@
 // 1-based M_1..M_m convention.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -57,14 +59,29 @@ class ProcSet {
   int max() const;
 
   friend bool operator==(const ProcSet& a, const ProcSet& b) {
-    return a.machines_ == b.machines_;
+    return a.hash_ == b.hash_ && a.machines_ == b.machines_;
   }
+
+  /// 64-bit hash of the member list, computed once at construction so
+  /// hash-keyed dispatch state (e.g. RoundRobinDispatcher) costs O(1) per
+  /// lookup instead of rehashing the set on every dispatch.
+  std::uint64_t hash() const { return hash_; }
 
   /// 1-based rendering, e.g. "{M2,M3,M4}".
   std::string str() const;
 
  private:
   std::vector<int> machines_;
+  // Must equal hash_machines({}) in procset.cpp so a default-constructed
+  // set and ProcSet({}) compare and hash identically.
+  std::uint64_t hash_ = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Hasher for unordered containers keyed on ProcSet; reads the cached hash.
+struct ProcSetHash {
+  std::size_t operator()(const ProcSet& s) const {
+    return static_cast<std::size_t>(s.hash());
+  }
 };
 
 }  // namespace flowsched

@@ -1,0 +1,78 @@
+#include "runner/experiment.hpp"
+
+#include <thread>
+
+#include "util/stats.hpp"
+
+namespace flowsched {
+namespace {
+
+// Same finalizer as util/rng.cpp uses to expand seeds; duplicated here so
+// the seed-derivation contract cannot drift with Rng internals.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t experiment_id(std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t cell_id(std::initializer_list<std::uint64_t> coords) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (std::uint64_t c : coords) {
+    std::uint64_t x = h ^ c;
+    h = splitmix64(x);
+  }
+  return h;
+}
+
+std::uint64_t replicate_seed(std::uint64_t experiment, std::uint64_t cell,
+                             std::uint64_t rep) {
+  std::uint64_t x = experiment;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ cell;
+  h = splitmix64(x);
+  x = h ^ rep;
+  return splitmix64(x);
+}
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ExperimentRunner::ExperimentRunner(int threads)
+    : threads_(resolve_threads(threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+std::vector<double> ExperimentRunner::replicates(
+    std::uint64_t experiment, std::uint64_t cell, int reps,
+    const std::function<double(std::uint64_t, int)>& fn) {
+  return map<double>(reps, [&](int rep) {
+    return fn(replicate_seed(experiment, cell, static_cast<std::uint64_t>(rep)),
+              rep);
+  });
+}
+
+double ExperimentRunner::median_replicates(
+    std::uint64_t experiment, std::uint64_t cell, int reps,
+    const std::function<double(std::uint64_t, int)>& fn) {
+  return median(replicates(experiment, cell, reps, fn));
+}
+
+}  // namespace flowsched

@@ -1,0 +1,100 @@
+// Deterministic parallel experiment runner.
+//
+// Every stochastic experiment in bench/ has the same shape: a grid of cells
+// (facet x load x algorithm, s x k, ...) with R independent seeded
+// repetitions per cell, aggregated by a median or a max. The runner fans
+// those replicate closures out across a ThreadPool and keeps the results
+// *bit-identical* to a serial run:
+//
+//  * each job derives its RNG stream from replicate_seed(experiment, cell,
+//    rep) — a splitmix64 hash of the tuple — never from shared RNG state or
+//    submission order;
+//  * results are collected in job order (futures are awaited in the order
+//    the jobs were defined), so reductions see the same operand sequence
+//    regardless of which worker finished first.
+//
+// Consequently `--threads 8` produces byte-identical tables to
+// `--threads 1` (enforced by tests/test_experiment_determinism.cpp), and a
+// single 64-bit experiment id reproduces any run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <initializer_list>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+
+namespace flowsched {
+
+/// Stable 64-bit id for an experiment name (FNV-1a). Used as the root of
+/// the per-replicate seed derivation so distinct benches draw disjoint
+/// streams even for equal (cell, rep) pairs.
+std::uint64_t experiment_id(std::string_view name);
+
+/// Collapses grid coordinates into one 64-bit cell id (splitmix64 chain).
+/// Deliberately order-sensitive: cell_id({a, b}) != cell_id({b, a}).
+std::uint64_t cell_id(std::initializer_list<std::uint64_t> coords);
+
+/// The seed of repetition `rep` of cell `cell`: splitmix64 mixing of the
+/// (experiment, cell, rep) tuple. Statistically independent streams for
+/// distinct tuples; identical no matter which thread runs the replicate.
+std::uint64_t replicate_seed(std::uint64_t experiment, std::uint64_t cell,
+                             std::uint64_t rep);
+
+/// Thread-count resolution for the shared `--threads N` bench flag:
+/// n >= 1 is taken as-is, anything else (0, negative) means hardware
+/// concurrency (at least 1).
+int resolve_threads(int requested);
+
+class ExperimentRunner {
+ public:
+  /// `threads` as in resolve_threads(); 1 runs jobs inline on the calling
+  /// thread (the serial reference a parallel run must reproduce).
+  explicit ExperimentRunner(int threads = 0);
+  ~ExperimentRunner();
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(0..count-1) and returns the results in index order. Jobs must
+  /// be independent; determinism is the caller's contract (derive all
+  /// randomness from replicate_seed).
+  template <typename R>
+  std::vector<R> map(int count, const std::function<R(int)>& fn) {
+    std::vector<R> results;
+    if (count <= 0) return results;
+    results.reserve(static_cast<std::size_t>(count));
+    if (!pool_) {
+      for (int i = 0; i < count; ++i) results.push_back(fn(i));
+      return results;
+    }
+    std::vector<std::future<R>> futures;
+    futures.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      futures.push_back(pool_->submit([&fn, i] { return fn(i); }));
+    }
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  }
+
+  /// The common case: `reps` seeded repetitions of one cell, in rep order.
+  /// fn receives (seed, rep) with seed = replicate_seed(experiment, cell,
+  /// rep).
+  std::vector<double> replicates(
+      std::uint64_t experiment, std::uint64_t cell, int reps,
+      const std::function<double(std::uint64_t seed, int rep)>& fn);
+
+  /// median(replicates(...)) — the paper's aggregation.
+  double median_replicates(
+      std::uint64_t experiment, std::uint64_t cell, int reps,
+      const std::function<double(std::uint64_t seed, int rep)>& fn);
+
+ private:
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+};
+
+}  // namespace flowsched

@@ -1,0 +1,85 @@
+// Fixed-size worker thread pool with a bounded task queue.
+//
+// The pool is the execution substrate of the experiment runner
+// (runner/experiment.hpp): benches submit independent replicate closures and
+// collect std::futures. Design points:
+//
+//  * submit() returns a std::future of the callable's result; exceptions
+//    thrown inside a task are captured and rethrown from future::get(), so
+//    a failing replicate surfaces in the caller, not in a worker.
+//  * The queue is bounded: submit() blocks once `max_queue` tasks are
+//    pending, providing backpressure when a producer outruns the workers
+//    (a grid sweep can enqueue tens of thousands of closures).
+//  * Shutdown drains: the destructor (or shutdown()) lets workers finish
+//    every task already submitted, then joins. Submitting after shutdown
+//    throws.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace flowsched {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). `max_queue` bounds the number of
+  /// pending (not yet started) tasks before submit() blocks.
+  explicit ThreadPool(int threads, std::size_t max_queue = 4096);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of tasks submitted but not yet picked up by a worker.
+  std::size_t pending() const;
+
+  /// Enqueues `fn` and returns a future of its result. Blocks while the
+  /// queue is full; throws std::runtime_error after shutdown().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only and std::function requires copyable
+    // callables, so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < max_queue_ || stop_; });
+      if (stop_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    not_empty_.notify_one();
+    return result;
+  }
+
+  /// Stops accepting new tasks, finishes everything already queued, joins.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t max_queue_;
+  bool stop_ = false;
+};
+
+}  // namespace flowsched

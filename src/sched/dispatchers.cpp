@@ -19,7 +19,10 @@ constexpr double kTieEps = 1e-12;
 EftDispatcher::EftDispatcher(TieBreakKind kind, std::uint64_t seed)
     : tie_(kind, seed) {}
 
-void EftDispatcher::reset(int /*m*/) {}
+void EftDispatcher::reset(int m) {
+  candidates_.clear();
+  candidates_.reserve(static_cast<std::size_t>(m));
+}
 
 int EftDispatcher::dispatch(const Task& t, const MachineState& state) {
   // Equation (2): t'min = max(r_i, min_{M_j in M_i} C_{j,i-1});
@@ -29,13 +32,13 @@ int EftDispatcher::dispatch(const Task& t, const MachineState& state) {
     min_completion = std::min(min_completion, state.completion[static_cast<std::size_t>(j)]);
   }
   const double t_min = std::max(t.release, min_completion);
-  std::vector<int> candidates;
+  candidates_.clear();
   for (int j : t.eligible.machines()) {
     if (state.completion[static_cast<std::size_t>(j)] <= t_min + kTieEps) {
-      candidates.push_back(j);
+      candidates_.push_back(j);
     }
   }
-  return tie_.choose(candidates);
+  return tie_.choose(candidates_);
 }
 
 std::string EftDispatcher::name() const {
@@ -58,20 +61,23 @@ LeastLoadedDispatcher::LeastLoadedDispatcher(TieBreakKind kind,
                                              std::uint64_t seed)
     : tie_(kind, seed) {}
 
-void LeastLoadedDispatcher::reset(int /*m*/) {}
+void LeastLoadedDispatcher::reset(int m) {
+  candidates_.clear();
+  candidates_.reserve(static_cast<std::size_t>(m));
+}
 
 int LeastLoadedDispatcher::dispatch(const Task& t, const MachineState& state) {
   double best = std::numeric_limits<double>::infinity();
   for (int j : t.eligible.machines()) {
     best = std::min(best, state.load[static_cast<std::size_t>(j)]);
   }
-  std::vector<int> candidates;
+  candidates_.clear();
   for (int j : t.eligible.machines()) {
     if (state.load[static_cast<std::size_t>(j)] <= best + kTieEps) {
-      candidates.push_back(j);
+      candidates_.push_back(j);
     }
   }
-  return tie_.choose(candidates);
+  return tie_.choose(candidates_);
 }
 
 std::string LeastLoadedDispatcher::name() const {
@@ -81,18 +87,21 @@ std::string LeastLoadedDispatcher::name() const {
 JsqDispatcher::JsqDispatcher(TieBreakKind kind, std::uint64_t seed)
     : tie_(kind, seed) {}
 
-void JsqDispatcher::reset(int /*m*/) {}
+void JsqDispatcher::reset(int m) {
+  candidates_.clear();
+  candidates_.reserve(static_cast<std::size_t>(m));
+}
 
 int JsqDispatcher::dispatch(const Task& t, const MachineState& state) {
   int best = std::numeric_limits<int>::max();
   for (int j : t.eligible.machines()) {
     best = std::min(best, state.queued[static_cast<std::size_t>(j)]);
   }
-  std::vector<int> candidates;
+  candidates_.clear();
   for (int j : t.eligible.machines()) {
-    if (state.queued[static_cast<std::size_t>(j)] == best) candidates.push_back(j);
+    if (state.queued[static_cast<std::size_t>(j)] == best) candidates_.push_back(j);
   }
-  return tie_.choose(candidates);
+  return tie_.choose(candidates_);
 }
 
 std::string JsqDispatcher::name() const { return "JSQ-" + to_string(tie_.kind()); }
@@ -101,7 +110,7 @@ void RoundRobinDispatcher::reset(int /*m*/) { next_.clear(); }
 
 int RoundRobinDispatcher::dispatch(const Task& t, const MachineState& /*state*/) {
   const auto& machines = t.eligible.machines();
-  auto& cursor = next_[machines];
+  auto& cursor = next_[t.eligible];
   const int chosen = machines[cursor % machines.size()];
   ++cursor;
   return chosen;

@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/instance.hpp"
@@ -38,6 +38,11 @@ struct MachineState {
   /// Number of tasks assigned to machine j so far.
   std::span<const int> count;
   /// Number of tasks assigned to j and not finished at the release instant.
+  /// Only maintained for the machines in the current task's eligible set,
+  /// and only when the dispatcher's needs_queue_depths() returns true — the
+  /// engine skips the finished-task bookkeeping entirely otherwise (it is
+  /// the per-release O(m) hot path). Dispatchers that read it must override
+  /// needs_queue_depths().
   std::span<const int> queued;
 };
 
@@ -51,6 +56,11 @@ class Dispatcher {
   /// Chooses the machine for `t` (must be in t.eligible). Called in release
   /// order; the engine applies the assignment afterwards.
   virtual int dispatch(const Task& t, const MachineState& state) = 0;
+
+  /// True when dispatch() reads MachineState::queued. The engine only pays
+  /// for queue-depth tracking (advancing per-machine finished cursors at
+  /// each release) when this returns true.
+  virtual bool needs_queue_depths() const { return false; }
 
   virtual std::string name() const = 0;
 };
@@ -67,6 +77,7 @@ class EftDispatcher final : public Dispatcher {
 
  private:
   TieBreak tie_;
+  std::vector<int> candidates_;  // reused across dispatches (hot path)
 };
 
 class RandomEligibleDispatcher final : public Dispatcher {
@@ -92,6 +103,7 @@ class LeastLoadedDispatcher final : public Dispatcher {
 
  private:
   TieBreak tie_;
+  std::vector<int> candidates_;  // reused across dispatches (hot path)
 };
 
 class JsqDispatcher final : public Dispatcher {
@@ -100,10 +112,12 @@ class JsqDispatcher final : public Dispatcher {
 
   void reset(int m) override;
   int dispatch(const Task& t, const MachineState& state) override;
+  bool needs_queue_depths() const override { return true; }
   std::string name() const override;
 
  private:
   TieBreak tie_;
+  std::vector<int> candidates_;  // reused across dispatches (hot path)
 };
 
 class RoundRobinDispatcher final : public Dispatcher {
@@ -115,7 +129,9 @@ class RoundRobinDispatcher final : public Dispatcher {
   std::string name() const override { return "RoundRobin"; }
 
  private:
-  std::map<std::vector<int>, std::size_t> next_;
+  // Keyed on the processing set's cached hash (O(1) per dispatch); the
+  // ProcSet key is only copied once, when a set is first seen.
+  std::unordered_map<ProcSet, std::size_t, ProcSetHash> next_;
 };
 
 /// Power of d choices (Mitzenmacher): sample d random machines from M_i and

@@ -31,14 +31,20 @@ Assignment OnlineEngine::release(Task task) {
     throw std::invalid_argument("OnlineEngine::release: proc <= 0");
   }
 
-  // Advance the finished cursors to the release instant so queue depths are
-  // "unfinished tasks at time r".
-  for (int j = 0; j < m_; ++j) {
-    auto& cursor = finished_cursor_[static_cast<std::size_t>(j)];
-    const auto& finishes = finish_times_[static_cast<std::size_t>(j)];
-    while (cursor < finishes.size() && finishes[cursor] <= task.release) ++cursor;
-    queued_[static_cast<std::size_t>(j)] =
-        static_cast<int>(finishes.size() - cursor);
+  // Queue depths ("unfinished tasks at time r") are only needed by
+  // depth-reading dispatchers (JSQ), and only for the eligible machines;
+  // everyone else skips this bookkeeping entirely. Releases are
+  // non-decreasing, so advancing a machine's cursor lazily, whenever that
+  // machine is next eligible, lands on the same value an eager per-release
+  // sweep would.
+  if (dispatcher_->needs_queue_depths()) {
+    for (int j : task.eligible.machines()) {
+      auto& cursor = finished_cursor_[static_cast<std::size_t>(j)];
+      const auto& finishes = finish_times_[static_cast<std::size_t>(j)];
+      while (cursor < finishes.size() && finishes[cursor] <= task.release) ++cursor;
+      queued_[static_cast<std::size_t>(j)] =
+          static_cast<int>(finishes.size() - cursor);
+    }
   }
 
   const MachineState state{completion_, load_, count_, queued_};

@@ -59,8 +59,13 @@ class OnlineEngine {
   std::vector<double> load_;
   std::vector<int> count_;
   // Per machine: completion times of its tasks in assignment order, with a
-  // cursor marking those already finished at the last release instant, so
-  // queue depths are O(1) amortized.
+  // cursor marking those already finished at some past release instant.
+  // Queue depths are computed lazily: only when the dispatcher declares
+  // needs_queue_depths(), and then only for the machines in the released
+  // task's eligible set — releases are non-decreasing, so each per-machine
+  // cursor can be advanced independently on demand. A release therefore
+  // costs O(|M_i|) amortized instead of O(m), which is the difference at
+  // m = 4096 (see micro_sched's large-m series).
   std::vector<std::vector<double>> finish_times_;
   std::vector<std::size_t> finished_cursor_;
   std::vector<int> queued_;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace flowsched {
 namespace {
 
@@ -101,6 +106,112 @@ TEST(OnlineEngine, RunDispatcherMatchesIncremental) {
 TEST(OnlineEngine, ThrowsOnNonPositiveMachineCount) {
   EftDispatcher eft(TieBreakKind::kMin);
   EXPECT_THROW(OnlineEngine(0, eft), std::invalid_argument);
+}
+
+// The engine advances queue-depth cursors lazily — only for eligible
+// machines, only when the dispatcher asks for depths. This wrapper routes
+// every choice through JSQ while checking the depths the engine supplies
+// against an eager brute-force recount over the full assignment history
+// (the pre-optimization implementation's values).
+class QueueAuditJsq final : public Dispatcher {
+ public:
+  explicit QueueAuditJsq(TieBreakKind kind) : jsq_(kind) {}
+
+  void reset(int m) override {
+    jsq_.reset(m);
+    history_.clear();
+  }
+
+  bool needs_queue_depths() const override { return true; }
+
+  int dispatch(const Task& t, const MachineState& state) override {
+    for (int j : t.eligible.machines()) {
+      int expected = 0;
+      for (const auto& [machine, finish] : history_) {
+        // A task finishing exactly at the release instant counts as done,
+        // matching the eager sweep's `finish <= r` condition.
+        if (machine == j && finish > t.release) ++expected;
+      }
+      EXPECT_EQ(state.queued[static_cast<std::size_t>(j)], expected)
+          << "machine " << j << " at release " << t.release << " (task "
+          << history_.size() << ")";
+    }
+    const int u = jsq_.dispatch(t, state);
+    const double start =
+        std::max(t.release, state.completion[static_cast<std::size_t>(u)]);
+    history_.emplace_back(u, start + t.proc);
+    return u;
+  }
+
+  std::string name() const override { return "QueueAuditJsq"; }
+
+ private:
+  JsqDispatcher jsq_;
+  std::vector<std::pair<int, double>> history_;
+};
+
+TEST(OnlineEngine, LazyQueueDepthsMatchEagerOnInterleavedReleases) {
+  QueueAuditJsq audit(TieBreakKind::kMin);
+  OnlineEngine engine(4, audit);
+  // Interleaved restricted releases: machines drop out of eligibility for
+  // long stretches, so their cursors must catch up over several finished
+  // tasks at once when they reappear.
+  const std::vector<Task> tasks{
+      {.release = 0.0, .proc = 3.0, .eligible = ProcSet({0, 1})},
+      {.release = 0.0, .proc = 1.0, .eligible = ProcSet({1, 2})},
+      {.release = 0.5, .proc = 2.0, .eligible = ProcSet({2, 3})},
+      {.release = 1.0, .proc = 1.0, .eligible = ProcSet({1, 2})},
+      {.release = 1.0, .proc = 4.0, .eligible = ProcSet({0})},
+      {.release = 2.5, .proc = 1.0, .eligible = ProcSet({0, 1, 2, 3})},
+      {.release = 3.0, .proc = 0.5, .eligible = ProcSet({1, 3})},
+      {.release = 3.0, .proc = 1.0, .eligible = ProcSet({0, 1})},
+      {.release = 7.0, .proc = 1.0, .eligible = ProcSet({0, 1, 2, 3})},
+      {.release = 7.0, .proc = 2.0, .eligible = ProcSet({0, 2})},
+      {.release = 12.0, .proc = 1.0, .eligible = ProcSet({0, 1, 2, 3})},
+  };
+  for (const auto& t : tasks) engine.release(t);
+  EXPECT_EQ(engine.released(), static_cast<int>(tasks.size()));
+}
+
+TEST(OnlineEngine, LazyQueueDepthsMatchEagerOnRandomWorkload) {
+  QueueAuditJsq audit(TieBreakKind::kMin);
+  OnlineEngine engine(6, audit);
+  Rng rng(20260805);
+  double release = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    release += rng.exponential(4.0);
+    const int lo = static_cast<int>(rng.uniform_int(0, 5));
+    const int size = static_cast<int>(rng.uniform_int(1, 3));
+    engine.release({.release = release,
+                    .proc = rng.uniform(0.2, 2.0),
+                    .eligible = ProcSet::ring_interval(lo, size, 6)});
+  }
+  EXPECT_EQ(engine.released(), 400);
+}
+
+TEST(OnlineEngine, JsqScheduleUnchangedByLazyCursorScheme) {
+  // The audited JSQ (lazy depths, checked against eager values) and the
+  // plain JSQ must produce identical schedules on a shared workload.
+  std::vector<Task> tasks;
+  Rng rng(99);
+  double release = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    release += rng.exponential(3.0);
+    const int lo = static_cast<int>(rng.uniform_int(0, 4));
+    tasks.push_back({.release = release,
+                     .proc = 1.0,
+                     .eligible = ProcSet::ring_interval(lo, 2, 5)});
+  }
+  const Instance inst(5, tasks);
+
+  JsqDispatcher plain(TieBreakKind::kMin);
+  const auto plain_sched = run_dispatcher(inst, plain);
+  QueueAuditJsq audited(TieBreakKind::kMin);
+  const auto audited_sched = run_dispatcher(inst, audited);
+  for (int i = 0; i < inst.n(); ++i) {
+    EXPECT_EQ(plain_sched.machine(i), audited_sched.machine(i)) << "task " << i;
+    EXPECT_DOUBLE_EQ(plain_sched.start(i), audited_sched.start(i));
+  }
 }
 
 }  // namespace

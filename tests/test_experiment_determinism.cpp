@@ -1,0 +1,149 @@
+// The experiment runner's core guarantee: a parallel run is bit-identical
+// to a serial run. Exercised on a miniature Figure-11 grid (the heaviest
+// bench ported to the runner) plus the seed-derivation primitives.
+#include "runner/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sched/engine.hpp"
+#include "util/stats.hpp"
+#include "workload/generator.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(ReplicateSeed, DeterministicAndTupleSensitive) {
+  const std::uint64_t exp = experiment_id("fig11_simulation");
+  EXPECT_EQ(exp, experiment_id("fig11_simulation"));
+  EXPECT_NE(exp, experiment_id("fig10_maxload"));
+
+  EXPECT_EQ(replicate_seed(exp, 3, 7), replicate_seed(exp, 3, 7));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t cell = 0; cell < 32; ++cell) {
+    for (std::uint64_t rep = 0; rep < 32; ++rep) {
+      seeds.insert(replicate_seed(exp, cell, rep));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 32u * 32u) << "seed collision across (cell, rep)";
+}
+
+TEST(CellId, OrderSensitive) {
+  EXPECT_EQ(cell_id({1, 2, 3}), cell_id({1, 2, 3}));
+  EXPECT_NE(cell_id({1, 2}), cell_id({2, 1}));
+  EXPECT_NE(cell_id({0}), cell_id({0, 0}));
+}
+
+TEST(ResolveThreads, RequestTakenVerbatimElseHardware) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(6), 6);
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-3), 1);
+}
+
+// One Figure-11 replicate: the exact closure shape the bench fans out.
+double fig11_replicate(std::uint64_t seed, PopularityCase pop_case, double s,
+                       double load_fraction, ReplicationStrategy strategy,
+                       TieBreakKind tie) {
+  Rng rng(seed);
+  const auto pop = make_popularity(pop_case, 15, s, rng);
+  KvWorkloadConfig config;
+  config.m = 15;
+  config.n = 400;
+  config.lambda = load_fraction * 15;
+  config.strategy = strategy;
+  config.k = 3;
+  const auto inst = generate_kv_instance(config, pop, rng);
+  EftDispatcher eft(tie, seed);
+  return run_dispatcher(inst, eft).max_flow();
+}
+
+// Runs the miniature grid at a given thread count and returns every median
+// in grid order.
+std::vector<double> run_mini_grid(int threads) {
+  ExperimentRunner runner(threads);
+  const std::uint64_t exp = experiment_id("determinism_mini_fig11");
+  const struct {
+    PopularityCase pop_case;
+    double s;
+  } facets[] = {{PopularityCase::kUniform, 0.0},
+                {PopularityCase::kShuffled, 1.0},
+                {PopularityCase::kWorstCase, 1.0}};
+  const int loads[] = {30, 60, 90};
+  const ReplicationStrategy strategies[] = {ReplicationStrategy::kOverlapping,
+                                            ReplicationStrategy::kDisjoint};
+  const TieBreakKind ties[] = {TieBreakKind::kMin, TieBreakKind::kMax};
+
+  std::vector<double> medians;
+  for (const auto& facet : facets) {
+    for (int load : loads) {
+      for (auto strategy : strategies) {
+        for (auto tie : ties) {
+          // Cell excludes the tie-break: Min and Max must face the same
+          // workload (the bench's paired-comparison protocol).
+          const std::uint64_t cell =
+              cell_id({static_cast<std::uint64_t>(facet.pop_case),
+                       static_cast<std::uint64_t>(strategy),
+                       static_cast<std::uint64_t>(load)});
+          medians.push_back(runner.median_replicates(
+              exp, cell, 5, [&](std::uint64_t seed, int /*rep*/) {
+                return fig11_replicate(seed, facet.pop_case, facet.s,
+                                       load / 100.0, strategy, tie);
+              }));
+        }
+      }
+    }
+  }
+  return medians;
+}
+
+TEST(ExperimentRunner, ParallelGridBitIdenticalToSerial) {
+  const auto serial = run_mini_grid(1);
+  const auto parallel = run_mini_grid(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Bit-for-bit, not approximately: same seeds, same reduction order.
+    EXPECT_EQ(serial[i], parallel[i]) << "grid cell " << i;
+  }
+  // And a second parallel run reproduces the first (no hidden state).
+  EXPECT_EQ(run_mini_grid(8), parallel);
+}
+
+TEST(ExperimentRunner, MapPreservesJobOrder) {
+  ExperimentRunner runner(4);
+  const auto out = runner.map<int>(100, [](int i) { return 3 * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 3 * i);
+  }
+}
+
+TEST(ExperimentRunner, ReplicatesPassSeedsByContract) {
+  ExperimentRunner runner(3);
+  const std::uint64_t exp = experiment_id("contract");
+  const auto seeds = runner.replicates(
+      exp, 5, 8, [](std::uint64_t seed, int /*rep*/) {
+        return static_cast<double>(seed >> 11);  // exactly representable
+      });
+  for (int rep = 0; rep < 8; ++rep) {
+    EXPECT_EQ(seeds[static_cast<std::size_t>(rep)],
+              static_cast<double>(
+                  replicate_seed(exp, 5, static_cast<std::uint64_t>(rep)) >> 11));
+  }
+}
+
+TEST(ExperimentRunner, PropagatesReplicateExceptions) {
+  ExperimentRunner runner(4);
+  EXPECT_THROW(runner.map<int>(8,
+                               [](int i) -> int {
+                                 if (i == 5) throw std::runtime_error("boom");
+                                 return i;
+                               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flowsched

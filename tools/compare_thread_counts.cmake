@@ -1,0 +1,42 @@
+# Runs ${BENCH} ${BENCH_ARGS} twice — --threads 1 and --threads 4 — and
+# fails unless the outputs are byte-identical. Registered as the
+# bench_determinism ctest by bench/CMakeLists.txt; usable standalone:
+#
+#   cmake -DBENCH=build/bench/bench_fig11_simulation \
+#         "-DBENCH_ARGS=--reps;2;--requests;300" \
+#         -DWORK_DIR=/tmp -P tools/compare_thread_counts.cmake
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "compare_thread_counts.cmake: -DBENCH=<binary> is required")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(serial_out ${WORK_DIR}/determinism_t1.out)
+set(parallel_out ${WORK_DIR}/determinism_t4.out)
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARGS} --threads 1
+  OUTPUT_FILE ${serial_out}
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --threads 1 failed (rc=${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARGS} --threads 4
+  OUTPUT_FILE ${parallel_out}
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --threads 4 failed (rc=${parallel_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${parallel_out}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "output differs between --threads 1 and --threads 4; the parallel "
+      "runner broke determinism (diff ${serial_out} ${parallel_out})")
+endif()
+message(STATUS "byte-identical output at --threads 1 and --threads 4")

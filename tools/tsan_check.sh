@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the runner subsystem: configures a TSan build
+# (-DFLOWSCHED_SANITIZE=thread), builds the test binary, and runs the
+# concurrency-sensitive suites (thread pool, experiment determinism, engine).
+#
+# Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFLOWSCHED_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target flowsched_tests -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine'
+echo "tsan_check: OK"
