@@ -10,10 +10,26 @@
 // (--threads N, default hardware concurrency); every run derives its RNG
 // stream from replicate_seed(experiment, cell, rep), so the output is
 // byte-identical at any thread count.
+//
+// With --trace-dir DIR the bench additionally writes, per facet, a merged
+// Chrome trace (DIR/fig11_<facet>_trace.json) holding the highest-load
+// rep-0 run of each series — every run tagged with its (experiment, cell,
+// rep) tuple — and one metrics row per run (all loads, all reps) to
+// DIR/fig11_metrics.ndjson. Each parallel job records into its own
+// recorder; recorders are merged in job order, so the trace files are as
+// thread-count-invariant as the tables.
+#include <cctype>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "lp/maxload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "runner/experiment.hpp"
 #include "sched/engine.hpp"
 #include "util/args.hpp"
@@ -31,7 +47,8 @@ constexpr int kK = 3;
 
 double one_fmax(std::uint64_t seed, PopularityCase pop_case, double s,
                 double load_fraction, ReplicationStrategy strategy,
-                TieBreakKind tie, int requests) {
+                TieBreakKind tie, int requests,
+                SchedObserver* observer = nullptr, const RunTag& tag = {}) {
   Rng rng(seed);
   const auto pop = make_popularity(pop_case, kM, s, rng);
   KvWorkloadConfig config;
@@ -42,8 +59,18 @@ double one_fmax(std::uint64_t seed, PopularityCase pop_case, double s,
   config.k = kK;
   const auto inst = generate_kv_instance(config, pop, rng);
   EftDispatcher eft(tie, seed);
-  const auto sched = run_dispatcher(inst, eft);
+  const auto sched = observer != nullptr
+                         ? run_dispatcher(inst, eft, *observer, tag)
+                         : run_dispatcher(inst, eft);
   return sched.max_flow();
+}
+
+std::string facet_slug(PopularityCase pop_case) {
+  std::string slug = to_string(pop_case);
+  for (char& c : slug) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '-';
+  }
+  return slug;
 }
 
 double lp_load_percent(ExperimentRunner& runner, std::uint64_t exp,
@@ -65,9 +92,18 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const int reps = args.integer("reps", 10);
   const int requests = args.integer("requests", 10000);
+  const std::string trace_dir = args.get("trace-dir", "");
   ExperimentRunner runner(args.integer("threads", 0));
   args.reject_unknown();
   const std::uint64_t exp = experiment_id("fig11_simulation");
+  const bool tracing = !trace_dir.empty();
+
+  std::ofstream metrics_out;
+  if (tracing) {
+    const std::string path = trace_dir + "/fig11_metrics.ndjson";
+    metrics_out.open(path, std::ios::binary);
+    if (!metrics_out) throw std::runtime_error("cannot open " + path);
+  }
 
   struct Facet {
     PopularityCase pop_case;
@@ -112,9 +148,19 @@ int main(int argc, char** argv) {
     // One flat job list for the whole facet: loads x specs x reps. The seed
     // cell deliberately ignores the tie-break so EFT-Min and EFT-Max face
     // the exact same workload in each repetition (paired comparison).
+    //
+    // When tracing, every job carries a MetricsCollector and the
+    // highest-load rep-0 job of each series also a TraceRecorder; both are
+    // per-job (no shared observer state across workers) and harvested in
+    // job order below.
+    struct JobResult {
+      double fmax = 0;
+      std::string metrics_row;
+      std::shared_ptr<TraceRecorder> trace;
+    };
     const int n_loads = static_cast<int>(facet.loads.size());
     const int n_specs = static_cast<int>(specs.size());
-    const auto fmaxes = runner.map<double>(
+    const auto results = runner.map<JobResult>(
         n_loads * n_specs * reps, [&](int job) {
           const int rep = job % reps;
           const auto& spec = specs[static_cast<std::size_t>((job / reps) % n_specs)];
@@ -123,10 +169,49 @@ int main(int argc, char** argv) {
               cell_id({static_cast<std::uint64_t>(facet.pop_case),
                        static_cast<std::uint64_t>(spec.strategy),
                        static_cast<std::uint64_t>(load)});
-          return one_fmax(replicate_seed(exp, cell, static_cast<std::uint64_t>(rep)),
-                          facet.pop_case, facet.s, load / 100.0, spec.strategy,
-                          spec.tie, requests);
+          const std::uint64_t seed =
+              replicate_seed(exp, cell, static_cast<std::uint64_t>(rep));
+          JobResult out;
+          if (!tracing) {
+            out.fmax = one_fmax(seed, facet.pop_case, facet.s, load / 100.0,
+                                spec.strategy, spec.tie, requests);
+            return out;
+          }
+          const RunTag tag{.experiment = "fig11_simulation",
+                           .cell = cell,
+                           .rep = static_cast<std::uint64_t>(rep)};
+          MetricsCollector metrics;
+          MulticastObserver observer({&metrics});
+          if (rep == 0 && load == facet.loads.back()) {
+            out.trace = std::make_shared<TraceRecorder>();
+            observer.add(out.trace.get());
+          }
+          out.fmax = one_fmax(seed, facet.pop_case, facet.s, load / 100.0,
+                              spec.strategy, spec.tie, requests, &observer, tag);
+          out.metrics_row = metrics.to_json();
+          return out;
         });
+
+    if (tracing) {
+      // Job order == serial order, so both files are byte-identical at any
+      // --threads value.
+      TraceRecorder merged;
+      for (const auto& r : results) {
+        metrics_out << r.metrics_row << "\n";
+        if (r.trace) merged.merge(std::move(*r.trace));
+      }
+      const std::string path =
+          trace_dir + "/fig11_" + facet_slug(facet.pop_case) + "_trace.json";
+      std::ofstream out(path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      merged.write_json(out);
+      std::fprintf(stderr, "[trace] %d runs, %zu events -> %s\n",
+                   merged.runs(), merged.events(), path.c_str());
+    }
+
+    std::vector<double> fmaxes;
+    fmaxes.reserve(results.size());
+    for (const auto& r : results) fmaxes.push_back(r.fmax);
 
     TextTable table({"load %", specs[0].name, specs[1].name, specs[2].name,
                      specs[3].name});

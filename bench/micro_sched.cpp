@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
 #include "workload/generator.hpp"
@@ -89,6 +90,23 @@ void BM_JsqDispatchLargeM(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * inst.n());
 }
 BENCHMARK(BM_JsqDispatchLargeM)->Arg(16)->Arg(256)->Arg(4096);
+
+// The observability tax. BM_EftDispatch (no observer) is the baseline the
+// disabled-observer path must match within noise — the null-check guard is
+// the entire difference. BM_EftDispatchObserved measures the enabled cost
+// against a sink that stores every event but allocates amortized-only
+// (TraceRecorder), i.e. the realistic tracing overhead per task.
+void BM_EftDispatchObserved(benchmark::State& state) {
+  const auto inst = make_kv(static_cast<int>(state.range(0)), 10000,
+                            RandomSets::kRingIntervals);
+  EftDispatcher eft(TieBreakKind::kMin);
+  for (auto _ : state) {
+    TraceRecorder trace;
+    benchmark::DoNotOptimize(run_dispatcher(inst, eft, trace));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.n());
+}
+BENCHMARK(BM_EftDispatchObserved)->Arg(4)->Arg(15)->Arg(64);
 
 void BM_FifoEventLoop(benchmark::State& state) {
   const auto inst = make_kv(static_cast<int>(state.range(0)), 10000,

@@ -35,12 +35,17 @@ std::string SimReport::str() const {
 }
 
 SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
-                           Dispatcher& dispatcher, Rng& rng) {
+                           Dispatcher& dispatcher, Rng& rng,
+                           SchedObserver* observer) {
   if (!(config.lambda > 0)) {
     throw std::invalid_argument("simulate_cluster: lambda <= 0");
   }
   const int m = store.config().m;
   OnlineEngine engine(m, dispatcher);
+  if (observer != nullptr) {
+    observer->on_run_begin(RunInfo{m, dispatcher.name(), {}});
+    engine.set_observer(observer);
+  }
 
   std::vector<double> latencies;
   latencies.reserve(static_cast<std::size_t>(config.requests));
@@ -74,6 +79,10 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
   for (int j = 0; j < m; ++j) {
     report.utilization[static_cast<std::size_t>(j)] =
         makespan > 0 ? busy[static_cast<std::size_t>(j)] / makespan : 0.0;
+  }
+  if (observer != nullptr) {
+    engine.finish_observation();
+    observer->on_run_end(makespan);
   }
   return report;
 }

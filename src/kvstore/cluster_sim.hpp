@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "kvstore/store.hpp"
+#include "obs/observer.hpp"
 #include "sched/dispatchers.hpp"
 
 namespace flowsched {
@@ -39,8 +40,13 @@ struct SimReport {
 };
 
 /// Generates `config.requests` requests against `store` and replays them
-/// through `dispatcher`.
+/// through `dispatcher`. A non-null `observer` receives the full event
+/// stream of the run (request released/dispatched/started/completed per
+/// request, server busy/idle transitions), bracketed by run begin/end —
+/// latency here is the flow time, so a trace of a simulation is read
+/// exactly like a trace of a scheduling run.
 SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
-                           Dispatcher& dispatcher, Rng& rng);
+                           Dispatcher& dispatcher, Rng& rng,
+                           SchedObserver* observer = nullptr);
 
 }  // namespace flowsched

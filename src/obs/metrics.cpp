@@ -1,0 +1,193 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace flowsched {
+
+FlowHistogram::FlowHistogram(Rational lo, Rational hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / Rational(static_cast<std::int64_t>(bins))) {
+  if (bins == 0) throw std::invalid_argument("FlowHistogram: bins == 0");
+  if (!(lo < hi)) throw std::invalid_argument("FlowHistogram: lo >= hi");
+  counts_.assign(bins, 0);
+}
+
+void FlowHistogram::add(double x) {
+  ++total_;
+  const auto last = counts_.size() - 1;
+  std::size_t bin = 0;
+  bool exact = false;
+  if (const auto r = rational_from_double(x)) {
+    // Bin index floor((x - lo) / w), computed exactly: a sample sitting on
+    // a bucket boundary lands in the upper bin by definition, immune to
+    // the rounding of (x - lo) / w in doubles.
+    try {
+      const Rational offset = *r - lo_;
+      if (offset < Rational(0)) {
+        bin = 0;
+      } else {
+        const Rational q = offset / width_;
+        const auto idx =
+            static_cast<std::size_t>(q.num() / q.den());  // floor (q >= 0)
+        bin = std::min(idx, last);
+      }
+      exact = true;
+    } catch (const std::overflow_error&) {
+      exact = false;  // intermediate product outside int64: double fallback
+    }
+  }
+  if (!exact) {
+    const double lo = lo_.to_double();
+    const double w = width_.to_double();
+    const double idx = std::floor((x - lo) / w);
+    bin = idx <= 0 ? 0
+                   : std::min(static_cast<std::size_t>(idx), last);
+  }
+  ++counts_[bin];
+}
+
+double FlowHistogram::bin_lo(std::size_t b) const {
+  return (lo_ + width_ * Rational(static_cast<std::int64_t>(b))).to_double();
+}
+
+double FlowHistogram::bin_hi(std::size_t b) const {
+  return (lo_ + width_ * Rational(static_cast<std::int64_t>(b + 1))).to_double();
+}
+
+MetricsCollector::MetricsCollector(std::int64_t flow_hi, std::size_t flow_bins)
+    : flow_hist_(Rational(0), Rational(flow_hi), flow_bins) {}
+
+void MetricsCollector::on_run_begin(const RunInfo& info) {
+  if (begun_) {
+    throw std::logic_error("MetricsCollector observes exactly one run");
+  }
+  begun_ = true;
+  info_ = info;
+  busy_.assign(static_cast<std::size_t>(info.m), 0.0);
+}
+
+void MetricsCollector::on_event(const ObsEvent& e) {
+  ++events_;
+  switch (e.kind) {
+    case ObsEventKind::kTaskReleased:
+      ++released_;
+      deltas_.push_back({e.time, -1, +1});
+      break;
+    case ObsEventKind::kTaskDispatched:
+      ++dispatched_;
+      deltas_.push_back({e.time, e.machine, +1});
+      break;
+    case ObsEventKind::kTaskStarted:
+      break;
+    case ObsEventKind::kTaskCompleted: {
+      ++completed_;
+      if (e.machine >= 0 &&
+          static_cast<std::size_t>(e.machine) < busy_.size()) {
+        busy_[static_cast<std::size_t>(e.machine)] += e.proc;
+      }
+      const double flow = e.time - e.release;
+      max_flow_ = std::max(max_flow_, flow);
+      flow_sum_ += flow;
+      flow_hist_.add(flow);
+      makespan_ = std::max(makespan_, e.time);
+      deltas_.push_back({e.time, e.machine, -1});
+      break;
+    }
+    case ObsEventKind::kMachineBusy:
+    case ObsEventKind::kMachineIdle:
+      break;
+  }
+}
+
+void MetricsCollector::on_run_end(double makespan) {
+  finished_ = true;
+  makespan_ = std::max(makespan_, makespan);
+}
+
+double MetricsCollector::busy_time(int j) const {
+  return busy_.at(static_cast<std::size_t>(j));
+}
+
+double MetricsCollector::utilization(int j) const {
+  return makespan_ > 0 ? busy_time(j) / makespan_ : 0.0;
+}
+
+double MetricsCollector::mean_flow() const {
+  return completed_ > 0 ? flow_sum_ / completed_ : 0.0;
+}
+
+std::vector<SeriesPoint> MetricsCollector::series_of(int machine) const {
+  // machine == -1: global backlog (releases +1, completions -1).
+  // machine >= 0: that machine's queue (dispatches +1, completions -1).
+  std::vector<Delta> relevant;
+  for (const Delta& d : deltas_) {
+    const bool is_dispatch = d.delta == +1 && d.machine >= 0;
+    const bool keep = machine == -1 ? !is_dispatch  // releases + completions
+                                    : d.machine == machine;
+    if (keep) relevant.push_back(d);
+  }
+  // Completions sort before releases/dispatches at the same instant: a task
+  // completing exactly when another arrives does not inflate the peak.
+  std::stable_sort(relevant.begin(), relevant.end(),
+                   [](const Delta& a, const Delta& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.delta < b.delta;
+                   });
+  std::vector<SeriesPoint> series;
+  int depth = 0;
+  for (std::size_t i = 0; i < relevant.size(); ++i) {
+    depth += relevant[i].delta;
+    // Collapse simultaneous deltas into one step.
+    if (i + 1 < relevant.size() && relevant[i + 1].time == relevant[i].time) {
+      continue;
+    }
+    series.push_back({relevant[i].time, depth});
+  }
+  return series;
+}
+
+std::vector<SeriesPoint> MetricsCollector::backlog_series() const {
+  return series_of(-1);
+}
+
+std::vector<SeriesPoint> MetricsCollector::queue_depth_series(int j) const {
+  if (j < 0 || j >= info_.m) {
+    throw std::out_of_range("MetricsCollector::queue_depth_series");
+  }
+  return series_of(j);
+}
+
+int MetricsCollector::max_backlog() const {
+  int peak = 0;
+  for (const SeriesPoint& p : backlog_series()) peak = std::max(peak, p.value);
+  return peak;
+}
+
+std::string MetricsCollector::to_json() const {
+  std::string out = "{";
+  out += "\"algo\":\"" + json_escape(info_.algo) + "\"";
+  if (info_.tag.tagged()) {
+    out += ",\"experiment\":\"" + json_escape(info_.tag.experiment) + "\"";
+    out += ",\"cell\":\"" + json_hex(info_.tag.cell) + "\"";
+    out += ",\"rep\":" + std::to_string(info_.tag.rep);
+  }
+  out += ",\"m\":" + std::to_string(info_.m);
+  out += ",\"released\":" + std::to_string(released_);
+  out += ",\"completed\":" + std::to_string(completed_);
+  out += ",\"makespan\":" + json_num(makespan_);
+  out += ",\"fmax\":" + json_num(max_flow_);
+  out += ",\"mean_flow\":" + json_num(mean_flow());
+  out += ",\"max_backlog\":" + std::to_string(max_backlog());
+  out += ",\"utilization\":[";
+  for (int j = 0; j < info_.m; ++j) {
+    if (j > 0) out += ",";
+    out += json_num(utilization(j));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,106 @@
+#include "obs/observer.hpp"
+
+#include <algorithm>
+
+namespace flowsched {
+
+MulticastObserver::MulticastObserver(std::vector<SchedObserver*> sinks) {
+  for (SchedObserver* s : sinks) add(s);
+}
+
+void MulticastObserver::add(SchedObserver* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void MulticastObserver::on_run_begin(const RunInfo& info) {
+  for (SchedObserver* s : sinks_) s->on_run_begin(info);
+}
+
+void MulticastObserver::on_event(const ObsEvent& event) {
+  for (SchedObserver* s : sinks_) s->on_event(event);
+}
+
+void MulticastObserver::on_run_end(double makespan) {
+  for (SchedObserver* s : sinks_) s->on_run_end(makespan);
+}
+
+void replay_schedule(const Schedule& sched, const RunInfo& info,
+                     SchedObserver& obs) {
+  const Instance& inst = sched.instance();
+  obs.on_run_begin(info);
+
+  // Per-machine assignment lists in start order drive the busy/idle
+  // transitions (a live engine derives them from its completion frontier).
+  std::vector<std::vector<int>> by_machine(static_cast<std::size_t>(inst.m()));
+  for (int i = 0; i < inst.n(); ++i) {
+    if (sched.assigned(i)) {
+      by_machine[static_cast<std::size_t>(sched.machine(i))].push_back(i);
+    }
+  }
+  for (auto& tasks : by_machine) {
+    std::sort(tasks.begin(), tasks.end(), [&](int a, int b) {
+      return sched.start(a) < sched.start(b);
+    });
+  }
+
+  ObsEvent e;
+  for (int i = 0; i < inst.n(); ++i) {
+    const Task& t = inst.task(i);
+    e = ObsEvent{};
+    e.kind = ObsEventKind::kTaskReleased;
+    e.time = t.release;
+    e.task = i;
+    e.release = t.release;
+    e.proc = t.proc;
+    e.eligible = &t.eligible;
+    obs.on_event(e);
+    if (!sched.assigned(i)) continue;
+
+    const int u = sched.machine(i);
+    const double start = sched.start(i);
+    e = ObsEvent{};
+    e.task = i;
+    e.machine = u;
+    e.release = t.release;
+    e.proc = t.proc;
+
+    e.kind = ObsEventKind::kTaskDispatched;
+    e.time = start;  // dispatch instant is not recorded in a Schedule
+    obs.on_event(e);
+    e.kind = ObsEventKind::kTaskStarted;
+    e.time = start;
+    obs.on_event(e);
+    e.kind = ObsEventKind::kTaskCompleted;
+    e.time = start + t.proc;
+    obs.on_event(e);
+  }
+
+  for (int j = 0; j < inst.m(); ++j) {
+    double frontier = 0.0;
+    bool busy = false;
+    for (int i : by_machine[static_cast<std::size_t>(j)]) {
+      const double start = sched.start(i);
+      if (!busy || start > frontier) {
+        if (busy) {
+          obs.on_event(ObsEvent{.kind = ObsEventKind::kMachineIdle,
+                                .time = frontier,
+                                .machine = j});
+        }
+        obs.on_event(ObsEvent{.kind = ObsEventKind::kMachineBusy,
+                              .time = start,
+                              .machine = j});
+        busy = true;
+      }
+      frontier = start + inst.task(i).proc;
+    }
+    if (busy) {
+      obs.on_event(ObsEvent{.kind = ObsEventKind::kMachineIdle,
+                            .time = frontier,
+                            .machine = j});
+    }
+  }
+
+  obs.on_run_end(sched.makespan());
+}
+
+}  // namespace flowsched

@@ -1,0 +1,236 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace flowsched {
+namespace {
+
+// Display label of a run: algo plus the sweep tag when present.
+std::string run_label(const RunInfo& info) {
+  std::string label = info.algo.empty() ? "run" : info.algo;
+  if (info.tag.tagged()) {
+    label += " [" + info.tag.experiment + "/" + json_hex(info.tag.cell) +
+             "/rep" + std::to_string(info.tag.rep) + "]";
+  }
+  return label;
+}
+
+}  // namespace
+
+TraceRecorder::Run& TraceRecorder::current() {
+  if (runs_.empty() || runs_.back().ended) {
+    throw std::logic_error("TraceRecorder: event outside a run "
+                           "(missing on_run_begin)");
+  }
+  return runs_.back();
+}
+
+void TraceRecorder::on_run_begin(const RunInfo& info) {
+  if (!runs_.empty() && !runs_.back().ended) {
+    throw std::logic_error("TraceRecorder: nested on_run_begin");
+  }
+  Run run;
+  run.info = info;
+  runs_.push_back(std::move(run));
+}
+
+void TraceRecorder::on_event(const ObsEvent& e) {
+  Recorded rec{e.kind, e.time, e.task, e.machine, e.release, e.proc, {}};
+  if (e.kind == ObsEventKind::kTaskReleased && e.eligible != nullptr) {
+    rec.eligible = e.eligible->machines();  // callback-scoped pointer: copy
+  }
+  current().events.push_back(std::move(rec));
+}
+
+void TraceRecorder::on_run_end(double makespan) {
+  Run& run = current();
+  run.makespan = makespan;
+  run.ended = true;
+}
+
+std::size_t TraceRecorder::events() const {
+  std::size_t n = 0;
+  for (const Run& r : runs_) n += r.events.size();
+  return n;
+}
+
+void TraceRecorder::merge(TraceRecorder&& other) {
+  for (Run& run : other.runs_) runs_.push_back(std::move(run));
+  other.runs_.clear();
+}
+
+void TraceRecorder::write_json(std::ostream& out) const {
+  out << "{\"flowsched_trace\":1,\"displayTimeUnit\":\"ms\","
+         "\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& obj) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << obj;
+  };
+
+  for (std::size_t p = 0; p < runs_.size(); ++p) {
+    const Run& run = runs_[p];
+    const std::string pid = std::to_string(p);
+    const int m = run.info.m;
+
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+         ",\"tid\":0,\"args\":{\"name\":\"" + json_escape(run_label(run.info)) +
+         "\"}}");
+    for (int j = 0; j < m; ++j) {
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":" + std::to_string(j) + ",\"args\":{\"name\":\"M" +
+           std::to_string(j + 1) + "\"}}");
+    }
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +
+         ",\"tid\":" + std::to_string(m) +
+         ",\"args\":{\"name\":\"releases\"}}");
+
+    // Backlog counter needs time order; completions step down before
+    // simultaneous releases step up (same convention as MetricsCollector).
+    struct Step {
+      double time;
+      int delta;
+    };
+    std::vector<Step> steps;
+
+    for (const Recorded& e : run.events) {
+      switch (e.kind) {
+        case ObsEventKind::kTaskReleased: {
+          std::string eligible = "[";
+          for (std::size_t i = 0; i < e.eligible.size(); ++i) {
+            if (i > 0) eligible += ",";
+            eligible += std::to_string(e.eligible[i]);
+          }
+          eligible += "]";
+          emit("{\"name\":\"T" + std::to_string(e.task) +
+               "\",\"cat\":\"release\",\"ph\":\"i\",\"s\":\"p\",\"pid\":" +
+               pid + ",\"tid\":" + std::to_string(m) +
+               ",\"ts\":" + json_num(e.time * kTraceTimeScale) +
+               ",\"args\":{\"task\":" + std::to_string(e.task) +
+               ",\"eligible\":" + eligible + "}}");
+          steps.push_back({e.time, +1});
+          break;
+        }
+        case ObsEventKind::kTaskStarted: {
+          const double flow = e.time + e.proc - e.release;
+          emit("{\"name\":\"T" + std::to_string(e.task) +
+               "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":" + pid +
+               ",\"tid\":" + std::to_string(e.machine) +
+               ",\"ts\":" + json_num(e.time * kTraceTimeScale) +
+               ",\"dur\":" + json_num(e.proc * kTraceTimeScale) +
+               ",\"args\":{\"task\":" + std::to_string(e.task) +
+               ",\"release\":" + json_num(e.release) +
+               ",\"proc\":" + json_num(e.proc) +
+               ",\"flow\":" + json_num(flow) + "}}");
+          break;
+        }
+        case ObsEventKind::kTaskCompleted:
+          steps.push_back({e.time, -1});
+          break;
+        case ObsEventKind::kTaskDispatched:
+        case ObsEventKind::kMachineBusy:
+        case ObsEventKind::kMachineIdle:
+          // Fully represented by the slices; raw transitions live in the
+          // NDJSON variant.
+          break;
+      }
+    }
+
+    std::stable_sort(steps.begin(), steps.end(),
+                     [](const Step& a, const Step& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.delta < b.delta;
+                     });
+    int backlog = 0;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      backlog += steps[i].delta;
+      if (i + 1 < steps.size() && steps[i + 1].time == steps[i].time) continue;
+      emit("{\"name\":\"backlog\",\"cat\":\"backlog\",\"ph\":\"C\",\"pid\":" +
+           pid + ",\"tid\":0,\"ts\":" + json_num(steps[i].time * kTraceTimeScale) +
+           ",\"args\":{\"backlog\":" + std::to_string(backlog) + "}}");
+    }
+  }
+  out << "\n]}\n";
+}
+
+std::string TraceRecorder::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void TraceRecorder::write_ndjson(std::ostream& out) const {
+  out << "{\"flowsched_trace\":1,\"format\":\"ndjson\",\"runs\":"
+      << runs_.size() << "}\n";
+  for (std::size_t p = 0; p < runs_.size(); ++p) {
+    const Run& run = runs_[p];
+    const std::string rid = std::to_string(p);
+    out << "{\"ev\":\"run_begin\",\"run\":" << rid << ",\"m\":" << run.info.m
+        << ",\"algo\":\"" << json_escape(run.info.algo) << "\"";
+    if (run.info.tag.tagged()) {
+      out << ",\"experiment\":\"" << json_escape(run.info.tag.experiment)
+          << "\",\"cell\":\"" << json_hex(run.info.tag.cell)
+          << "\",\"rep\":" << run.info.tag.rep;
+    }
+    out << "}\n";
+    for (const Recorded& e : run.events) {
+      switch (e.kind) {
+        case ObsEventKind::kTaskReleased: {
+          out << "{\"ev\":\"task_released\",\"run\":" << rid
+              << ",\"t\":" << json_num(e.time) << ",\"task\":" << e.task
+              << ",\"release\":" << json_num(e.release)
+              << ",\"proc\":" << json_num(e.proc) << ",\"eligible\":[";
+          for (std::size_t i = 0; i < e.eligible.size(); ++i) {
+            if (i > 0) out << ",";
+            out << e.eligible[i];
+          }
+          out << "]}\n";
+          break;
+        }
+        case ObsEventKind::kTaskDispatched:
+          out << "{\"ev\":\"task_dispatched\",\"run\":" << rid
+              << ",\"t\":" << json_num(e.time) << ",\"task\":" << e.task
+              << ",\"machine\":" << e.machine << "}\n";
+          break;
+        case ObsEventKind::kTaskStarted:
+          out << "{\"ev\":\"task_started\",\"run\":" << rid
+              << ",\"t\":" << json_num(e.time) << ",\"task\":" << e.task
+              << ",\"machine\":" << e.machine << "}\n";
+          break;
+        case ObsEventKind::kTaskCompleted:
+          out << "{\"ev\":\"task_completed\",\"run\":" << rid
+              << ",\"t\":" << json_num(e.time) << ",\"task\":" << e.task
+              << ",\"machine\":" << e.machine
+              << ",\"flow\":" << json_num(e.time - e.release) << "}\n";
+          break;
+        case ObsEventKind::kMachineBusy:
+          out << "{\"ev\":\"machine_busy\",\"run\":" << rid
+              << ",\"t\":" << json_num(e.time) << ",\"machine\":" << e.machine
+              << "}\n";
+          break;
+        case ObsEventKind::kMachineIdle:
+          out << "{\"ev\":\"machine_idle\",\"run\":" << rid
+              << ",\"t\":" << json_num(e.time) << ",\"machine\":" << e.machine
+              << "}\n";
+          break;
+      }
+    }
+    out << "{\"ev\":\"run_end\",\"run\":" << rid
+        << ",\"makespan\":" << json_num(run.makespan) << "}\n";
+  }
+}
+
+std::string TraceRecorder::ndjson() const {
+  std::ostringstream out;
+  write_ndjson(out);
+  return out.str();
+}
+
+}  // namespace flowsched

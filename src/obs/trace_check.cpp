@@ -1,0 +1,226 @@
+#include "obs/trace_check.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace flowsched {
+namespace {
+
+void require(std::vector<std::string>& errors, bool ok, const std::string& what) {
+  if (!ok) errors.push_back(what);
+}
+
+bool has_number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number();
+}
+
+bool has_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string();
+}
+
+// §1: the version header. Shared by both encodings.
+void check_version(std::vector<std::string>& errors, const JsonValue& root,
+                   const char* where) {
+  const JsonValue* version = root.find("flowsched_trace");
+  if (version == nullptr || !version->is_number()) {
+    errors.push_back(std::string(where) +
+                     ": missing numeric \"flowsched_trace\" version header");
+  } else if (version->as_number() != 1) {
+    errors.push_back(std::string(where) + ": unsupported trace version " +
+                     json_num(version->as_number()));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_trace_json(std::string_view text) {
+  std::vector<std::string> errors;
+  JsonValue root;
+  try {
+    root = json_parse(text);
+  } catch (const std::exception& e) {
+    return {std::string("document does not parse: ") + e.what()};
+  }
+  if (!root.is_object()) return {"top level is not a JSON object (§2)"};
+  check_version(errors, root, "top level (§1)");
+
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    errors.push_back("missing \"traceEvents\" array (§2)");
+    return errors;
+  }
+
+  std::set<double> named_pids;   // pids with a process_name metadata event
+  std::set<double> used_pids;    // pids referenced by data events
+  for (std::size_t i = 0; i < events->as_array().size(); ++i) {
+    const JsonValue& e = events->as_array()[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      errors.push_back(at + ": not an object (§2.1)");
+      continue;
+    }
+    if (!has_string(e, "ph")) {
+      errors.push_back(at + ": missing string \"ph\" (§2.1)");
+      continue;
+    }
+    const std::string ph = e.find("ph")->as_string();
+    require(errors, has_number(e, "pid"), at + ": missing numeric \"pid\" (§2.1)");
+    require(errors, has_number(e, "tid"), at + ": missing numeric \"tid\" (§2.1)");
+    require(errors, has_string(e, "name"), at + ": missing string \"name\" (§2.1)");
+
+    if (ph == "M") {
+      const JsonValue* args = e.find("args");
+      require(errors, args != nullptr && args->is_object() &&
+                          has_string(*args, "name"),
+              at + ": metadata event without args.name (§2.2)");
+      if (has_number(e, "pid") && has_string(e, "name") &&
+          e.find("name")->as_string() == "process_name") {
+        named_pids.insert(e.find("pid")->as_number());
+      }
+      continue;
+    }
+    require(errors, has_number(e, "ts"),
+            at + ": non-metadata event without numeric \"ts\" (§2.1)");
+    if (has_number(e, "pid")) used_pids.insert(e.find("pid")->as_number());
+
+    if (ph == "X") {  // task slice, §2.3
+      const JsonValue* dur = e.find("dur");
+      require(errors, dur != nullptr && dur->is_number() &&
+                          dur->as_number() >= 0,
+              at + ": slice without non-negative \"dur\" (§2.3)");
+      const JsonValue* args = e.find("args");
+      require(errors, args != nullptr && args->is_object() &&
+                          has_number(*args, "task") &&
+                          has_number(*args, "release") &&
+                          has_number(*args, "proc") && has_number(*args, "flow"),
+              at + ": task slice args need task/release/proc/flow (§2.3)");
+    } else if (ph == "i") {  // release instant, §2.4
+      require(errors, has_string(e, "s"),
+              at + ": instant event without scope \"s\" (§2.4)");
+      const JsonValue* args = e.find("args");
+      require(errors, args != nullptr && args->is_object() &&
+                          has_number(*args, "task") &&
+                          args->find("eligible") != nullptr &&
+                          args->find("eligible")->is_array(),
+              at + ": release instant args need task + eligible array (§2.4)");
+    } else if (ph == "C") {  // backlog counter, §2.5
+      const JsonValue* args = e.find("args");
+      require(errors, args != nullptr && args->is_object() &&
+                          has_number(*args, "backlog"),
+              at + ": counter event without args.backlog (§2.5)");
+    } else {
+      errors.push_back(at + ": unknown event phase \"" + ph + "\" (§2.1)");
+    }
+  }
+  for (double pid : used_pids) {
+    require(errors, named_pids.count(pid) > 0,
+            "pid " + json_num(pid) + " has events but no process_name (§2.2)");
+  }
+  return errors;
+}
+
+std::vector<std::string> validate_trace_ndjson(std::string_view text) {
+  std::vector<std::string> errors;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  std::set<double> open_runs;
+  std::set<double> closed_runs;
+
+  const auto next_line = [&]() -> std::string_view {
+    if (pos >= text.size()) return {};
+    const std::size_t end = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? end : end - pos);
+    pos = end == std::string_view::npos ? text.size() : end + 1;
+    ++line_no;
+    return line;
+  };
+
+  const std::string_view header_line = next_line();
+  if (header_line.empty()) return {"empty document (§3)"};
+  JsonValue header;
+  try {
+    header = json_parse(header_line);
+  } catch (const std::exception& e) {
+    return {std::string("header line does not parse: ") + e.what()};
+  }
+  check_version(errors, header, "header (§1)");
+  require(errors, has_string(header, "format") &&
+                      header.find("format")->as_string() == "ndjson",
+          "header: \"format\" must be \"ndjson\" (§3)");
+
+  while (pos < text.size()) {
+    const std::string_view line = next_line();
+    if (line.empty()) continue;
+    const std::string at = "line " + std::to_string(line_no);
+    JsonValue e;
+    try {
+      e = json_parse(line);
+    } catch (const std::exception& ex) {
+      errors.push_back(at + ": does not parse: " + ex.what());
+      continue;
+    }
+    if (!e.is_object() || !has_string(e, "ev") || !has_number(e, "run")) {
+      errors.push_back(at + ": every event needs string \"ev\" and numeric "
+                            "\"run\" (§3.1)");
+      continue;
+    }
+    const std::string ev = e.find("ev")->as_string();
+    const double run = e.find("run")->as_number();
+
+    if (ev == "run_begin") {
+      require(errors, has_number(e, "m") && has_string(e, "algo"),
+              at + ": run_begin needs m + algo (§3.2)");
+      require(errors, open_runs.count(run) == 0 && closed_runs.count(run) == 0,
+              at + ": duplicate run id (§3.2)");
+      open_runs.insert(run);
+      continue;
+    }
+    require(errors, open_runs.count(run) > 0,
+            at + ": event for a run without a preceding run_begin (§3.1)");
+    if (ev == "run_end") {
+      require(errors, has_number(e, "makespan"),
+              at + ": run_end needs makespan (§3.2)");
+      open_runs.erase(run);
+      closed_runs.insert(run);
+    } else if (ev == "task_released") {
+      require(errors, has_number(e, "t") && has_number(e, "task") &&
+                          has_number(e, "release") && has_number(e, "proc") &&
+                          e.find("eligible") != nullptr &&
+                          e.find("eligible")->is_array(),
+              at + ": task_released needs t/task/release/proc/eligible (§3.3)");
+    } else if (ev == "task_dispatched" || ev == "task_started") {
+      require(errors, has_number(e, "t") && has_number(e, "task") &&
+                          has_number(e, "machine"),
+              at + ": " + ev + " needs t/task/machine (§3.3)");
+    } else if (ev == "task_completed") {
+      require(errors, has_number(e, "t") && has_number(e, "task") &&
+                          has_number(e, "machine") && has_number(e, "flow"),
+              at + ": task_completed needs t/task/machine/flow (§3.3)");
+    } else if (ev == "machine_busy" || ev == "machine_idle") {
+      require(errors, has_number(e, "t") && has_number(e, "machine"),
+              at + ": " + ev + " needs t/machine (§3.4)");
+    } else {
+      errors.push_back(at + ": unknown event type \"" + ev + "\" (§3.1)");
+    }
+  }
+  for (double run : open_runs) {
+    errors.push_back("run " + json_num(run) + " never ended (§3.2)");
+  }
+  return errors;
+}
+
+std::vector<std::string> validate_trace(std::string_view text) {
+  const std::size_t first_line_end = text.find('\n');
+  const std::string_view first_line = text.substr(0, first_line_end);
+  if (first_line.find("\"format\":\"ndjson\"") != std::string_view::npos) {
+    return validate_trace_ndjson(text);
+  }
+  return validate_trace_json(text);
+}
+
+}  // namespace flowsched

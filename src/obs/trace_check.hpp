@@ -1,0 +1,26 @@
+// Validation of trace files against the normative spec in
+// docs/trace-format.md: every check here cites the spec rule it enforces.
+// Used by `flowsched_cli check-trace`, by the cli_trace_smoke ctest, and by
+// tests/test_obs.cpp (round-trip: everything the recorder emits must
+// validate; anything missing a required field must not).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowsched {
+
+/// Validates a Chrome trace_event JSON document (trace-format.md §2).
+/// Returns the list of violations; empty means valid.
+std::vector<std::string> validate_trace_json(std::string_view text);
+
+/// Validates the NDJSON variant (trace-format.md §3).
+std::vector<std::string> validate_trace_ndjson(std::string_view text);
+
+/// Dispatches on the content: NDJSON documents start with the one-line
+/// header object carrying "format":"ndjson"; everything else is validated
+/// as the Chrome JSON form.
+std::vector<std::string> validate_trace(std::string_view text);
+
+}  // namespace flowsched

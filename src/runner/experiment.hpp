@@ -30,24 +30,64 @@
 
 namespace flowsched {
 
-/// Stable 64-bit id for an experiment name (FNV-1a). Used as the root of
-/// the per-replicate seed derivation so distinct benches draw disjoint
-/// streams even for equal (cell, rep) pairs.
+/// \brief Stable 64-bit id for an experiment name (FNV-1a 64 over the raw
+/// bytes, offset basis 0xcbf29ce484222325, prime 0x100000001b3).
+///
+/// The root of the seed-derivation chain: distinct benches draw disjoint
+/// RNG streams even for equal (cell, rep) pairs, because their names hash
+/// apart here. The id is stable across platforms and versions — it is part
+/// of the reproducibility contract (a trace tagged with an experiment name
+/// can be re-run from the name alone) — so the hash must never change.
+///
+/// \param name Bench name as it appears in the RunTag (e.g.
+///   "fig11_simulation").
+/// \return The FNV-1a hash (tests/test_experiment_determinism.cpp
+///   spot-checks that distinct bench names hash apart).
 std::uint64_t experiment_id(std::string_view name);
 
-/// Collapses grid coordinates into one 64-bit cell id (splitmix64 chain).
-/// Deliberately order-sensitive: cell_id({a, b}) != cell_id({b, a}).
+/// \brief Collapses grid coordinates into one 64-bit cell id.
+///
+/// Implementation: a splitmix64 chain — the state starts at the golden
+/// ratio constant 0x9e3779b97f4a7c15 and each coordinate is absorbed by
+/// `state = splitmix64(state ^ coord)`. The chain is deliberately
+/// order-sensitive (`cell_id({a, b}) != cell_id({b, a})`) and
+/// length-sensitive (`cell_id({0}) != cell_id({0, 0})`), so grids with
+/// symmetric coordinates still map every cell to a distinct id.
+///
+/// Cell ids travel in traces as 16-digit `0x…` hex strings (they exceed
+/// JSON's interoperable integer range; see docs/trace-format.md §4).
+///
+/// \param coords Grid coordinates in a fixed, documented order — the order
+///   is part of each bench's cell contract (e.g. fig11 uses
+///   {popularity, strategy, load}).
 std::uint64_t cell_id(std::initializer_list<std::uint64_t> coords);
 
-/// The seed of repetition `rep` of cell `cell`: splitmix64 mixing of the
-/// (experiment, cell, rep) tuple. Statistically independent streams for
-/// distinct tuples; identical no matter which thread runs the replicate.
+/// \brief The RNG seed of repetition `rep` of cell `cell` of experiment
+/// `experiment`.
+///
+/// Implementation: splitmix64 mixing of the tuple —
+/// `splitmix64(splitmix64(splitmix64(experiment) ^ cell) ^ rep)` (the same
+/// finalizer Rng uses to expand seeds, duplicated in runner/experiment.cpp
+/// so the contract cannot drift with Rng internals). The
+/// resulting streams are statistically independent for distinct tuples and
+/// identical no matter which worker thread runs the replicate; this is what
+/// makes `--threads N` byte-identical to `--threads 1` (and the traces
+/// attributable: a RunTag carrying (experiment, cell, rep) names exactly
+/// this seed).
+///
+/// \param experiment experiment_id() of the bench name.
+/// \param cell cell_id() of the replicate's grid coordinates.
+/// \param rep Repetition index within the cell, counted from 0.
+/// \return The seed to construct the replicate's Rng from; derive *all* of
+///   the replicate's randomness from it — never from shared RNG state or
+///   submission order.
 std::uint64_t replicate_seed(std::uint64_t experiment, std::uint64_t cell,
                              std::uint64_t rep);
 
-/// Thread-count resolution for the shared `--threads N` bench flag:
-/// n >= 1 is taken as-is, anything else (0, negative) means hardware
-/// concurrency (at least 1).
+/// \brief Thread-count resolution for the shared `--threads N` bench flag.
+///
+/// \param requested n >= 1 is taken as-is; anything else (0, negative)
+///   means hardware concurrency (at least 1).
 int resolve_threads(int requested);
 
 class ExperimentRunner {

@@ -13,7 +13,8 @@ OnlineEngine::OnlineEngine(int m, Dispatcher& dispatcher)
       count_(static_cast<std::size_t>(m), 0),
       finish_times_(static_cast<std::size_t>(m)),
       finished_cursor_(static_cast<std::size_t>(m), 0),
-      queued_(static_cast<std::size_t>(m), 0) {
+      queued_(static_cast<std::size_t>(m), 0),
+      observed_busy_(static_cast<std::size_t>(m), false) {
   if (m <= 0) throw std::invalid_argument("OnlineEngine: m <= 0");
   dispatcher_->reset(m);
 }
@@ -47,6 +48,17 @@ Assignment OnlineEngine::release(Task task) {
     }
   }
 
+  if (observer_ != nullptr) {
+    ObsEvent e;
+    e.kind = ObsEventKind::kTaskReleased;
+    e.time = task.release;
+    e.task = released();
+    e.release = task.release;
+    e.proc = task.proc;
+    e.eligible = &task.eligible;
+    observer_->on_event(e);
+  }
+
   const MachineState state{completion_, load_, count_, queued_};
   const int u = dispatcher_->dispatch(task, state);
   if (u < 0 || u >= m_ || !task.eligible.contains(u)) {
@@ -56,6 +68,36 @@ Assignment OnlineEngine::release(Task task) {
 
   const std::size_t uj = static_cast<std::size_t>(u);
   const double start = std::max(task.release, completion_[uj]);
+  if (observer_ != nullptr) {
+    // All four task milestones are known the moment the assignment commits
+    // (immediate dispatch): started/completed carry future model times.
+    ObsEvent e;
+    e.task = released();
+    e.machine = u;
+    e.release = task.release;
+    e.proc = task.proc;
+    e.kind = ObsEventKind::kTaskDispatched;
+    e.time = task.release;
+    observer_->on_event(e);
+    const double prev = completion_[uj];
+    if (!observed_busy_[uj] || start > prev) {
+      if (observed_busy_[uj]) {
+        observer_->on_event(ObsEvent{.kind = ObsEventKind::kMachineIdle,
+                                     .time = prev,
+                                     .machine = u});
+      }
+      observer_->on_event(ObsEvent{.kind = ObsEventKind::kMachineBusy,
+                                   .time = start,
+                                   .machine = u});
+      observed_busy_[uj] = true;
+    }
+    e.kind = ObsEventKind::kTaskStarted;
+    e.time = start;
+    observer_->on_event(e);
+    e.kind = ObsEventKind::kTaskCompleted;
+    e.time = start + task.proc;
+    observer_->on_event(e);
+  }
   completion_[uj] = start + task.proc;
   load_[uj] += task.proc;
   ++count_[uj];
@@ -64,6 +106,18 @@ Assignment OnlineEngine::release(Task task) {
   tasks_.push_back(std::move(task));
   assignments_.push_back(Assignment{u, start});
   return assignments_.back();
+}
+
+void OnlineEngine::finish_observation() {
+  if (observer_ == nullptr) return;
+  for (int j = 0; j < m_; ++j) {
+    const std::size_t ji = static_cast<std::size_t>(j);
+    if (!observed_busy_[ji]) continue;
+    observer_->on_event(ObsEvent{.kind = ObsEventKind::kMachineIdle,
+                                 .time = completion_[ji],
+                                 .machine = j});
+    observed_busy_[ji] = false;
+  }
 }
 
 double OnlineEngine::completion_of(int i) const {
@@ -98,6 +152,21 @@ Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher) {
     const Assignment a = engine.release(inst.task(i));
     sched.assign(i, a.machine, a.start);
   }
+  return sched;
+}
+
+Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher,
+                        SchedObserver& observer, const RunTag& tag) {
+  OnlineEngine engine(inst.m(), dispatcher);
+  observer.on_run_begin(RunInfo{inst.m(), dispatcher.name(), tag});
+  engine.set_observer(&observer);
+  Schedule sched(inst);
+  for (int i = 0; i < inst.n(); ++i) {
+    const Assignment a = engine.release(inst.task(i));
+    sched.assign(i, a.machine, a.start);
+  }
+  engine.finish_observation();
+  observer.on_run_end(sched.makespan());
   return sched;
 }
 

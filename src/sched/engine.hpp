@@ -16,6 +16,7 @@
 
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
+#include "obs/observer.hpp"
 #include "sched/dispatchers.hpp"
 
 namespace flowsched {
@@ -50,6 +51,30 @@ class OnlineEngine {
   /// the instance). Validates by construction order, not re-checked here.
   Schedule snapshot() const;
 
+  /// \brief Attaches a borrowed event sink (nullptr detaches).
+  ///
+  /// From the next release() on, the engine narrates task released /
+  /// dispatched / started / completed events and machine busy/idle
+  /// transitions to the observer (see obs/observer.hpp for timestamp
+  /// semantics). With no observer attached, every emission site is a single
+  /// null check — the engine's hot path is unchanged from the
+  /// pre-observability code (asserted by tests/test_obs.cpp).
+  ///
+  /// The engine emits only per-release events; the run brackets
+  /// (on_run_begin / on_run_end) belong to the driver — run_dispatcher()
+  /// handles them, incremental users (adversaries, cluster_sim) call them
+  /// around their release loops and finish_observation() at the end.
+  void set_observer(SchedObserver* observer) { observer_ = observer; }
+  SchedObserver* observer() const { return observer_; }
+
+  /// \brief Emits the trailing machine-idle transitions.
+  ///
+  /// Machines still busy at their completion frontier go idle there; call
+  /// once, after the last release (idempotent per attachment). Does not
+  /// emit on_run_end — that stays with the driver, which knows the
+  /// makespan it wants to report.
+  void finish_observation();
+
  private:
   int m_;
   Dispatcher* dispatcher_;
@@ -70,10 +95,18 @@ class OnlineEngine {
   std::vector<std::size_t> finished_cursor_;
   std::vector<int> queued_;
   double last_release_ = 0.0;
+  SchedObserver* observer_ = nullptr;  // borrowed; null = disabled (no cost)
+  // Machines whose busy interval is still open (for finish_observation).
+  std::vector<bool> observed_busy_;
 };
 
 /// Replays a full instance through `dispatcher` and returns the schedule
 /// (non-owning: references `inst`).
 Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher);
+
+/// As above, narrating the run to `observer` (run brackets included). The
+/// optional `tag` attributes the run to a sweep replicate (obs/observer.hpp).
+Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher,
+                        SchedObserver& observer, const RunTag& tag = {});
 
 }  // namespace flowsched

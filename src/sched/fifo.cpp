@@ -28,10 +28,86 @@ double next_event_time(const Instance& inst, int next_release_idx,
   return next;
 }
 
+// Shared observer narration for the two queue simulations. Every method is
+// a no-op when no observer is attached, so the simulation cost is one null
+// check per emission site (same contract as OnlineEngine).
+class FifoNarrator {
+ public:
+  FifoNarrator(SchedObserver* obs, const Instance& inst, const char* algo)
+      : obs_(obs), inst_(&inst) {
+    if (obs_ == nullptr) return;
+    obs_->on_run_begin(RunInfo{inst.m(), algo, {}});
+    busy_.assign(static_cast<std::size_t>(inst.m()), false);
+  }
+
+  void released(int i) {
+    if (obs_ == nullptr) return;
+    const Task& t = inst_->task(i);
+    ObsEvent e;
+    e.kind = ObsEventKind::kTaskReleased;
+    e.time = t.release;
+    e.task = i;
+    e.release = t.release;
+    e.proc = t.proc;
+    e.eligible = &t.eligible;
+    obs_->on_event(e);
+  }
+
+  /// Task i starts on u at time t; prev_free is the machine's completion
+  /// frontier before this start. FIFO commits the dispatch at start time,
+  /// so task_dispatched and task_started coincide.
+  void started(int i, int u, double t, double prev_free) {
+    if (obs_ == nullptr) return;
+    const Task& task = inst_->task(i);
+    ObsEvent e;
+    e.task = i;
+    e.machine = u;
+    e.release = task.release;
+    e.proc = task.proc;
+    e.kind = ObsEventKind::kTaskDispatched;
+    e.time = t;
+    obs_->on_event(e);
+    const std::size_t uj = static_cast<std::size_t>(u);
+    if (!busy_[uj] || t > prev_free) {
+      if (busy_[uj]) {
+        obs_->on_event(ObsEvent{.kind = ObsEventKind::kMachineIdle,
+                                .time = prev_free,
+                                .machine = u});
+      }
+      obs_->on_event(ObsEvent{.kind = ObsEventKind::kMachineBusy,
+                              .time = t,
+                              .machine = u});
+      busy_[uj] = true;
+    }
+    e.kind = ObsEventKind::kTaskStarted;
+    e.time = t;
+    obs_->on_event(e);
+    e.kind = ObsEventKind::kTaskCompleted;
+    e.time = t + task.proc;
+    obs_->on_event(e);
+  }
+
+  void finish(const std::vector<double>& machine_free, double makespan) {
+    if (obs_ == nullptr) return;
+    for (std::size_t j = 0; j < busy_.size(); ++j) {
+      if (!busy_[j]) continue;
+      obs_->on_event(ObsEvent{.kind = ObsEventKind::kMachineIdle,
+                              .time = machine_free[j],
+                              .machine = static_cast<int>(j)});
+    }
+    obs_->on_run_end(makespan);
+  }
+
+ private:
+  SchedObserver* obs_;
+  const Instance* inst_;
+  std::vector<bool> busy_;
+};
+
 }  // namespace
 
 Schedule fifo_schedule(const Instance& inst, TieBreakKind tie,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, SchedObserver* observer) {
   if (!inst.unrestricted_sets()) {
     throw std::invalid_argument(
         "fifo_schedule: instance has processing set restrictions; "
@@ -39,6 +115,7 @@ Schedule fifo_schedule(const Instance& inst, TieBreakKind tie,
   }
   TieBreak breaker(tie, seed);
   Schedule sched(inst);
+  FifoNarrator narrator(observer, inst, "FIFO");
   std::vector<double> machine_free(static_cast<std::size_t>(inst.m()), 0.0);
   std::deque<int> queue;
   int next_release = 0;
@@ -46,6 +123,7 @@ Schedule fifo_schedule(const Instance& inst, TieBreakKind tie,
 
   while (next_release < inst.n() || !queue.empty()) {
     while (next_release < inst.n() && inst.task(next_release).release <= t) {
+      narrator.released(next_release);
       queue.push_back(next_release++);
     }
     // Drain the queue onto idle machines, one tie-break per started task
@@ -60,6 +138,7 @@ Schedule fifo_schedule(const Instance& inst, TieBreakKind tie,
       const int i = queue.front();
       queue.pop_front();
       sched.assign(i, u, t);
+      narrator.started(i, u, t, machine_free[static_cast<std::size_t>(u)]);
       machine_free[static_cast<std::size_t>(u)] = t + inst.task(i).proc;
     }
     const double next =
@@ -67,13 +146,15 @@ Schedule fifo_schedule(const Instance& inst, TieBreakKind tie,
     if (next == kInf) break;
     t = std::max(t, next);
   }
+  narrator.finish(machine_free, sched.makespan());
   return sched;
 }
 
 Schedule fifo_eligible_schedule(const Instance& inst, TieBreakKind tie,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, SchedObserver* observer) {
   TieBreak breaker(tie, seed);
   Schedule sched(inst);
+  FifoNarrator narrator(observer, inst, "FIFO-eligible");
   std::vector<double> machine_free(static_cast<std::size_t>(inst.m()), 0.0);
   std::vector<int> waiting;  // indices in release (= FIFO) order
   int next_release = 0;
@@ -81,6 +162,7 @@ Schedule fifo_eligible_schedule(const Instance& inst, TieBreakKind tie,
 
   while (next_release < inst.n() || !waiting.empty()) {
     while (next_release < inst.n() && inst.task(next_release).release <= t) {
+      narrator.released(next_release);
       waiting.push_back(next_release++);
     }
     // Repeatedly start the earliest-released waiting task that has an idle
@@ -97,6 +179,7 @@ Schedule fifo_eligible_schedule(const Instance& inst, TieBreakKind tie,
         if (idle.empty()) continue;
         const int u = breaker.choose(idle);
         sched.assign(i, u, t);
+        narrator.started(i, u, t, machine_free[static_cast<std::size_t>(u)]);
         machine_free[static_cast<std::size_t>(u)] = t + inst.task(i).proc;
         waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(q));
         progress = true;
@@ -108,6 +191,7 @@ Schedule fifo_eligible_schedule(const Instance& inst, TieBreakKind tie,
     if (next == kInf) break;
     t = std::max(t, next);
   }
+  narrator.finish(machine_free, sched.makespan());
   return sched;
 }
 

@@ -18,19 +18,28 @@
 
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
+#include "obs/observer.hpp"
 #include "sched/tiebreak.hpp"
 
 namespace flowsched {
 
 /// Classic FIFO on identical machines. Requires an unrestricted instance
 /// (every M_i = all machines); throws std::invalid_argument otherwise.
+///
+/// When `observer` is non-null the simulation narrates the run
+/// (obs/observer.hpp), run brackets included. FIFO is not immediate
+/// dispatch: the dispatch commitment happens when the task starts, so
+/// task_dispatched and task_started share a timestamp — the convention
+/// docs/trace-format.md specifies for queue-based algorithms.
 Schedule fifo_schedule(const Instance& inst, TieBreakKind tie = TieBreakKind::kMin,
-                       std::uint64_t seed = 0);
+                       std::uint64_t seed = 0, SchedObserver* observer = nullptr);
 
 /// FIFO with eligibility: an idle machine pulls the earliest-released
-/// waiting task it may process. Works on any instance.
+/// waiting task it may process. Works on any instance. Observer semantics
+/// as in fifo_schedule.
 Schedule fifo_eligible_schedule(const Instance& inst,
                                 TieBreakKind tie = TieBreakKind::kMin,
-                                std::uint64_t seed = 0);
+                                std::uint64_t seed = 0,
+                                SchedObserver* observer = nullptr);
 
 }  // namespace flowsched

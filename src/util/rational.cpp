@@ -1,5 +1,7 @@
 #include "util/rational.hpp"
 
+#include <bit>
+#include <cmath>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -100,6 +102,35 @@ std::ostream& operator<<(std::ostream& os, const Rational& r) {
   os << r.num();
   if (r.den() != 1) os << '/' << r.den();
   return os;
+}
+
+std::optional<Rational> rational_from_double(double x) {
+  if (!std::isfinite(x)) return std::nullopt;
+  if (x == 0.0) return Rational(0);
+  int exp = 0;
+  const double frac = std::frexp(x, &exp);  // x = frac * 2^exp, |frac| in [0.5, 1)
+  // frac * 2^53 is an odd-or-even integer with |.| < 2^53: exact in int64.
+  auto mant = static_cast<std::int64_t>(std::ldexp(frac, 53));
+  int e = exp - 53;  // x = mant * 2^e
+  const bool negative = mant < 0;
+  std::uint64_t umant = negative ? static_cast<std::uint64_t>(-mant)
+                                 : static_cast<std::uint64_t>(mant);
+  const int shift = std::countr_zero(umant);
+  umant >>= shift;
+  e += shift;
+  if (e >= 0) {
+    if (e >= 63 ||
+        umant > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max() >> e)) {
+      return std::nullopt;
+    }
+    const auto num = static_cast<std::int64_t>(umant << e);
+    return Rational(negative ? -num : num);
+  }
+  if (-e >= 63) return std::nullopt;  // denominator would exceed int64
+  const auto den = static_cast<std::int64_t>(std::uint64_t{1} << -e);
+  const auto num = static_cast<std::int64_t>(umant);
+  return Rational(negative ? -num : num, den);
 }
 
 }  // namespace flowsched

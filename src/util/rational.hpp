@@ -10,6 +10,7 @@
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 namespace flowsched {
@@ -54,5 +55,14 @@ class Rational {
 };
 
 std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Exact conversion of a double to the Rational it represents. Every finite
+/// double is a binary rational mantissa * 2^e; the conversion succeeds iff
+/// that value fits in int64/int64 after reduction (it does for all the
+/// integer and power-of-two times the theory instances use, and for any
+/// double whose reduced denominator is below 2^63). Returns nullopt for
+/// non-finite input or when the exact value cannot be represented —
+/// callers fall back to double arithmetic (see FlowHistogram).
+std::optional<Rational> rational_from_double(double x);
 
 }  // namespace flowsched

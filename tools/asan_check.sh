@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# AddressSanitizer gate for the observability/trace pipeline: configures an
+# ASan+UBSan build (-DFLOWSCHED_SANITIZE=address), builds the CLI and test
+# binary, runs a gen -> trace -> check-trace smoke in both encodings, and
+# runs the observer/trace/metrics test suites.
+#
+# Usage: tools/asan_check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFLOWSCHED_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_tests -j "$(nproc)"
+
+# CLI smoke under ASan: a leak or OOB anywhere in the recorder/validator
+# path aborts with a non-zero exit.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI="$BUILD_DIR/tools/flowsched_cli"
+"$CLI" gen --m 6 --k 3 --n 200 --strategy overlapping --seed 7 > "$SMOKE_DIR/inst.txt"
+"$CLI" trace --instance "$SMOKE_DIR/inst.txt" --algo eft-min \
+  --out "$SMOKE_DIR/trace.json" --metrics "$SMOKE_DIR/metrics.json"
+"$CLI" check-trace --input "$SMOKE_DIR/trace.json"
+"$CLI" trace --instance "$SMOKE_DIR/inst.txt" --algo fifo-eligible \
+  --ndjson --out "$SMOKE_DIR/trace.ndjson"
+"$CLI" check-trace --input "$SMOKE_DIR/trace.ndjson"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo'
+echo "asan_check: OK"

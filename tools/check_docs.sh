@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Documentation consistency gate, registered as the `check_docs` ctest:
+#
+#   1. every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
+#      ROADMAP.md and docs/*.md resolves to an existing file or directory;
+#   2. every bench binary named in EXPERIMENTS.md (bench_* / micro_*) has a
+#      matching source file under bench/;
+#   3. the docs/ handbook pages referenced from the README actually exist.
+#
+# Usage: tools/check_docs.sh   (from anywhere; cds to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+say() { printf '%s\n' "$*" >&2; }
+
+# --- 1. relative links -----------------------------------------------------
+# Extract ](target) markdown link targets; ignore absolute URLs and pure
+# anchors; strip a trailing #fragment before testing existence.
+doc_files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+for doc in "${doc_files[@]}"; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # shellcheck disable=SC2013
+  for target in $(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//'); do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      say "check_docs: $doc: broken link -> $target"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. bench names in EXPERIMENTS.md --------------------------------------
+# ctest names (registered in bench/CMakeLists.txt, no .cpp of their own)
+# are exempt.
+ctest_names="bench_determinism_fig11"
+for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sort -u); do
+  case " $ctest_names " in *" $bench "*) continue ;; esac
+  if [ ! -f "bench/$bench.cpp" ]; then
+    say "check_docs: EXPERIMENTS.md names '$bench' but bench/$bench.cpp does not exist"
+    fail=1
+  fi
+done
+
+# --- 3. handbook pages -----------------------------------------------------
+for page in docs/architecture.md docs/observability.md docs/trace-format.md; do
+  if [ ! -f "$page" ]; then
+    say "check_docs: missing handbook page $page"
+    fail=1
+  fi
+  if ! grep -q "$page" README.md; then
+    say "check_docs: README.md does not reference $page"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  say "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"

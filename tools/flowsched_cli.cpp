@@ -8,22 +8,35 @@
 //                      [--strategy overlapping|disjoint|spread|none]
 //                      [--seed N]
 //   flowsched_cli bounds [--input FILE]
+//   flowsched_cli trace  --instance FILE [--algo <name>] [--out FILE]
+//                        [--metrics FILE] [--ndjson] [--seed N]
+//   flowsched_cli check-trace --input FILE
 //
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
 // matching, or the preemptive optimum for arbitrary tasks); `gen` emits a
 // key-value-store workload in the instance format; `bounds` prints the
-// certified lower bounds. Instance format: see src/io/instance_io.hpp.
+// certified lower bounds; `trace` schedules the instance with the observer
+// attached and writes a Chrome trace_event JSON (or NDJSON) file plus an
+// optional one-line metrics summary (docs/observability.md); `check-trace`
+// validates a trace file against docs/trace-format.md. Instance format: see
+// src/io/instance_io.hpp.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "io/instance_io.hpp"
 #include "util/args.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_check.hpp"
 #include "offline/lower_bounds.hpp"
 #include "offline/preemptive_optimal.hpp"
 #include "offline/unit_optimal.hpp"
@@ -36,56 +49,72 @@ using namespace flowsched;
 
 namespace {
 
-Instance read_input(const ArgParser& args) {
-  const std::string path = args.get("input", "");
+/// Loads the instance from `path`, or stdin when empty. Callers query the
+/// --input / --instance option themselves, so commands that validate their
+/// option list can run reject_unknown() before any I/O happens.
+Instance read_input(const std::string& path) {
   if (path.empty()) return parse_instance(std::cin);
   return load_instance(path);
 }
 
+/// Dispatcher-backed algorithms by CLI name; returns nullptr for the
+/// queue-based algorithms (fifo / fifo-eligible / fifo-disjoint), which the
+/// callers handle separately, and throws on an unknown name.
+std::unique_ptr<Dispatcher> make_dispatcher(const std::string& algo,
+                                            std::uint64_t seed) {
+  if (algo == "fifo" || algo == "fifo-eligible" || algo == "fifo-disjoint") {
+    return nullptr;
+  }
+  if (algo == "eft-min") return make_eft_min();
+  if (algo == "eft-max") return make_eft_max();
+  if (algo == "eft-rand") return make_eft_rand(seed);
+  if (algo == "random") return std::make_unique<RandomEligibleDispatcher>(seed);
+  if (algo == "jsq") return std::make_unique<JsqDispatcher>(TieBreakKind::kMin);
+  if (algo == "rr") return std::make_unique<RoundRobinDispatcher>();
+  if (algo == "po2") return std::make_unique<PowerOfDChoicesDispatcher>(2, seed);
+  throw std::invalid_argument("unknown --algo '" + algo + "'");
+}
+
+/// Schedules `inst` with `algo`, narrating to `observer` when non-null.
+/// fifo-disjoint has no engine inside, so its run is traced by replaying
+/// the finished schedule (replay_schedule).
+Schedule run_algo(const Instance& inst, const std::string& algo,
+                  std::uint64_t seed, SchedObserver* observer) {
+  if (algo == "fifo") return fifo_schedule(inst, TieBreakKind::kMin, 0, observer);
+  if (algo == "fifo-eligible") {
+    return fifo_eligible_schedule(inst, TieBreakKind::kMin, 0, observer);
+  }
+  if (algo == "fifo-disjoint") {
+    // Theorem 6: independent FIFO per disjoint group (Corollary 1).
+    Schedule sched = composed_fifo_schedule(inst);
+    if (observer != nullptr) {
+      replay_schedule(sched, RunInfo{inst.m(), "FIFO-disjoint", {}}, *observer);
+    }
+    return sched;
+  }
+  auto dispatcher = make_dispatcher(algo, seed);
+  if (observer != nullptr) return run_dispatcher(inst, *dispatcher, *observer);
+  return run_dispatcher(inst, *dispatcher);
+}
+
 int cmd_run(const ArgParser& args) {
-  const auto inst = read_input(args);
+  // Consume every option and reject typos before touching the input: a
+  // misspelled flag must not leave the CLI waiting on stdin.
+  const std::string input = args.get("input", "");
   const std::string algo = args.get("algo", "eft-min");
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 0));
+  const bool want_csv = args.has("csv");
+  const bool want_gantt = args.has("gantt");
+  args.reject_unknown();
+  const auto inst = read_input(input);
 
-  Schedule sched(inst);
-  if (algo == "fifo") {
-    sched = fifo_schedule(inst);
-  } else if (algo == "fifo-eligible") {
-    sched = fifo_eligible_schedule(inst);
-  } else if (algo == "fifo-disjoint") {
-    // Theorem 6: independent FIFO per disjoint group (Corollary 1).
-    sched = composed_fifo_schedule(inst);
-  } else {
-    std::unique_ptr<Dispatcher> dispatcher;
-    if (algo == "eft-min") {
-      dispatcher = make_eft_min();
-    } else if (algo == "eft-max") {
-      dispatcher = make_eft_max();
-    } else if (algo == "eft-rand") {
-      dispatcher = make_eft_rand(seed);
-    } else if (algo == "random") {
-      dispatcher = std::make_unique<RandomEligibleDispatcher>(seed);
-    } else if (algo == "jsq") {
-      dispatcher = std::make_unique<JsqDispatcher>(TieBreakKind::kMin);
-    } else if (algo == "rr") {
-      dispatcher = std::make_unique<RoundRobinDispatcher>();
-    } else if (algo == "po2") {
-      dispatcher = std::make_unique<PowerOfDChoicesDispatcher>(2, seed);
-    } else {
-      std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
-      return 2;
-    }
-    sched = run_dispatcher(inst, *dispatcher);
-  }
+  Schedule sched = run_algo(inst, algo, seed, nullptr);
 
   const auto validation = sched.validate();
   if (!validation.ok()) {
     std::fprintf(stderr, "INVALID SCHEDULE:\n%s", validation.str().c_str());
     return 3;
   }
-  const bool want_csv = args.has("csv");
-  const bool want_gantt = args.has("gantt");
-  args.reject_unknown();
   if (want_csv) {
     write_schedule_csv(std::cout, sched);
     return 0;
@@ -99,8 +128,96 @@ int cmd_run(const ArgParser& args) {
   return 0;
 }
 
+int cmd_trace(const ArgParser& args) {
+  // --instance is the documented spelling; --input is accepted for symmetry
+  // with the other subcommands. Options are all consumed (and typos
+  // rejected) before the instance is read, so a misspelled flag cannot
+  // leave the CLI waiting on stdin.
+  std::string path = args.get("instance", "");
+  if (path.empty()) path = args.get("input", "");
+  const std::string algo = args.get("algo", "eft-min");
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 0));
+  const std::string out_path = args.get("out", "trace.json");
+  const std::string metrics_path = args.get("metrics", "");
+  const bool want_ndjson = args.has("ndjson");
+  args.reject_unknown();
+  const Instance inst = read_input(path);
+
+  TraceRecorder trace;
+  MetricsCollector metrics;
+  MulticastObserver observer({&trace, &metrics});
+  Schedule sched = run_algo(inst, algo, seed, &observer);
+
+  const auto validation = sched.validate();
+  if (!validation.ok()) {
+    std::fprintf(stderr, "INVALID SCHEDULE:\n%s", validation.str().c_str());
+    return 3;
+  }
+
+  const std::string text = want_ndjson ? trace.ndjson() : trace.json();
+  // Every trace the CLI writes must satisfy its own spec; failing here is a
+  // bug in the recorder, not in the input.
+  const auto violations = validate_trace(text);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "internal error: emitted trace violates spec:\n");
+    for (const auto& v : violations) std::fprintf(stderr, "  %s\n", v.c_str());
+    return 4;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+    return 2;
+  }
+  out << text;
+  out.close();
+
+  if (!metrics_path.empty()) {
+    std::ofstream mout(metrics_path, std::ios::binary);
+    if (!mout) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    mout << metrics.to_json() << "\n";
+  }
+
+  std::printf("algo=%s n=%d m=%d events=%zu trace=%s%s%s\n", algo.c_str(),
+              inst.n(), inst.m(), trace.events(), out_path.c_str(),
+              metrics_path.empty() ? "" : " metrics=",
+              metrics_path.c_str());
+  std::printf("Fmax=%.6g mean_flow=%.6g makespan=%.6g max_backlog=%d\n",
+              metrics.max_flow(), metrics.mean_flow(), metrics.makespan(),
+              metrics.max_backlog());
+  return 0;
+}
+
+int cmd_check_trace(const ArgParser& args) {
+  const std::string path = args.get("input", "");
+  args.reject_unknown();
+  if (path.empty()) {
+    std::fprintf(stderr, "check-trace needs --input FILE\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto violations = validate_trace(buffer.str());
+  if (violations.empty()) {
+    std::printf("%s: OK\n", path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s: %zu violation(s)\n", path.c_str(),
+               violations.size());
+  for (const auto& v : violations) std::fprintf(stderr, "  %s\n", v.c_str());
+  return 1;
+}
+
 int cmd_opt(const ArgParser& args) {
-  const auto inst = read_input(args);
+  const auto inst = read_input(args.get("input", ""));
   if (args.has("preemptive")) {
     std::printf("preemptive OPT Fmax = %.6g\n", preemptive_optimal_fmax(inst));
     return 0;
@@ -152,7 +269,7 @@ int cmd_gen(const ArgParser& args) {
 }
 
 int cmd_bounds(const ArgParser& args) {
-  const auto inst = read_input(args);
+  const auto inst = read_input(args.get("input", ""));
   std::printf("pmax bound:              %.6g\n", lb_pmax(inst));
   std::printf("volume bound:            %.6g\n", lb_volume(inst));
   std::printf("restricted volume bound: %.6g\n", lb_volume_restricted(inst));
@@ -169,12 +286,15 @@ int main(int argc, char** argv) {
     if (args.command() == "opt") return cmd_opt(args);
     if (args.command() == "gen") return cmd_gen(args);
     if (args.command() == "bounds") return cmd_bounds(args);
+    if (args.command() == "trace") return cmd_trace(args);
+    if (args.command() == "check-trace") return cmd_check_trace(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
   }
   std::fprintf(stderr,
-               "usage: flowsched_cli run|opt|gen|bounds [--options]\n"
+               "usage: flowsched_cli run|opt|gen|bounds|trace|check-trace "
+               "[--options]\n"
                "see the header of tools/flowsched_cli.cpp\n");
   return 2;
 }

@@ -1,0 +1,81 @@
+# End-to-end smoke of the observability pipeline, registered as the
+# cli_trace_smoke ctest by tools/CMakeLists.txt:
+#
+#   1. flowsched_cli gen -> trace (Chrome JSON + metrics) -> check-trace;
+#   2. the same instance traced as NDJSON -> check-trace;
+#   3. bench_fig11_simulation --trace-dir on a small grid at --threads 1
+#      and --threads 4: every emitted trace/metrics file must be
+#      byte-identical (the determinism contract of docs/trace-format.md).
+#
+# Usable standalone:
+#
+#   cmake -DCLI=build/tools/flowsched_cli \
+#         -DFIG11=build/bench/bench_fig11_simulation \
+#         -DWORK_DIR=/tmp -P tools/trace_smoke.cmake
+if(NOT DEFINED CLI OR NOT DEFINED FIG11)
+  message(FATAL_ERROR "trace_smoke.cmake: -DCLI= and -DFIG11= are required")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/trace_smoke)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir} ${dir}/t1 ${dir}/t4)
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    string(JOIN " " cmdline ${ARGN})
+    message(FATAL_ERROR "trace_smoke: '${cmdline}' failed (rc=${rc})")
+  endif()
+endfunction()
+
+# --- 1. gen -> trace -> check-trace (Chrome JSON) --------------------------
+execute_process(
+  COMMAND ${CLI} gen --m 6 --k 3 --n 50 --strategy overlapping --seed 7
+  OUTPUT_FILE ${dir}/inst.txt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: flowsched_cli gen failed (rc=${rc})")
+endif()
+
+run_checked(${CLI} trace --instance ${dir}/inst.txt --algo eft-min
+            --out ${dir}/trace.json --metrics ${dir}/metrics.json)
+run_checked(${CLI} check-trace --input ${dir}/trace.json)
+
+# --- 2. the NDJSON encoding ------------------------------------------------
+run_checked(${CLI} trace --instance ${dir}/inst.txt --algo fifo-eligible
+            --ndjson --out ${dir}/trace.ndjson)
+run_checked(${CLI} check-trace --input ${dir}/trace.ndjson)
+
+# --- 3. --trace-dir determinism across thread counts -----------------------
+run_checked(${FIG11} --reps 2 --requests 300 --threads 1 --trace-dir ${dir}/t1)
+run_checked(${FIG11} --reps 2 --requests 300 --threads 4 --trace-dir ${dir}/t4)
+
+file(GLOB t1_files RELATIVE ${dir}/t1 ${dir}/t1/*)
+if(t1_files STREQUAL "")
+  message(FATAL_ERROR "trace_smoke: --trace-dir produced no files")
+endif()
+foreach(f IN LISTS t1_files)
+  if(NOT EXISTS ${dir}/t4/${f})
+    message(FATAL_ERROR "trace_smoke: ${f} emitted at --threads 1 but not 4")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/t1/${f} ${dir}/t4/${f}
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace_smoke: ${f} differs between --threads 1 and --threads 4; "
+        "tracing broke the determinism contract "
+        "(diff ${dir}/t1/${f} ${dir}/t4/${f})")
+  endif()
+  # Every trace artifact must satisfy the spec, not just the ones the CLI
+  # path exercises. (fig11_metrics.ndjson is metrics rows, not a trace.)
+  if(f MATCHES "_trace\\.json$")
+    run_checked(${CLI} check-trace --input ${dir}/t1/${f})
+  endif()
+endforeach()
+
+list(LENGTH t1_files n_files)
+message(STATUS "trace_smoke: ${n_files} trace-dir files byte-identical and spec-valid")
