@@ -1,22 +1,41 @@
 // Figure 10: theoretical maximum cluster load from LP (15).
 //
-// (a) median max-load (% of m) over 100 random popularity permutations
-//     (Shuffled case), for s in [0, 5] step 0.25 and k in [1, m], m = 15,
-//     for both replication strategies;
+// (a) median max-load (% of m) over `--permutations` random popularity
+//     permutations (Shuffled case), for s in [0, 5] step 0.25 and a grid
+//     of replication degrees k, for both replication strategies;
 // (b) the ratio overlapping/disjoint of those medians.
 //
-// The sweep uses the lambda-bisection + max-flow solver; it computes the
-// identical optimum to the simplex (cross-checked in the test suite and on
-// spot cells below), keeping the 63,000-solve sweep honest with two
-// independent algorithms. Both are microsecond-fast at m = 15 (see
-// micro_lp for the exact numbers).
+// Defaults reproduce the paper (m = 15, every k in [1, m], 100
+// permutations). `--m` scales the analysis up: past m = 16 the k grid
+// switches to powers of two (plus m itself), since the full k sweep grows
+// quadratically while the paper's claims are about the k-trend, not every
+// integer k.
 //
-// The (s, k) cells are independent jobs on the experiment runner
-// (--threads N). Popularity permutation p of row s is regenerated inside
-// each cell from replicate_seed(experiment, s-index, p), so every k and
-// both strategies see the *same* 100 permutations (the paper's paired
-// protocol) and the output is byte-identical at any thread count.
+// Solvers (`--solver`):
+//   * lp (default) — sparse revised simplex via MaxLoadSolver. Jobs are one
+//     per k: each job walks s ascending x permutations x both strategies
+//     through two warm-started solvers, so consecutive solves differ only
+//     in the popularity vector and re-use the previous optimal basis. This
+//     is what makes m = 1024 a minutes-scale run (see EXPERIMENTS.md).
+//   * flow — the lambda-bisection + Dinic feasibility oracle, kept as the
+//     independent algorithm for cross-checks (also exercised on spot cells
+//     below regardless of --solver).
+//
+// Determinism: jobs fan out on the experiment runner (--threads N).
+// Permutation p is regenerated inside each job from
+// replicate_seed(experiment, p, 0) — the permutation depends only on p,
+// not on s or k, so every cell of the grid and both strategies see the
+// *same* permutations (the paper's paired protocol, extended along s).
+// Each job iterates permutation-major: for each p, the s ladder is walked
+// ascending, so consecutive LP solves share a permutation and differ only
+// in the Zipf exponent — the nearby optima are what make the warm chain
+// effective. Chains are sequential inside their job, so the output is
+// byte-identical at any thread count (timing goes to stderr, which the
+// determinism diff excludes).
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,18 +50,40 @@
 
 using namespace flowsched;
 
+namespace {
+
+/// All k in [1, m] for small m (the paper's grid); powers of two plus m
+/// itself beyond that.
+std::vector<int> k_grid(int m) {
+  std::vector<int> ks;
+  if (m <= 16) {
+    for (int k = 1; k <= m; ++k) ks.push_back(k);
+  } else {
+    for (int k = 1; k < m; k *= 2) ks.push_back(k);
+    ks.push_back(m);
+  }
+  return ks;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int m = 15;
   const ArgParser args(argc, argv);
+  const int m = args.integer("m", 15);
   const int permutations = args.integer("permutations", 100);
+  const std::string solver = args.get("solver", "lp");
   ExperimentRunner runner(args.integer("threads", 0));
   args.reject_unknown();
+  if (m < 1) throw std::invalid_argument("--m must be positive");
+  if (solver != "lp" && solver != "flow") {
+    throw std::invalid_argument("--solver must be lp or flow");
+  }
   const std::uint64_t exp = experiment_id("fig10_maxload");
 
   std::vector<double> s_values;
   for (int i = 0; i <= 20; ++i) s_values.push_back(0.25 * i);
-  std::vector<int> k_values;
-  for (int k = 1; k <= m; ++k) k_values.push_back(k);
+  const std::vector<int> k_values = k_grid(m);
+  const std::size_t n_s = s_values.size();
 
   std::vector<std::string> row_labels;
   for (double s : s_values) row_labels.push_back(TextTable::num(s, 2));
@@ -53,36 +94,62 @@ int main(int argc, char** argv) {
   HeatGrid disj(row_labels, col_labels);
   HeatGrid ratio(row_labels, col_labels);
 
-  // One job per (s, k) cell: 21 x 15 = 315 jobs, each ~2 * permutations
-  // flow solves. Regenerating the permutations per cell is microseconds
-  // against that, and is what makes the cells order-independent.
+  // One job per k: a job owns the two replica-set skeletons for its k and
+  // chains permutations x the ascending s ladder x both strategies through
+  // them. With --solver lp every solve warm-starts from the previous basis,
+  // and walking s for a fixed permutation keeps consecutive problems close;
+  // regenerating each permutation from replicate_seed(exp, p, 0) keeps the
+  // protocol paired across s, k, and strategies.
   struct Cell {
     double over;
     double disj;
   };
-  const int n_k = static_cast<int>(k_values.size());
-  const auto cells = runner.map<Cell>(
-      static_cast<int>(s_values.size()) * n_k, [&](int job) {
-        const std::size_t si = static_cast<std::size_t>(job / n_k);
-        const int k = k_values[static_cast<std::size_t>(job % n_k)];
+  const auto start_time = std::chrono::steady_clock::now();
+  const auto columns = runner.map<std::vector<Cell>>(
+      static_cast<int>(k_values.size()), [&](int job) {
+        const int k = k_values[static_cast<std::size_t>(job)];
         const auto over_sets =
             replica_sets(ReplicationStrategy::kOverlapping, k, m);
-        const auto disj_sets = replica_sets(ReplicationStrategy::kDisjoint, k, m);
-        std::vector<double> over_loads;
-        std::vector<double> disj_loads;
+        const auto disj_sets =
+            replica_sets(ReplicationStrategy::kDisjoint, k, m);
+        MaxLoadSolver over_solver(over_sets);
+        MaxLoadSolver disj_solver(disj_sets);
+        std::vector<std::vector<double>> over_loads(n_s);
+        std::vector<std::vector<double>> disj_loads(n_s);
         for (int p = 0; p < permutations; ++p) {
-          Rng rng(replicate_seed(exp, si, static_cast<std::uint64_t>(p)));
-          const auto pop =
-              make_popularity(PopularityCase::kShuffled, m, s_values[si], rng);
-          over_loads.push_back(100.0 * max_load_flow(pop, over_sets, 1e-7) / m);
-          disj_loads.push_back(100.0 * max_load_flow(pop, disj_sets, 1e-7) / m);
+          for (std::size_t si = 0; si < n_s; ++si) {
+            // Re-seeding with the same p each rung reproduces the same
+            // machine permutation at every s (the shuffle draws do not
+            // depend on the exponent).
+            Rng rng(replicate_seed(exp, static_cast<std::uint64_t>(p), 0));
+            const auto pop = make_popularity(PopularityCase::kShuffled, m,
+                                             s_values[si], rng);
+            if (solver == "lp") {
+              over_loads[si].push_back(100.0 * over_solver.solve_lambda(pop) / m);
+              disj_loads[si].push_back(100.0 * disj_solver.solve_lambda(pop) / m);
+            } else {
+              over_loads[si].push_back(100.0 *
+                                       max_load_flow(pop, over_sets, 1e-7) / m);
+              disj_loads[si].push_back(100.0 *
+                                       max_load_flow(pop, disj_sets, 1e-7) / m);
+            }
+          }
         }
-        return Cell{median(over_loads), median(disj_loads)};
+        std::vector<Cell> column;
+        column.reserve(n_s);
+        for (std::size_t si = 0; si < n_s; ++si) {
+          column.push_back(Cell{median(over_loads[si]), median(disj_loads[si])});
+        }
+        return column;
       });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
 
-  for (std::size_t si = 0; si < s_values.size(); ++si) {
-    for (std::size_t ki = 0; ki < k_values.size(); ++ki) {
-      const Cell& cell = cells[si * static_cast<std::size_t>(n_k) + ki];
+  for (std::size_t ki = 0; ki < k_values.size(); ++ki) {
+    for (std::size_t si = 0; si < n_s; ++si) {
+      const Cell& cell = columns[ki][si];
       over.set(si, ki, cell.over);
       disj.set(si, ki, cell.disj);
       ratio.set(si, ki, cell.over / cell.disj);
@@ -90,6 +157,10 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "[runner] %d threads\n", runner.threads());
+  std::fprintf(stderr,
+               "[fig10] m=%d solver=%s: %zu cells x %d permutations in %.2fs\n",
+               m, solver.c_str(), n_s * k_values.size(), permutations,
+               sweep_seconds);
   std::printf("== Figure 10a: median max-load (%%), m=%d, %d permutations ==\n\n",
               m, permutations);
   std::printf("--- Overlapping ---\n%s\n", over.render("s\\k", 1).c_str());
@@ -105,7 +176,7 @@ int main(int argc, char** argv) {
   double max_ratio = 0;
   double at_s = 0;
   int at_k = 0;
-  for (std::size_t si = 0; si < s_values.size(); ++si) {
+  for (std::size_t si = 0; si < n_s; ++si) {
     for (std::size_t ki = 0; ki < k_values.size(); ++ki) {
       if (ratio.at(si, ki) > max_ratio) {
         max_ratio = ratio.at(si, ki);
@@ -116,22 +187,35 @@ int main(int argc, char** argv) {
   }
   std::printf("Max gain of overlapping over disjoint: %.2fx at s=%.2f, k=%d\n",
               max_ratio, at_s, at_k);
-  std::printf("Gain at the paper's headline cell (s=1.25, k=6): %.2fx\n",
-              ratio.at(5, 5));
-  std::printf(
-      "(paper: ~1.5x there, and a color scale capped at 1.5, so larger gains\n"
-      "at extreme skew s saturate their heatmap)\n\n");
+  if (m == 15) {
+    std::printf("Gain at the paper's headline cell (s=1.25, k=6): %.2fx\n",
+                ratio.at(5, 5));
+    std::printf(
+        "(paper: ~1.5x there, and a color scale capped at 1.5, so larger gains\n"
+        "at extreme skew s saturate their heatmap)\n\n");
+  }
 
-  // Spot-check the flow solver against the simplex on a few cells.
+  // Spot-check the solvers against each other on a few cells: the revised
+  // simplex, the flow bisection, and (at small m, where it is affordable)
+  // the dense tableau oracle.
   Rng check_rng(5);
   for (double s : {0.5, 1.25, 3.0}) {
     const auto pop = make_popularity(PopularityCase::kShuffled, m, s, check_rng);
-    for (int k : {3, 6}) {
+    for (int k : {k_values[k_values.size() / 3], k_values[k_values.size() / 2]}) {
       const auto sets = replica_sets(ReplicationStrategy::kOverlapping, k, m);
       const double lp = max_load_lp(pop, sets).lambda;
       const double flow = max_load_flow(pop, sets);
-      std::printf("spot-check s=%.2f k=%d: simplex=%.6f flow=%.6f (diff %.2e)\n",
-                  s, k, lp, flow, std::abs(lp - flow));
+      if (m <= 64) {
+        const double oracle = max_load_lp_tableau(pop, sets).lambda;
+        std::printf(
+            "spot-check s=%.2f k=%d: revised=%.6f tableau=%.6f flow=%.6f "
+            "(max diff %.2e)\n",
+            s, k, lp, oracle, flow,
+            std::max(std::abs(lp - flow), std::abs(lp - oracle)));
+      } else {
+        std::printf("spot-check s=%.2f k=%d: revised=%.6f flow=%.6f (diff %.2e)\n",
+                    s, k, lp, flow, std::abs(lp - flow));
+      }
     }
   }
   return 0;

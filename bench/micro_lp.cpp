@@ -1,6 +1,27 @@
-// Google-benchmark micro benches: the max-load solvers (simplex LP vs
-// lambda-bisection over Dinic max-flow) and the unit-task optimum oracle.
+// Google-benchmark micro benches: the max-load solvers and the unit-task
+// optimum oracle.
+//
+// The max-load series covers the three LP (15) backends across m:
+//   * BM_MaxLoadRevisedCold  — sparse revised simplex, skeleton built and
+//     solved from scratch (what a single isolated cell costs);
+//   * BM_MaxLoadRevisedWarm  — re-solves on a fixed skeleton, cycling
+//     popularity vectors and warm-starting from the previous basis (what a
+//     Fig. 10 sweep cell costs after the first solve of its chain);
+//   * BM_MaxLoadTableau      — the dense two-phase tableau oracle, only up
+//     to m = 128 (it is the speedup baseline: EXPERIMENTS.md records the
+//     revised/tableau ratio there);
+//   * BM_MaxLoadFlowBisection — lambda bisection over Dinic max-flow, the
+//     independent cross-check, with the rebuilt-once rescaled network.
+//
+// Custom main: `micro_lp --json out.json` writes the google-benchmark JSON
+// report alongside the usual ASCII console table (shorthand for
+// --benchmark_out=out.json --benchmark_out_format=json), so perf
+// trajectories can be tracked machine-readably (tools/bench_trajectory.sh).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "lp/maxload.hpp"
 #include "offline/unit_optimal.hpp"
@@ -11,27 +32,73 @@
 namespace flowsched {
 namespace {
 
-void BM_MaxLoadSimplex(benchmark::State& state) {
+constexpr int kReplication = 3;
+
+std::vector<double> popularity_for(int m, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_popularity(PopularityCase::kShuffled, m, 1.0, rng);
+}
+
+void BM_MaxLoadRevisedCold(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
-  Rng rng(7);
-  const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, rng);
-  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, 3, m);
+  const auto pop = popularity_for(m, 7);
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, kReplication, m);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(max_load_lp(pop, sets));
+    MaxLoadSolver solver(sets);
+    benchmark::DoNotOptimize(solver.solve_lambda(pop));
   }
 }
-BENCHMARK(BM_MaxLoadSimplex)->Arg(8)->Arg(15)->Arg(30);
+BENCHMARK(BM_MaxLoadRevisedCold)
+    ->Arg(8)->Arg(15)->Arg(30)->Arg(128)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MaxLoadRevisedWarm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, kReplication, m);
+  // One fixed permutation swept along the Zipf exponent — exactly a Fig. 10
+  // per-permutation chain. Each iteration re-solves the next rung
+  // warm-started from the previous basis; neighbouring rungs have nearby
+  // optima, which is what makes the warm start pay.
+  std::vector<std::vector<double>> pops;
+  for (int step = 0; step < 6; ++step) {
+    Rng rng(7);
+    pops.push_back(make_popularity(PopularityCase::kShuffled, m, 0.5 * step, rng));
+  }
+  MaxLoadSolver solver(sets);
+  solver.solve_lambda(pops.back());
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_lambda(pops[next]));
+    next = (next + 1) % pops.size();
+  }
+}
+BENCHMARK(BM_MaxLoadRevisedWarm)
+    ->Arg(8)->Arg(15)->Arg(30)->Arg(128)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MaxLoadTableau(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto pop = popularity_for(m, 7);
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, kReplication, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_load_lp_tableau(pop, sets));
+  }
+}
+BENCHMARK(BM_MaxLoadTableau)
+    ->Arg(8)->Arg(15)->Arg(30)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_MaxLoadFlowBisection(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
-  Rng rng(7);
-  const auto pop = make_popularity(PopularityCase::kShuffled, m, 1.0, rng);
-  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, 3, m);
+  const auto pop = popularity_for(m, 7);
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, kReplication, m);
   for (auto _ : state) {
     benchmark::DoNotOptimize(max_load_flow(pop, sets));
   }
 }
-BENCHMARK(BM_MaxLoadFlowBisection)->Arg(8)->Arg(15)->Arg(30);
+BENCHMARK(BM_MaxLoadFlowBisection)
+    ->Arg(8)->Arg(15)->Arg(30)->Arg(128)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_UnitOptimalOracle(benchmark::State& state) {
   Rng rng(11);
@@ -51,3 +118,29 @@ BENCHMARK(BM_UnitOptimalOracle)->Arg(50)->Arg(150)->Arg(400);
 
 }  // namespace
 }  // namespace flowsched
+
+int main(int argc, char** argv) {
+  // Translate `--json <path>` into google-benchmark's out/out_format pair
+  // before Initialize() consumes the argument list.
+  std::vector<std::string> arg_storage;
+  arg_storage.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      arg_storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      arg_storage.push_back("--benchmark_out_format=json");
+    } else {
+      arg_storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> arg_ptrs;
+  arg_ptrs.reserve(arg_storage.size());
+  for (auto& arg : arg_storage) arg_ptrs.push_back(arg.data());
+  int patched_argc = static_cast<int>(arg_ptrs.size());
+  benchmark::Initialize(&patched_argc, arg_ptrs.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, arg_ptrs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

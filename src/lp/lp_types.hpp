@@ -1,0 +1,66 @@
+// Shared vocabulary of the LP layer: relations, solver statuses, solutions,
+// and the sparse constraint-row representation both solvers consume.
+//
+// LP (15) has k+1 nonzeros per conservation row and k per capacity row, so
+// rows are stored as (var, coeff) term lists — building the m-machine
+// program is O(mk) memory instead of the O(m^2 k) a dense row per
+// constraint costs. The dense tableau oracle (lp/tableau.hpp) densifies on
+// entry; the revised solver (lp/revised.hpp) never does.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flowsched {
+
+enum class Relation { kLe, kEq, kGe };
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+template <typename Scalar>
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  Scalar objective{};
+  std::vector<Scalar> x;  ///< Structural variable values (optimal only).
+  /// Opaque warm-start handle written by the revised solver at optimality:
+  /// the basic column (in the solver's internal column space) of each
+  /// constraint row. Feed it back through LpProblem::solve_warm() on a
+  /// problem with the same shape (see docs/lp.md for the exact contract);
+  /// empty after solve_tableau() and on non-optimal exits.
+  std::vector<int> basis;
+  /// Simplex pivots spent (revised solver only; 0 from the tableau). A
+  /// warm-started solve that resumed successfully shows the cost of the
+  /// resume, including any cold-fallback pivots.
+  std::size_t iterations = 0;
+};
+
+/// One `coeff * x[var]` term of a sparse constraint row.
+template <typename Scalar>
+struct LpTerm {
+  int var;
+  Scalar coeff;
+};
+
+/// One constraint `sum(terms) REL rhs`, terms sorted by var and unique.
+template <typename Scalar>
+struct LpRow {
+  std::vector<LpTerm<Scalar>> terms;
+  Relation rel = Relation::kLe;
+  Scalar rhs{};
+};
+
+namespace detail {
+
+/// Feasibility/optimality tolerance per scalar type: exact types use 0.
+template <typename Scalar>
+struct LpTol {
+  static Scalar value() { return Scalar(0); }
+};
+
+template <>
+struct LpTol<double> {
+  static double value() { return 1e-9; }
+};
+
+}  // namespace detail
+
+}  // namespace flowsched

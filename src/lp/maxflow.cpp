@@ -25,6 +25,15 @@ int MaxFlow::add_edge(int from, int to, double capacity) {
   return static_cast<int>(edge_ref_.size()) - 1;
 }
 
+void MaxFlow::set_capacity(int id, double capacity) {
+  if (capacity < 0) throw std::invalid_argument("MaxFlow: negative capacity");
+  const auto& [node, slot] = edge_ref_.at(static_cast<std::size_t>(id));
+  Edge& fwd = adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)];
+  fwd.cap = capacity;
+  adj_[static_cast<std::size_t>(fwd.to)][static_cast<std::size_t>(fwd.rev)].cap = 0.0;
+  original_cap_[static_cast<std::size_t>(id)] = capacity;
+}
+
 bool MaxFlow::bfs(int s, int t) {
   level_.assign(adj_.size(), -1);
   std::queue<int> q;

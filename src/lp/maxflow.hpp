@@ -16,10 +16,17 @@ class MaxFlow {
   explicit MaxFlow(int num_nodes);
 
   /// Adds a directed edge with the given capacity (>= 0); returns an edge id
-  /// usable with `flow_on`.
+  /// usable with `flow_on` / `set_capacity`.
   int add_edge(int from, int to, double capacity);
 
-  /// Computes the max flow from s to t. May be called once per instance.
+  /// Resets edge `id` to an un-flowed state with the given capacity. After
+  /// resetting every edge the instance is solvable again — the repeat-probe
+  /// path of max_load_flow's bisection, which scales capacities in lambda
+  /// instead of rebuilding the graph.
+  void set_capacity(int id, double capacity);
+
+  /// Computes the max flow from s to t. Consumes the capacities: call again
+  /// only after set_capacity() has reset every edge.
   double solve(int s, int t);
 
   /// Flow routed on edge `id` after solve().

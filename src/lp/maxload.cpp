@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "lp/maxflow.hpp"
-#include "lp/simplex.hpp"
 
 namespace flowsched {
 namespace {
@@ -26,63 +26,139 @@ void check_inputs(const std::vector<double>& popularity,
   }
 }
 
-}  // namespace
-
-MaxLoadResult max_load_lp(const std::vector<double>& popularity,
-                          const std::vector<ProcSet>& replica_sets) {
-  check_inputs(popularity, replica_sets);
-  const int m = static_cast<int>(popularity.size());
-
+/// Builds LP (15) for `sets` (lambda coefficients zeroed; patched per
+/// popularity). Outputs the lambda variable, per-owner conservation rows
+/// and per-owner (machine, var) lists.
+LpProblemD build_lp15(const std::vector<ProcSet>& sets, int* lambda_var,
+                      std::vector<int>* conservation_row,
+                      std::vector<std::vector<std::pair<int, int>>>* vars) {
+  const int m = static_cast<int>(sets.size());
   LpProblemD lp;
-  const int lambda = lp.add_var(1.0);  // maximize lambda
-  // var_of[i][j] = index of a_ij, or -1 when machine i cannot serve owner j.
-  std::vector<std::vector<int>> var_of(
-      static_cast<std::size_t>(m), std::vector<int>(static_cast<std::size_t>(m), -1));
+  *lambda_var = lp.add_var(1.0);  // maximize lambda
+  vars->assign(static_cast<std::size_t>(m), {});
+  std::vector<std::vector<std::pair<int, double>>> capacity_terms(
+      static_cast<std::size_t>(m));
   for (int j = 0; j < m; ++j) {
-    for (int i : replica_sets[static_cast<std::size_t>(j)].machines()) {
-      var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = lp.add_var(0.0);
+    auto& owner_vars = (*vars)[static_cast<std::size_t>(j)];
+    for (int i : sets[static_cast<std::size_t>(j)].machines()) {
+      const int v = lp.add_var(0.0);
+      owner_vars.emplace_back(i, v);
+      capacity_terms[static_cast<std::size_t>(i)].emplace_back(v, 1.0);
     }
   }
-
-  // (15b) conservation: sum_i a_ij - lambda P(E_j) = 0.
+  // (15b) conservation: sum_i a_ij - lambda P(E_j) = 0. The lambda term is
+  // placed now (at coefficient 0) so later set_term() calls overwrite it.
+  conservation_row->clear();
+  conservation_row->reserve(static_cast<std::size_t>(m));
   for (int j = 0; j < m; ++j) {
     std::vector<std::pair<int, double>> terms;
-    for (int i = 0; i < m; ++i) {
-      const int v = var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      if (v >= 0) terms.emplace_back(v, 1.0);
+    terms.reserve((*vars)[static_cast<std::size_t>(j)].size() + 1);
+    for (const auto& [i, v] : (*vars)[static_cast<std::size_t>(j)]) {
+      terms.emplace_back(v, 1.0);
     }
-    terms.emplace_back(lambda, -popularity[static_cast<std::size_t>(j)]);
-    lp.add_constraint(terms, Relation::kEq, 0.0);
+    terms.emplace_back(*lambda_var, 0.0);
+    conservation_row->push_back(lp.add_constraint(terms, Relation::kEq, 0.0));
   }
   // (15c) capacity: sum_j a_ij <= 1.
   for (int i = 0; i < m; ++i) {
-    std::vector<std::pair<int, double>> terms;
-    for (int j = 0; j < m; ++j) {
-      const int v = var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      if (v >= 0) terms.emplace_back(v, 1.0);
-    }
+    const auto& terms = capacity_terms[static_cast<std::size_t>(i)];
     if (!terms.empty()) lp.add_constraint(terms, Relation::kLe, 1.0);
   }
+  return lp;
+}
 
-  const auto sol = lp.solve();
-  if (sol.status != LpStatus::kOptimal) {
-    throw std::runtime_error("max_load_lp: simplex did not reach optimality");
-  }
-
+MaxLoadResult extract_result(
+    const LpSolution<double>& sol, int m,
+    const std::vector<std::vector<std::pair<int, int>>>& vars) {
   MaxLoadResult result;
   result.lambda = sol.objective;
   result.transfer.assign(static_cast<std::size_t>(m),
                          std::vector<double>(static_cast<std::size_t>(m), 0.0));
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < m; ++j) {
-      const int v = var_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      if (v >= 0) {
-        result.transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-            sol.x[static_cast<std::size_t>(v)];
-      }
+  for (int j = 0; j < m; ++j) {
+    for (const auto& [i, v] : vars[static_cast<std::size_t>(j)]) {
+      result.transfer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          sol.x[static_cast<std::size_t>(v)];
     }
   }
   return result;
+}
+
+}  // namespace
+
+MaxLoadSolver::MaxLoadSolver(std::vector<ProcSet> replica_sets)
+    : sets_(std::move(replica_sets)) {
+  if (sets_.empty()) throw std::invalid_argument("MaxLoadSolver: empty sets");
+  const int m = static_cast<int>(sets_.size());
+  for (const auto& set : sets_) {
+    if (set.empty() || !set.within(m)) {
+      throw std::invalid_argument("MaxLoadSolver: bad replica set");
+    }
+  }
+  lp_ = build_lp15(sets_, &lambda_var_, &conservation_row_, &vars_);
+  // Crash basis: pair each conservation row with one of its transfer
+  // variables, rotating through the replica set so no machine's capacity
+  // row collects all the picks; capacity rows keep their slack (-1).
+  crash_basis_.assign(static_cast<std::size_t>(lp_.num_constraints()), -1);
+  for (int j = 0; j < m; ++j) {
+    const auto& owner_vars = vars_[static_cast<std::size_t>(j)];
+    crash_basis_[static_cast<std::size_t>(
+        conservation_row_[static_cast<std::size_t>(j)])] =
+        owner_vars[static_cast<std::size_t>(j) % owner_vars.size()].second;
+  }
+}
+
+const LpSolution<double>& MaxLoadSolver::resolve(
+    const std::vector<double>& popularity) {
+  check_inputs(popularity, sets_);
+  for (int j = 0; j < m(); ++j) {
+    lp_.set_term(conservation_row_[static_cast<std::size_t>(j)], lambda_var_,
+                 -popularity[static_cast<std::size_t>(j)]);
+  }
+  // Chain order: previous optimum's basis (usually resumes in a pivot or
+  // two along a sweep), then the crash basis (when the old basis went
+  // primal-infeasible — e.g. a big jump in the popularity vector), then the
+  // solver's own all-logical cold start.
+  last_ = last_.status == LpStatus::kOptimal
+              ? lp_.solve_warm(last_.basis, crash_basis_)
+              : lp_.solve_warm(crash_basis_);
+  if (last_.status != LpStatus::kOptimal) {
+    throw std::runtime_error("MaxLoadSolver: simplex did not reach optimality");
+  }
+  return last_;
+}
+
+double MaxLoadSolver::solve_lambda(const std::vector<double>& popularity) {
+  return resolve(popularity).objective;
+}
+
+MaxLoadResult MaxLoadSolver::solve(const std::vector<double>& popularity) {
+  return extract_result(resolve(popularity), m(), vars_);
+}
+
+MaxLoadResult max_load_lp(const std::vector<double>& popularity,
+                          const std::vector<ProcSet>& replica_sets) {
+  check_inputs(popularity, replica_sets);
+  MaxLoadSolver solver(replica_sets);
+  return solver.solve(popularity);
+}
+
+MaxLoadResult max_load_lp_tableau(const std::vector<double>& popularity,
+                                  const std::vector<ProcSet>& replica_sets) {
+  check_inputs(popularity, replica_sets);
+  int lambda_var = 0;
+  std::vector<int> conservation_row;
+  std::vector<std::vector<std::pair<int, int>>> vars;
+  LpProblemD lp = build_lp15(replica_sets, &lambda_var, &conservation_row, &vars);
+  const int m = static_cast<int>(replica_sets.size());
+  for (int j = 0; j < m; ++j) {
+    lp.set_term(conservation_row[static_cast<std::size_t>(j)], lambda_var,
+                -popularity[static_cast<std::size_t>(j)]);
+  }
+  const auto sol = lp.solve_tableau();
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::runtime_error("max_load_lp_tableau: no optimum");
+  }
+  return extract_result(sol, m, vars);
 }
 
 double max_load_flow(const std::vector<double>& popularity,
@@ -95,21 +171,30 @@ double max_load_flow(const std::vector<double>& popularity,
 
   // Feasibility oracle: route lambda*P(E_j) from each owner through its
   // replicas, each machine serving at most 1 unit of work per time unit.
-  const auto feasible = [&](double lambda) {
-    MaxFlow flow(2 * m + 2);
-    const int source = 2 * m;
-    const int sink = 2 * m + 1;
-    double demand = 0;
-    for (int j = 0; j < m; ++j) {
-      const double d = lambda * popularity[static_cast<std::size_t>(j)];
-      demand += d;
-      flow.add_edge(source, j, d);
-      for (int i : replica_sets[static_cast<std::size_t>(j)].machines()) {
-        flow.add_edge(j, m + i, d);
-      }
+  // Every capacity is linear in lambda (or constant), so the network is
+  // built once and probes only rescale capacities — no per-probe graph
+  // rebuild (the edge lists alone are ~m*k allocations).
+  MaxFlow flow(2 * m + 2);
+  const int source = 2 * m;
+  const int sink = 2 * m + 1;
+  std::vector<std::pair<int, double>> scaled;  // (edge id, capacity at lambda=1)
+  std::vector<int> unit_edges;                 // machine->sink, capacity 1
+  double unit_demand = 0;
+  for (int j = 0; j < m; ++j) {
+    const double d = popularity[static_cast<std::size_t>(j)];
+    unit_demand += d;
+    scaled.emplace_back(flow.add_edge(source, j, d), d);
+    for (int i : replica_sets[static_cast<std::size_t>(j)].machines()) {
+      scaled.emplace_back(flow.add_edge(j, m + i, d), d);
     }
-    for (int i = 0; i < m; ++i) flow.add_edge(m + i, sink, 1.0);
-    return flow.solve(source, sink) >= demand - 1e-9;
+  }
+  for (int i = 0; i < m; ++i) {
+    unit_edges.push_back(flow.add_edge(m + i, sink, 1.0));
+  }
+  const auto feasible = [&](double lambda) {
+    for (const auto& [id, cap] : scaled) flow.set_capacity(id, lambda * cap);
+    for (int id : unit_edges) flow.set_capacity(id, 1.0);
+    return flow.solve(source, sink) >= lambda * unit_demand - 1e-9;
   };
 
   double lo = 0.0;

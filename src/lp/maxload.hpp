@@ -10,13 +10,16 @@
 //           for all machines i:   sum_j a_ij <= 1
 //           a_ij = 0 when M_i not in I_k(j),   a_ij >= 0.
 //
-// Two independent solvers are provided: the LP itself (two-phase simplex)
-// and a bisection on lambda over a max-flow feasibility oracle. They agree
-// to ~1e-9 and are cross-checked in the test suite.
+// Three solvers are provided: the sparse revised simplex (the production
+// path, warm-startable across popularity vectors via MaxLoadSolver), the
+// dense tableau oracle, and a bisection on lambda over a max-flow
+// feasibility oracle. They agree to ~1e-7 and are cross-checked in the
+// test suite.
 #pragma once
 
 #include <vector>
 
+#include "lp/simplex.hpp"
 #include "model/procset.hpp"
 
 namespace flowsched {
@@ -29,17 +32,67 @@ struct MaxLoadResult {
   std::vector<std::vector<double>> transfer;
 };
 
-/// Solves LP (15) with the simplex. `replica_sets[j]` = I_k(j).
-/// Requires popularity.size() == replica_sets.size() == m and every replica
-/// set non-empty and within [0, m). More generally, each index j is an
-/// *origin* of work (a machine in the paper; a key works too, as in
-/// bench_ext_ring) while replica-set members are the serving machines —
-/// origins that no set references simply contribute idle capacity-1 nodes.
+/// Reusable LP (15) solver for sweeps over popularity vectors on a fixed
+/// replication scheme: the constraint skeleton is built once (O(mk) sparse
+/// memory), each solve patches only the lambda column (O(m)) and
+/// warm-starts the revised simplex from the previous optimum's basis, so a
+/// sweep cell costs a handful of pivots instead of a full phase-1 solve.
+/// Single-threaded by design — in a parallel sweep, give each job its own
+/// solver (bench/bench_fig10_maxload.cpp chains one per k).
+class MaxLoadSolver {
+ public:
+  /// `replica_sets[j]` = I_k(j); same validity requirements as
+  /// max_load_lp(). More generally, each index j is an *origin* of work (a
+  /// machine in the paper; a key works too, as in bench_ext_ring) while
+  /// replica-set members are the serving machines — origins that no set
+  /// references simply contribute idle capacity-1 nodes.
+  explicit MaxLoadSolver(std::vector<ProcSet> replica_sets);
+
+  /// The LP optimum lambda for `popularity` (size m, non-negative). Skips
+  /// the O(m^2) transfer-matrix extraction — the sweep path.
+  double solve_lambda(const std::vector<double>& popularity);
+
+  /// Full result including the transfer matrix.
+  MaxLoadResult solve(const std::vector<double>& popularity);
+
+  int m() const { return static_cast<int>(sets_.size()); }
+
+  /// Simplex pivots the most recent solve spent (see LpSolution::iterations)
+  /// — 0 before the first solve. Diagnostic for warm-chain effectiveness.
+  std::size_t last_iterations() const { return last_.iterations; }
+
+ private:
+  const LpSolution<double>& resolve(const std::vector<double>& popularity);
+
+  std::vector<ProcSet> sets_;
+  LpProblemD lp_;
+  int lambda_var_ = 0;
+  std::vector<int> conservation_row_;            ///< Row index per owner j.
+  std::vector<std::vector<std::pair<int, int>>> vars_;  ///< Per j: (i, var).
+  /// Crash basis: each conservation row paired with one of its transfer
+  /// variables (round-robin over the replica set so capacity rows are hit
+  /// evenly), capacity rows left at -1 (their slack). Triangular, hence
+  /// always nonsingular, and feasible at a = 0 / lambda = 0 — a much better
+  /// phase-1-free launch pad than the all-artificial basis when the
+  /// previous optimum's basis is stale (see resolve()).
+  std::vector<int> crash_basis_;
+  LpSolution<double> last_;                      ///< Holds the warm basis.
+};
+
+/// Solves LP (15) with the revised simplex (one-shot MaxLoadSolver).
 MaxLoadResult max_load_lp(const std::vector<double>& popularity,
                           const std::vector<ProcSet>& replica_sets);
 
+/// Same program through the dense tableau oracle — O(rows*cols) per priced
+/// column, only viable at small m. Kept for cross-checks and the micro_lp
+/// speedup baseline.
+MaxLoadResult max_load_lp_tableau(const std::vector<double>& popularity,
+                                  const std::vector<ProcSet>& replica_sets);
+
 /// Same optimum via bisection on lambda with a Dinic feasibility oracle.
-/// `tol` is the absolute bisection tolerance on lambda.
+/// The flow network is built once and only its capacities are rescaled
+/// between probes (they are linear in lambda). `tol` is the absolute
+/// bisection tolerance on lambda.
 double max_load_flow(const std::vector<double>& popularity,
                      const std::vector<ProcSet>& replica_sets,
                      double tol = 1e-10);

@@ -1,49 +1,42 @@
-// Dense two-phase primal simplex, written from scratch.
+// Linear program builder and solver front-end.
 //
 // Solves   maximize c^T x   subject to   A x {<=,=,>=} b,   x >= 0.
 //
-// The solver is templated on the scalar type:
-//   * double   — used by the max-load analysis (lp/maxload.hpp); tolerance
-//                1e-9 on reduced costs and ratios.
-//   * Rational — exact arithmetic (util/rational.hpp); tolerance zero. Used
-//                in tests to certify the double solutions on small programs.
+// Constraints are stored sparse — (var, coeff) term lists — so building
+// LP (15) on m machines with replication degree k costs O(mk) memory, not
+// the O(m^2 k) of one dense row per constraint. Two solver backends share
+// that storage:
 //
-// Pivoting uses Bland's rule (smallest eligible index), which guarantees
-// termination without cycling at the cost of more pivots — a fine trade for
-// the paper's programs (LP (15) has m*k + 1 ~ 50-250 variables).
+//   * solve() / solve_warm() — sparse revised simplex (lp/revised.hpp):
+//     product-form basis inverse, partial pricing off a maintained dual
+//     vector, automatic Bland fallback after a degeneracy streak, and
+//     basis warm-starting across same-shaped problems. This is the
+//     production path; it scales the Fig. 10 sweep to m >= 1024.
+//   * solve_tableau() — the original dense two-phase tableau
+//     (lp/tableau.hpp), O(rows*cols) per candidate column. Kept as the
+//     independent reference oracle; tests/test_simplex_revised.cpp
+//     cross-checks the two on randomized programs.
+//
+// Both backends are templated on the scalar type:
+//   * double   — tolerance 1e-9 on reduced costs and ratios.
+//   * Rational — exact arithmetic (util/rational.hpp); tolerance zero.
+//     Used to certify the double solutions on small programs.
+//
+// Warm-start contract, mutators, and determinism guarantees: docs/lp.md.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "lp/lp_types.hpp"
+#include "lp/revised.hpp"
+#include "lp/tableau.hpp"
 #include "util/rational.hpp"
 
 namespace flowsched {
-
-enum class Relation { kLe, kEq, kGe };
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
-
-template <typename Scalar>
-struct LpSolution {
-  LpStatus status = LpStatus::kInfeasible;
-  Scalar objective{};
-  std::vector<Scalar> x;  ///< Structural variable values (optimal only).
-};
-
-namespace detail {
-
-template <typename Scalar>
-struct LpTol {
-  static Scalar value() { return Scalar(0); }
-};
-
-template <>
-struct LpTol<double> {
-  static double value() { return 1e-9; }
-};
-
-}  // namespace detail
 
 /// Linear program builder + solver. All variables are non-negative.
 template <typename Scalar>
@@ -59,237 +52,103 @@ class LpProblem {
     objective_.at(static_cast<std::size_t>(var)) = c;
   }
 
-  /// Adds sum(coeff * x[var]) REL rhs. Terms may repeat a variable (they are
-  /// accumulated).
-  void add_constraint(const std::vector<std::pair<int, Scalar>>& terms,
-                      Relation rel, Scalar rhs) {
-    Row row;
-    row.coeffs.assign(objective_.size(), Scalar(0));
+  /// Adds sum(coeff * x[var]) REL rhs; returns the constraint's row index.
+  /// Terms may repeat a variable (they are accumulated) and arrive in any
+  /// order; the stored row is sorted by variable and unique. Variables must
+  /// already exist.
+  int add_constraint(const std::vector<std::pair<int, Scalar>>& terms,
+                     Relation rel, Scalar rhs) {
+    LpRow<Scalar> row;
+    row.terms.reserve(terms.size());
     for (const auto& [var, coeff] : terms) {
-      row.coeffs.at(static_cast<std::size_t>(var)) += coeff;
+      if (var < 0 || var >= num_vars()) {
+        throw std::out_of_range("LpProblem::add_constraint: bad variable");
+      }
+      upsert(row.terms, var, coeff, /*accumulate=*/true);
     }
     row.rel = rel;
     row.rhs = rhs;
     rows_.push_back(std::move(row));
+    return static_cast<int>(rows_.size()) - 1;
+  }
+
+  /// Sets the coefficient of `var` in constraint `row` (inserting the term
+  /// if absent, overwriting otherwise). O(log nnz + nnz) for an insert,
+  /// O(log nnz) for an overwrite — this is what makes re-targeting a
+  /// shared constraint skeleton (the warm-started Fig. 10 sweep) O(m) per
+  /// popularity vector instead of a rebuild.
+  void set_term(int row, int var, Scalar coeff) {
+    if (var < 0 || var >= num_vars()) {
+      throw std::out_of_range("LpProblem::set_term: bad variable");
+    }
+    upsert(rows_.at(static_cast<std::size_t>(row)).terms, var, coeff,
+           /*accumulate=*/false);
+  }
+
+  void set_rhs(int row, Scalar rhs) {
+    rows_.at(static_cast<std::size_t>(row)).rhs = rhs;
   }
 
   int num_vars() const { return static_cast<int>(objective_.size()); }
   int num_constraints() const { return static_cast<int>(rows_.size()); }
 
+  const std::vector<LpRow<Scalar>>& rows() const { return rows_; }
+  const std::vector<Scalar>& objective() const { return objective_; }
+
+  /// Sparse revised simplex, cold start.
   LpSolution<Scalar> solve(std::size_t max_iters = 100000) const {
-    return Tableau(*this).solve(max_iters);
+    detail::RevisedSimplex<Scalar> solver(rows_, objective_);
+    return solver.solve(nullptr, nullptr, max_iters);
+  }
+
+  /// Sparse revised simplex warm-started from `basis` — the
+  /// LpSolution::basis of a previous optimum of a problem with the same
+  /// shape (variable count, constraint relations and rhs signs). An
+  /// unusable basis falls back to a cold start silently, so this is always
+  /// safe to call. Entries of -1 stand for "this row's slack/artificial
+  /// column", so a *partial* (crash) basis — only the rows you have a good
+  /// guess for — is a valid argument too.
+  LpSolution<Scalar> solve_warm(const std::vector<int>& basis,
+                                std::size_t max_iters = 100000) const {
+    detail::RevisedSimplex<Scalar> solver(rows_, objective_);
+    return solver.solve(&basis, nullptr, max_iters);
+  }
+
+  /// As solve_warm(basis), but when `basis` is rejected (stale — e.g. no
+  /// longer primal feasible after a popularity change) the solver retries
+  /// from `fallback` (typically a problem-specific crash basis, -1 entries
+  /// meaning the row's logical column) before resorting to the all-logical
+  /// cold start. MaxLoadSolver chains Fig. 10 sweeps through this.
+  LpSolution<Scalar> solve_warm(const std::vector<int>& basis,
+                                const std::vector<int>& fallback,
+                                std::size_t max_iters = 100000) const {
+    detail::RevisedSimplex<Scalar> solver(rows_, objective_);
+    return solver.solve(&basis, &fallback, max_iters);
+  }
+
+  /// Dense two-phase tableau with unconditional Bland's rule — the slow,
+  /// simple reference oracle (see lp/tableau.hpp).
+  LpSolution<Scalar> solve_tableau(std::size_t max_iters = 100000) const {
+    detail::DenseTableau<Scalar> solver(rows_, objective_);
+    return solver.solve(max_iters);
   }
 
  private:
-  struct Row {
-    std::vector<Scalar> coeffs;
-    Relation rel = Relation::kLe;
-    Scalar rhs{};
-  };
-
-  // Classic dense tableau with explicit artificial variables.
-  class Tableau {
-   public:
-    explicit Tableau(const LpProblem& lp) : n_(lp.num_vars()) {
-      const Scalar zero(0);
-      // Column layout: [structural | slack/surplus | artificial | rhs].
-      // First pass: count slack and artificial columns.
-      int slack_count = 0;
-      int art_count = 0;
-      for (const auto& row : lp.rows_) {
-        const bool flip = row.rhs < zero;
-        const Relation rel = flip ? flipped(row.rel) : row.rel;
-        if (rel != Relation::kEq) ++slack_count;
-        if (rel != Relation::kLe) ++art_count;
-      }
-      slack0_ = n_;
-      art0_ = n_ + slack_count;
-      cols_ = art0_ + art_count;
-
-      int next_slack = slack0_;
-      int next_art = art0_;
-      for (const auto& row : lp.rows_) {
-        const bool flip = row.rhs < zero;
-        const Relation rel = flip ? flipped(row.rel) : row.rel;
-        std::vector<Scalar> t(static_cast<std::size_t>(cols_) + 1, zero);
-        for (int v = 0; v < n_; ++v) {
-          const Scalar c = row.coeffs[static_cast<std::size_t>(v)];
-          t[static_cast<std::size_t>(v)] = flip ? -c : c;
-        }
-        t.back() = flip ? -row.rhs : row.rhs;
-        int basic;
-        if (rel == Relation::kLe) {
-          t[static_cast<std::size_t>(next_slack)] = Scalar(1);
-          basic = next_slack++;
-        } else if (rel == Relation::kGe) {
-          t[static_cast<std::size_t>(next_slack)] = Scalar(-1);
-          ++next_slack;
-          t[static_cast<std::size_t>(next_art)] = Scalar(1);
-          basic = next_art++;
-        } else {
-          t[static_cast<std::size_t>(next_art)] = Scalar(1);
-          basic = next_art++;
-        }
-        rows_.push_back(std::move(t));
-        basis_.push_back(basic);
-      }
-      objective_ = lp.objective_;
+  /// Inserts or updates `var`'s term in a sorted term list.
+  static void upsert(std::vector<LpTerm<Scalar>>& terms, int var, Scalar coeff,
+                     bool accumulate) {
+    auto it = std::lower_bound(
+        terms.begin(), terms.end(), var,
+        [](const LpTerm<Scalar>& t, int v) { return t.var < v; });
+    if (it != terms.end() && it->var == var) {
+      it->coeff = accumulate ? it->coeff + coeff : coeff;
+    } else {
+      terms.insert(it, LpTerm<Scalar>{var, coeff});
     }
-
-    LpSolution<Scalar> solve(std::size_t max_iters) {
-      const Scalar tol = detail::LpTol<Scalar>::value();
-      LpSolution<Scalar> sol;
-
-      // ---- Phase 1: minimize the sum of artificials. ----
-      if (art0_ < cols_) {
-        // Phase-1 reduced costs: start from cost 1 on artificials (we
-        // minimize, i.e. maximize the negated sum) and price out the basis.
-        std::vector<Scalar> cost(static_cast<std::size_t>(cols_), Scalar(0));
-        for (int v = art0_; v < cols_; ++v) {
-          cost[static_cast<std::size_t>(v)] = Scalar(-1);
-        }
-        if (!run(cost, max_iters, tol)) {
-          sol.status = LpStatus::kIterLimit;
-          return sol;
-        }
-        Scalar infeas(0);
-        for (std::size_t r = 0; r < rows_.size(); ++r) {
-          if (basis_[r] >= art0_) infeas += rows_[r].back();
-        }
-        if (infeas > tol) {
-          sol.status = LpStatus::kInfeasible;
-          return sol;
-        }
-        // Pivot remaining (degenerate) artificials out of the basis where
-        // possible; rows with no eligible pivot are redundant constraints.
-        for (std::size_t r = 0; r < rows_.size(); ++r) {
-          if (basis_[r] < art0_) continue;
-          for (int v = 0; v < art0_; ++v) {
-            if (abs_of(rows_[r][static_cast<std::size_t>(v)]) > tol) {
-              pivot(r, v);
-              break;
-            }
-          }
-        }
-      }
-
-      // ---- Phase 2: maximize the real objective. ----
-      std::vector<Scalar> cost(static_cast<std::size_t>(cols_), Scalar(0));
-      for (int v = 0; v < n_; ++v) {
-        cost[static_cast<std::size_t>(v)] = objective_[static_cast<std::size_t>(v)];
-      }
-      // Forbid artificials from re-entering.
-      blocked_from_ = art0_;
-      if (!run(cost, max_iters, tol)) {
-        // run() distinguishes unbounded from iteration limit via status_.
-        sol.status = status_;
-        return sol;
-      }
-
-      sol.status = LpStatus::kOptimal;
-      sol.x.assign(static_cast<std::size_t>(n_), Scalar(0));
-      for (std::size_t r = 0; r < rows_.size(); ++r) {
-        if (basis_[r] < n_) {
-          sol.x[static_cast<std::size_t>(basis_[r])] = rows_[r].back();
-        }
-      }
-      sol.objective = Scalar(0);
-      for (int v = 0; v < n_; ++v) {
-        sol.objective += objective_[static_cast<std::size_t>(v)] *
-                         sol.x[static_cast<std::size_t>(v)];
-      }
-      return sol;
-    }
-
-   private:
-    static Relation flipped(Relation rel) {
-      if (rel == Relation::kLe) return Relation::kGe;
-      if (rel == Relation::kGe) return Relation::kLe;
-      return Relation::kEq;
-    }
-
-    static Scalar abs_of(const Scalar& s) { return s < Scalar(0) ? -s : s; }
-
-    // Reduced cost of column v under `cost` given the current basis.
-    Scalar reduced_cost(const std::vector<Scalar>& cost, int v) const {
-      Scalar rc = cost[static_cast<std::size_t>(v)];
-      for (std::size_t r = 0; r < rows_.size(); ++r) {
-        rc -= cost[static_cast<std::size_t>(basis_[r])] *
-              rows_[r][static_cast<std::size_t>(v)];
-      }
-      return rc;
-    }
-
-    void pivot(std::size_t prow, int pcol) {
-      auto& prow_vec = rows_[prow];
-      const Scalar p = prow_vec[static_cast<std::size_t>(pcol)];
-      for (auto& v : prow_vec) v /= p;
-      for (std::size_t r = 0; r < rows_.size(); ++r) {
-        if (r == prow) continue;
-        const Scalar f = rows_[r][static_cast<std::size_t>(pcol)];
-        if (f == Scalar(0)) continue;
-        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
-          rows_[r][c] -= f * prow_vec[c];
-        }
-      }
-      basis_[prow] = pcol;
-    }
-
-    // Bland's-rule simplex iterations maximizing `cost`. Returns false on
-    // unboundedness or iteration limit (status_ is set accordingly).
-    bool run(const std::vector<Scalar>& cost, std::size_t max_iters,
-             const Scalar& tol) {
-      for (std::size_t iter = 0; iter < max_iters; ++iter) {
-        // Entering variable: smallest index with positive reduced cost.
-        int enter = -1;
-        const int limit = blocked_from_ > 0 ? blocked_from_ : cols_;
-        for (int v = 0; v < limit; ++v) {
-          if (reduced_cost(cost, v) > tol) {
-            enter = v;
-            break;
-          }
-        }
-        if (enter < 0) {
-          status_ = LpStatus::kOptimal;
-          return true;
-        }
-        // Leaving row: min ratio, ties by smallest basis index (Bland).
-        std::ptrdiff_t leave = -1;
-        Scalar best_ratio{};
-        for (std::size_t r = 0; r < rows_.size(); ++r) {
-          const Scalar a = rows_[r][static_cast<std::size_t>(enter)];
-          if (a <= tol) continue;
-          const Scalar ratio = rows_[r].back() / a;
-          if (leave < 0 || ratio < best_ratio ||
-              (ratio == best_ratio &&
-               basis_[r] < basis_[static_cast<std::size_t>(leave)])) {
-            leave = static_cast<std::ptrdiff_t>(r);
-            best_ratio = ratio;
-          }
-        }
-        if (leave < 0) {
-          status_ = LpStatus::kUnbounded;
-          return false;
-        }
-        pivot(static_cast<std::size_t>(leave), enter);
-      }
-      status_ = LpStatus::kIterLimit;
-      return false;
-    }
-
-    int n_;
-    int slack0_ = 0;
-    int art0_ = 0;
-    int cols_ = 0;
-    int blocked_from_ = 0;  ///< Columns >= this may not enter (phase 2).
-    LpStatus status_ = LpStatus::kOptimal;
-    std::vector<std::vector<Scalar>> rows_;  ///< Tableau rows incl. rhs.
-    std::vector<int> basis_;
-    std::vector<Scalar> objective_;
-  };
+  }
 
   std::vector<Scalar> objective_;
-  std::vector<Row> rows_;
+  std::vector<LpRow<Scalar>> rows_;
 };
 
 using LpProblemD = LpProblem<double>;

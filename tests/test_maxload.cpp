@@ -140,6 +140,44 @@ TEST(MaxLoad, NoBiasMeansNoStrategyDifference) {
   }
 }
 
+TEST(MaxLoad, WarmSweepMatchesColdSolvesAndOracles) {
+  // A MaxLoadSolver chained over a popularity sweep (the Fig. 10 shape:
+  // fixed replica sets, s-ascending popularity vectors, each solve
+  // warm-started from the previous basis) must match one-shot cold solves,
+  // the dense tableau oracle, and the flow bisection at every cell.
+  const int m = 12;
+  for (auto strategy :
+       {ReplicationStrategy::kOverlapping, ReplicationStrategy::kDisjoint}) {
+    const auto sets = replica_sets(strategy, 3, m);
+    MaxLoadSolver solver(sets);
+    for (double s : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5}) {
+      Rng rng(4242);
+      const auto pop = make_popularity(PopularityCase::kShuffled, m, s, rng);
+      const double warm = solver.solve_lambda(pop);
+      const double cold = max_load_lp(pop, sets).lambda;
+      const double oracle = max_load_lp_tableau(pop, sets).lambda;
+      const double flow = max_load_flow(pop, sets);
+      EXPECT_NEAR(warm, cold, 1e-7) << "s=" << s;
+      EXPECT_NEAR(warm, oracle, 1e-7) << "s=" << s;
+      EXPECT_NEAR(warm, flow, 1e-6) << "s=" << s;
+    }
+  }
+}
+
+TEST(MaxLoad, SolverFullResultMatchesOneShot) {
+  const std::vector<double> pop{0.4, 0.3, 0.2, 0.1};
+  const auto sets = replica_sets(ReplicationStrategy::kOverlapping, 2, 4);
+  MaxLoadSolver solver(sets);
+  const auto warm = solver.solve(pop);
+  const auto cold = max_load_lp(pop, sets);
+  EXPECT_NEAR(warm.lambda, cold.lambda, 1e-9);
+  for (int j = 0; j < 4; ++j) {
+    double col = 0;
+    for (int i = 0; i < 4; ++i) col += warm.transfer[i][j];
+    EXPECT_NEAR(col, warm.lambda * pop[j], 1e-6);
+  }
+}
+
 TEST(MaxLoad, InputValidation) {
   EXPECT_THROW(max_load_lp({}, {}), std::invalid_argument);
   EXPECT_THROW(max_load_lp({0.5, 0.5}, {ProcSet({0})}), std::invalid_argument);

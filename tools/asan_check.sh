@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# AddressSanitizer gate for the observability/trace pipeline: configures an
-# ASan+UBSan build (-DFLOWSCHED_SANITIZE=address), builds the CLI and test
-# binary, runs a gen -> trace -> check-trace smoke in both encodings, and
-# runs the observer/trace/metrics test suites.
+# AddressSanitizer gate for the observability/trace pipeline and the LP
+# layer: configures an ASan+UBSan build (-DFLOWSCHED_SANITIZE=address),
+# builds the CLI, test and fig10 bench binaries, runs a
+# gen -> trace -> check-trace smoke in both encodings plus a parallel
+# warm-started fig10 sweep, and runs the relevant test suites.
 #
 # Usage: tools/asan_check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -13,7 +14,8 @@ BUILD_DIR=${1:-build-asan}
 cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_tests -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_tests \
+  bench_fig10_maxload -j "$(nproc)"
 
 # CLI smoke under ASan: a leak or OOB anywhere in the recorder/validator
 # path aborts with a non-zero exit.
@@ -28,6 +30,13 @@ CLI="$BUILD_DIR/tools/flowsched_cli"
   --ndjson --out "$SMOKE_DIR/trace.ndjson"
 "$CLI" check-trace --input "$SMOKE_DIR/trace.ndjson"
 
+# LP smoke under ASan: a small parallel warm-started Fig. 10 sweep drives
+# the revised simplex (eta file, refactorization, crash/warm bases) across
+# threads, plus one CLI maxload solve with the transfer extraction.
+"$BUILD_DIR/bench/bench_fig10_maxload" --m 10 --permutations 2 --threads 4 \
+  > "$SMOKE_DIR/fig10.out"
+"$CLI" maxload --m 12 --k 4 --s 1.5 --transfer > "$SMOKE_DIR/maxload.out"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo'
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow'
 echo "asan_check: OK"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Snapshots the google-benchmark micro benches into machine-readable JSON
+# trajectory files at the repo root:
+#
+#   BENCH_micro_sched.json  — scheduler hot-path series
+#   BENCH_micro_lp.json     — LP (15) solver series (cold/warm revised,
+#                             tableau baseline, flow bisection)
+#
+# Re-run after perf-relevant changes and diff the json (the `real_time`
+# fields) to track the trajectory; EXPERIMENTS.md quotes the headline
+# numbers. A build directory with the bench binaries must exist.
+#
+# Usage: tools/bench_trajectory.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+MIN_TIME=${BENCH_MIN_TIME:-0.05}
+
+for bench in micro_sched micro_lp; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "bench_trajectory: $bin not built (cmake --build $BUILD_DIR --target $bench)" >&2
+    exit 1
+  fi
+  echo "== $bench =="
+  "$bin" --json "BENCH_$bench.json" --benchmark_min_time="$MIN_TIME"
+done
+echo "bench_trajectory: wrote BENCH_micro_sched.json BENCH_micro_lp.json"

@@ -39,7 +39,7 @@ done
 # --- 2. bench names in EXPERIMENTS.md --------------------------------------
 # ctest names (registered in bench/CMakeLists.txt, no .cpp of their own)
 # are exempt.
-ctest_names="bench_determinism_fig11"
+ctest_names="bench_determinism_fig11 bench_determinism_fig10"
 for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sort -u); do
   case " $ctest_names " in *" $bench "*) continue ;; esac
   if [ ! -f "bench/$bench.cpp" ]; then
@@ -49,7 +49,8 @@ for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sor
 done
 
 # --- 3. handbook pages -----------------------------------------------------
-for page in docs/architecture.md docs/observability.md docs/trace-format.md; do
+for page in docs/architecture.md docs/observability.md docs/trace-format.md \
+            docs/lp.md; do
   if [ ! -f "$page" ]; then
     say "check_docs: missing handbook page $page"
     fail=1

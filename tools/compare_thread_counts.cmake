@@ -11,6 +11,7 @@ endif()
 if(NOT DEFINED WORK_DIR)
   set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
 
 set(serial_out ${WORK_DIR}/determinism_t1.out)
 set(parallel_out ${WORK_DIR}/determinism_t4.out)

@@ -11,6 +11,9 @@
 //   flowsched_cli trace  --instance FILE [--algo <name>] [--out FILE]
 //                        [--metrics FILE] [--ndjson] [--seed N]
 //   flowsched_cli check-trace --input FILE
+//   flowsched_cli maxload [--m N] [--k N] [--s X]
+//                         [--strategy overlapping|disjoint|spread|none]
+//                         [--seed N] [--solver lp|flow] [--transfer]
 //
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
@@ -19,8 +22,11 @@
 // certified lower bounds; `trace` schedules the instance with the observer
 // attached and writes a Chrome trace_event JSON (or NDJSON) file plus an
 // optional one-line metrics summary (docs/observability.md); `check-trace`
-// validates a trace file against docs/trace-format.md. Instance format: see
-// src/io/instance_io.hpp.
+// validates a trace file against docs/trace-format.md; `maxload` solves
+// LP (15) — the theoretical maximum cluster load for a popularity
+// distribution under a replication scheme (docs/lp.md) — and with
+// --transfer also prints the optimal owner-to-server work transfers.
+// Instance format: see src/io/instance_io.hpp.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +43,7 @@
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
+#include "lp/maxload.hpp"
 #include "offline/lower_bounds.hpp"
 #include "offline/preemptive_optimal.hpp"
 #include "offline/unit_optimal.hpp"
@@ -268,6 +275,73 @@ int cmd_gen(const ArgParser& args) {
   return 0;
 }
 
+int cmd_maxload(const ArgParser& args) {
+  const int m = args.integer("m", 15);
+  int k = args.integer("k", 3);
+  const double s = args.num("s", 1.0);
+  const std::string strategy_name = args.get("strategy", "overlapping");
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const std::string solver = args.get("solver", "lp");
+  const bool want_transfer = args.has("transfer");
+  args.reject_unknown();
+  if (m < 1 || k < 1 || k > m) {
+    std::fprintf(stderr, "need 1 <= k <= m and m >= 1\n");
+    return 2;
+  }
+  ReplicationStrategy strategy;
+  if (strategy_name == "overlapping") {
+    strategy = ReplicationStrategy::kOverlapping;
+  } else if (strategy_name == "disjoint") {
+    strategy = ReplicationStrategy::kDisjoint;
+  } else if (strategy_name == "spread") {
+    strategy = ReplicationStrategy::kSpread;
+  } else if (strategy_name == "none") {
+    strategy = ReplicationStrategy::kNone;
+    k = 1;
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy_name.c_str());
+    return 2;
+  }
+  if (solver != "lp" && solver != "flow") {
+    std::fprintf(stderr, "--solver must be lp or flow\n");
+    return 2;
+  }
+  if (want_transfer && solver != "lp") {
+    std::fprintf(stderr, "--transfer needs --solver lp (the bisection only "
+                         "certifies lambda, not a transfer matrix)\n");
+    return 2;
+  }
+  Rng rng(seed);
+  const auto pop = make_popularity(PopularityCase::kShuffled, m, s, rng);
+  const auto sets = replica_sets(strategy, k, m);
+
+  std::printf("m=%d k=%d s=%g strategy=%s solver=%s seed=%llu\n", m, k, s,
+              strategy_name.c_str(), solver.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::printf("unreplicated max load: lambda=%.6g (%.2f%% of m)\n",
+              max_load_unreplicated(pop), 100.0 * max_load_unreplicated(pop) / m);
+  if (solver == "flow") {
+    const double lambda = max_load_flow(pop, sets);
+    std::printf("replicated max load:   lambda=%.6g (%.2f%% of m)\n", lambda,
+                100.0 * lambda / m);
+    return 0;
+  }
+  const MaxLoadResult result = max_load_lp(pop, sets);
+  std::printf("replicated max load:   lambda=%.6g (%.2f%% of m)\n",
+              result.lambda, 100.0 * result.lambda / m);
+  if (want_transfer) {
+    std::printf("transfer (machine <- owner: work/time at lambda):\n");
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const double a = result.transfer[static_cast<std::size_t>(i)]
+                                        [static_cast<std::size_t>(j)];
+        if (a > 1e-12) std::printf("  %d <- %d: %.6g\n", i, j, a);
+      }
+    }
+  }
+  return 0;
+}
+
 int cmd_bounds(const ArgParser& args) {
   const auto inst = read_input(args.get("input", ""));
   std::printf("pmax bound:              %.6g\n", lb_pmax(inst));
@@ -288,13 +362,14 @@ int main(int argc, char** argv) {
     if (args.command() == "bounds") return cmd_bounds(args);
     if (args.command() == "trace") return cmd_trace(args);
     if (args.command() == "check-trace") return cmd_check_trace(args);
+    if (args.command() == "maxload") return cmd_maxload(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
   }
   std::fprintf(stderr,
-               "usage: flowsched_cli run|opt|gen|bounds|trace|check-trace "
-               "[--options]\n"
+               "usage: flowsched_cli run|opt|gen|bounds|trace|check-trace"
+               "|maxload [--options]\n"
                "see the header of tools/flowsched_cli.cpp\n");
   return 2;
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the runner subsystem: configures a TSan build
-# (-DFLOWSCHED_SANITIZE=thread), builds the test binary, and runs the
-# concurrency-sensitive suites (thread pool, experiment determinism, engine).
+# (-DFLOWSCHED_SANITIZE=thread), builds the test binary and the fig10
+# bench, runs the concurrency-sensitive suites (thread pool, experiment
+# determinism, engine), and drives a parallel warm-started LP sweep — the
+# per-job MaxLoadSolver chains must not share mutable state across
+# threads.
 #
 # Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -12,7 +15,10 @@ BUILD_DIR=${1:-build-tsan}
 cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target flowsched_tests -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target flowsched_tests bench_fig10_maxload \
+  -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine'
+"$BUILD_DIR/bench/bench_fig10_maxload" --m 10 --permutations 2 --threads 4 \
+  > /dev/null
 echo "tsan_check: OK"
