@@ -1,0 +1,571 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "offline/bruteforce.hpp"
+#include "offline/lower_bounds.hpp"
+#include "offline/unit_optimal.hpp"
+#include "sched/engine.hpp"
+#include "sched/fifo.hpp"
+#include "util/rational.hpp"
+
+namespace flowsched {
+namespace {
+
+// Behavioural expectations derivable from an algorithm label. FIFO and the
+// EFT family are work-conserving on eligible machines (a task never waits
+// while a machine it may use idles: EFT picks the earliest-finishing
+// eligible machine, so every other eligible frontier is at least the chosen
+// start); JSQ / LeastLoaded / Random / RoundRobin give no such guarantee
+// (their choice ignores the completion frontier).
+struct AlgoTraits {
+  bool fifo_class = false;        // global FIFO start order (unrestricted)
+  bool work_conserving = false;   // eligible-machine work conservation
+  bool eft_or_fifo = false;       // Prop-1 / Th.1 / Th.2 oracles apply
+  bool tie_known = false;         // exact cross-replay incl. machines
+  TieBreakKind tie = TieBreakKind::kMin;
+};
+
+AlgoTraits algo_traits(const std::string& algo) {
+  AlgoTraits t;
+  if (algo == "FIFO") {
+    t.fifo_class = t.work_conserving = t.eft_or_fifo = true;
+  } else if (algo == "EFT-Min" || algo == "EFT-Max") {
+    t.fifo_class = t.work_conserving = t.eft_or_fifo = true;
+    t.tie_known = true;
+    t.tie = algo == "EFT-Min" ? TieBreakKind::kMin : TieBreakKind::kMax;
+  } else if (algo == "EFT-Rand") {
+    // Starts are tie-invariant on unrestricted instances (the frontier
+    // multiset evolves identically under any tie-break), so the Prop-1
+    // replay compares start times only.
+    t.fifo_class = t.work_conserving = t.eft_or_fifo = true;
+  } else if (algo == "FIFO-eligible") {
+    t.work_conserving = true;
+  }
+  return t;
+}
+
+bool integer_releases(const Instance& inst) {
+  for (const Task& t : inst.tasks()) {
+    if (t.release != std::floor(t.release)) return false;
+  }
+  return true;
+}
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(AuditConfig config)
+    : config_(std::move(config)) {}
+
+void InvariantAuditor::violation(const std::string& check,
+                                 const std::string& what) {
+  if (static_cast<int>(violations_.size()) >= config_.max_violations) return;
+  violations_.push_back("run#" + std::to_string(runs_) + " " + info_.algo +
+                        ": [" + check + "] " + what);
+}
+
+void InvariantAuditor::on_run_begin(const RunInfo& info) {
+  if (open_) violation("protocol", "on_run_begin while a run is open");
+  open_ = true;
+  info_ = info;
+  tasks_.clear();
+  rebuilt_.clear();
+  transitions_.assign(static_cast<std::size_t>(std::max(info.m, 0)), {});
+  unrestricted_ = true;
+  last_release_ = 0;
+  expect_fifo_order_ = config_.force_fifo_order;
+  expect_work_conservation_ = config_.force_work_conservation;
+  eft_or_fifo_ = false;
+  if (info.m <= 0) violation("protocol", "RunInfo.m <= 0");
+  if (config_.infer_from_algo) {
+    const AlgoTraits traits = algo_traits(info.algo);
+    expect_fifo_order_ = expect_fifo_order_ || traits.fifo_class;
+    expect_work_conservation_ =
+        expect_work_conservation_ || traits.work_conserving;
+    eft_or_fifo_ = traits.eft_or_fifo;
+  }
+}
+
+void InvariantAuditor::on_event(const ObsEvent& e) {
+  if (!open_) {
+    violation("protocol", "event outside a run");
+    return;
+  }
+  switch (e.kind) {
+    case ObsEventKind::kTaskReleased: {
+      if (e.task != static_cast<int>(tasks_.size())) {
+        violation("protocol", "task " + std::to_string(e.task) +
+                                  " released out of order (expected " +
+                                  std::to_string(tasks_.size()) + ")");
+        return;
+      }
+      if (e.release < last_release_) {
+        violation("protocol", "releases decrease at task " +
+                                  std::to_string(e.task) + ": " +
+                                  fmt(e.release) + " < " + fmt(last_release_));
+      }
+      last_release_ = e.release;
+      if (e.time != e.release) {
+        violation("protocol", "released event time " + fmt(e.time) +
+                                  " != release " + fmt(e.release));
+      }
+      if (!(e.proc > 0)) {
+        violation("protocol",
+                  "task " + std::to_string(e.task) + " has proc <= 0");
+      }
+      TaskRecord rec;
+      rec.release = e.release;
+      rec.proc = e.proc;
+      if (e.eligible == nullptr || e.eligible->empty()) {
+        violation("protocol", "task " + std::to_string(e.task) +
+                                  " released with no processing set");
+        rec.eligible = ProcSet::all(std::max(info_.m, 1));
+      } else {
+        rec.eligible = *e.eligible;  // callback-scoped pointer: copy
+        if (!rec.eligible.within(info_.m)) {
+          violation("eligibility", "task " + std::to_string(e.task) +
+                                       " processing set " +
+                                       rec.eligible.str() + " outside [0, " +
+                                       std::to_string(info_.m) + ")");
+        }
+      }
+      if (rec.eligible.size() != info_.m) unrestricted_ = false;
+      tasks_.push_back(std::move(rec));
+      break;
+    }
+    case ObsEventKind::kTaskDispatched:
+    case ObsEventKind::kTaskStarted:
+    case ObsEventKind::kTaskCompleted: {
+      if (e.task < 0 || e.task >= static_cast<int>(tasks_.size())) {
+        violation("protocol", "event for unreleased task " +
+                                  std::to_string(e.task));
+        return;
+      }
+      TaskRecord& rec = tasks_[static_cast<std::size_t>(e.task)];
+      const int expected_phase = e.kind == ObsEventKind::kTaskDispatched ? 0
+                                 : e.kind == ObsEventKind::kTaskStarted ? 1
+                                                                        : 2;
+      if (rec.phase != expected_phase) {
+        violation("protocol", "task " + std::to_string(e.task) +
+                                  " lifecycle out of order (phase " +
+                                  std::to_string(rec.phase) + ")");
+        return;
+      }
+      rec.phase = expected_phase + 1;
+      if (e.release != rec.release || e.proc != rec.proc) {
+        violation("accounting", "task " + std::to_string(e.task) +
+                                    " release/proc drifted across events");
+      }
+      if (e.kind == ObsEventKind::kTaskDispatched) {
+        rec.machine = e.machine;
+        rec.dispatch_time = e.time;
+        if (e.machine < 0 || e.machine >= info_.m) {
+          violation("eligibility", "task " + std::to_string(e.task) +
+                                       " dispatched to machine " +
+                                       std::to_string(e.machine) +
+                                       " outside [0, " +
+                                       std::to_string(info_.m) + ")");
+        } else if (!rec.eligible.contains(e.machine)) {
+          violation("eligibility",
+                    "task " + std::to_string(e.task) + " dispatched to M" +
+                        std::to_string(e.machine + 1) + " not in its set " +
+                        rec.eligible.str());
+        }
+        if (e.time < rec.release) {
+          violation("protocol", "task " + std::to_string(e.task) +
+                                    " dispatched before its release");
+        }
+      } else if (e.kind == ObsEventKind::kTaskStarted) {
+        rec.start = e.time;
+        if (e.machine != rec.machine) {
+          violation("protocol", "task " + std::to_string(e.task) +
+                                    " started on a machine it was not "
+                                    "dispatched to");
+        }
+        if (e.time < rec.release) {
+          violation("accounting", "task " + std::to_string(e.task) +
+                                      " starts at " + fmt(e.time) +
+                                      " before release " + fmt(rec.release));
+        }
+      } else {
+        rec.completion = e.time;
+        if (e.machine != rec.machine) {
+          violation("protocol", "task " + std::to_string(e.task) +
+                                    " completed on a machine it was not "
+                                    "dispatched to");
+        }
+        // C_i = S_i + p_i. Every engine computes the completion as the IEEE
+        // double sum, so demand bitwise equality with start + proc; on the
+        // dyadic theory grid that sum is exactly representable, making this
+        // exact arithmetic. Accept exact Rational equality too, for sinks
+        // that compute C_i by other (exact) means and round differently.
+        bool exact_ok = e.time == rec.start + rec.proc;
+        if (!exact_ok) {
+          const auto s = rational_from_double(rec.start);
+          const auto p = rational_from_double(rec.proc);
+          const auto c = rational_from_double(e.time);
+          exact_ok = s && p && c && *s + *p == *c;
+        }
+        if (!exact_ok) {
+          violation("accounting", "task " + std::to_string(e.task) +
+                                      ": C_i != S_i + p_i (" + fmt(e.time) +
+                                      " != " + fmt(rec.start) + " + " +
+                                      fmt(rec.proc) + ")");
+        }
+      }
+      break;
+    }
+    case ObsEventKind::kMachineBusy:
+    case ObsEventKind::kMachineIdle: {
+      if (e.machine < 0 || e.machine >= info_.m) {
+        violation("protocol",
+                  "machine event outside [0, " + std::to_string(info_.m) + ")");
+        return;
+      }
+      auto& trans = transitions_[static_cast<std::size_t>(e.machine)];
+      const bool busy = e.kind == ObsEventKind::kMachineBusy;
+      if (!trans.empty() && trans.back().busy == busy) {
+        violation("busy-idle", "machine M" + std::to_string(e.machine + 1) +
+                                   " repeated " + (busy ? "busy" : "idle") +
+                                   " transition at " + fmt(e.time));
+      }
+      if (trans.empty() && !busy) {
+        violation("busy-idle", "machine M" + std::to_string(e.machine + 1) +
+                                   " goes idle before ever being busy");
+      }
+      if (!trans.empty() && e.time < trans.back().time) {
+        violation("busy-idle", "machine M" + std::to_string(e.machine + 1) +
+                                   " transitions move backwards in time");
+      }
+      trans.push_back(Transition{e.time, busy});
+      break;
+    }
+  }
+}
+
+void InvariantAuditor::on_run_end(double makespan) {
+  if (!open_) {
+    violation("protocol", "on_run_end without on_run_begin");
+    return;
+  }
+  double max_completion = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].phase != 3) {
+      violation("protocol", "task " + std::to_string(i) +
+                                " never completed (phase " +
+                                std::to_string(tasks_[i].phase) + ")");
+    } else {
+      max_completion = std::max(max_completion, tasks_[i].completion);
+    }
+  }
+  if (makespan + config_.eps < max_completion) {
+    violation("accounting", "reported makespan " + fmt(makespan) +
+                                " below the last completion " +
+                                fmt(max_completion));
+  }
+  check_overlap();
+  check_machine_events(max_completion);
+  if (expect_fifo_order_ && unrestricted_) check_fifo_order();
+  if (expect_work_conservation_) check_work_conservation();
+
+  // Reconstruct the instance for the oracles and for callers. Events were
+  // validated release-sorted, so indices align with task records.
+  rebuilt_.clear();
+  rebuilt_.reserve(tasks_.size());
+  bool rebuildable = info_.m > 0;
+  for (const TaskRecord& rec : tasks_) {
+    if (!(rec.proc > 0) || rec.release < 0 || !rec.eligible.within(info_.m)) {
+      rebuildable = false;
+    }
+    rebuilt_.push_back(
+        Task{.release = rec.release, .proc = rec.proc, .eligible = rec.eligible});
+  }
+  if (rebuildable && !tasks_.empty()) {
+    last_instance_ = std::make_unique<Instance>(info_.m, rebuilt_);
+    if (config_.bound_oracles) run_bound_oracles(*last_instance_);
+  }
+
+  open_ = false;
+  ++runs_;
+}
+
+void InvariantAuditor::check_overlap() {
+  std::vector<std::vector<std::pair<double, double>>> intervals(
+      transitions_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskRecord& rec = tasks_[i];
+    if (rec.phase != 3 || rec.machine < 0 ||
+        rec.machine >= static_cast<int>(intervals.size())) {
+      continue;
+    }
+    intervals[static_cast<std::size_t>(rec.machine)].emplace_back(
+        rec.start, rec.start + rec.proc);
+  }
+  for (std::size_t j = 0; j < intervals.size(); ++j) {
+    auto& iv = intervals[j];
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t k = 1; k < iv.size(); ++k) {
+      if (iv[k].first + config_.eps < iv[k - 1].second) {
+        violation("overlap", "machine M" + std::to_string(j + 1) +
+                                 " double-booked: [" + fmt(iv[k].first) +
+                                 ", ...) starts inside [" +
+                                 fmt(iv[k - 1].first) + ", " +
+                                 fmt(iv[k - 1].second) + ")");
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_machine_events(double makespan) {
+  // The narrated busy periods must equal the merged task intervals: every
+  // busy..idle pair covers a maximal run of back-to-back tasks.
+  for (std::size_t j = 0; j < transitions_.size(); ++j) {
+    std::vector<std::pair<double, double>> merged;
+    for (const TaskRecord& rec : tasks_) {
+      if (rec.phase == 3 && rec.machine == static_cast<int>(j)) {
+        merged.emplace_back(rec.start, rec.start + rec.proc);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    std::vector<std::pair<double, double>> runs;
+    for (const auto& iv : merged) {
+      if (!runs.empty() && iv.first <= runs.back().second) {
+        runs.back().second = std::max(runs.back().second, iv.second);
+      } else {
+        runs.emplace_back(iv);
+      }
+    }
+    const auto& trans = transitions_[j];
+    if (trans.empty()) {
+      if (!runs.empty()) {
+        violation("busy-idle", "machine M" + std::to_string(j + 1) +
+                                   " ran tasks but never reported busy");
+      }
+      continue;
+    }
+    std::vector<std::pair<double, double>> narrated;
+    for (std::size_t k = 0; k < trans.size(); ++k) {
+      if (trans[k].busy) {
+        const double end =
+            k + 1 < trans.size() ? trans[k + 1].time : makespan + 1;
+        if (k + 1 >= trans.size()) {
+          violation("busy-idle", "machine M" + std::to_string(j + 1) +
+                                     " still busy at end of run (missing "
+                                     "finish_observation?)");
+        }
+        narrated.emplace_back(trans[k].time, end);
+      }
+    }
+    if (narrated.size() != runs.size()) {
+      violation("busy-idle",
+                "machine M" + std::to_string(j + 1) + " narrated " +
+                    std::to_string(narrated.size()) + " busy periods but ran " +
+                    std::to_string(runs.size()) + " task bursts");
+      continue;
+    }
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      if (narrated[k].first != runs[k].first ||
+          narrated[k].second != runs[k].second) {
+        violation("busy-idle", "machine M" + std::to_string(j + 1) +
+                                   " busy period [" + fmt(narrated[k].first) +
+                                   ", " + fmt(narrated[k].second) +
+                                   ") != task burst [" + fmt(runs[k].first) +
+                                   ", " + fmt(runs[k].second) + ")");
+        break;
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_fifo_order() {
+  // Releases are non-decreasing (validated), so FIFO's queue discipline
+  // means starts are too: an earlier-released task never starts later.
+  for (std::size_t i = 1; i < tasks_.size(); ++i) {
+    if (tasks_[i - 1].phase != 3 || tasks_[i].phase != 3) continue;
+    if (tasks_[i].start + config_.eps < tasks_[i - 1].start) {
+      violation("fifo-order",
+                "task " + std::to_string(i) + " (released " +
+                    fmt(tasks_[i].release) + ") starts at " +
+                    fmt(tasks_[i].start) + " before task " +
+                    std::to_string(i - 1) + " started at " +
+                    fmt(tasks_[i - 1].start));
+      return;  // one witness is enough; later pairs usually cascade
+    }
+  }
+}
+
+void InvariantAuditor::check_work_conservation() {
+  // Per machine: the idle gaps between merged task intervals (plus the
+  // leading one). A waiting interval (r_i, S_i) of a task must not meet a
+  // gap on any machine of M_i — that would be unforced idleness.
+  const std::size_t m = transitions_.size();
+  std::vector<std::vector<std::pair<double, double>>> gaps(m);
+  std::vector<std::vector<std::pair<double, double>>> merged(m);
+  for (const TaskRecord& rec : tasks_) {
+    if (rec.phase == 3 && rec.machine >= 0 &&
+        rec.machine < static_cast<int>(m)) {
+      merged[static_cast<std::size_t>(rec.machine)].emplace_back(
+          rec.start, rec.start + rec.proc);
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    auto& iv = merged[j];
+    std::sort(iv.begin(), iv.end());
+    double frontier = 0;
+    for (const auto& [s, c] : iv) {
+      if (s > frontier) gaps[j].emplace_back(frontier, s);
+      frontier = std::max(frontier, c);
+    }
+    // Trailing idleness: from the machine's last completion onwards it is
+    // available forever.
+    gaps[j].emplace_back(frontier,
+                         std::numeric_limits<double>::infinity());
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskRecord& rec = tasks_[i];
+    if (rec.phase != 3 || rec.start <= rec.release + config_.eps) continue;
+    for (int j : rec.eligible.machines()) {
+      if (j < 0 || j >= static_cast<int>(m)) continue;
+      for (const auto& [lo, hi] : gaps[static_cast<std::size_t>(j)]) {
+        const double olo = std::max(lo, rec.release);
+        const double ohi = std::min(hi, rec.start);
+        if (ohi - olo > config_.eps) {
+          violation("work-conservation",
+                    "task " + std::to_string(i) + " waits in [" +
+                        fmt(rec.release) + ", " + fmt(rec.start) +
+                        ") while eligible machine M" + std::to_string(j + 1) +
+                        " idles in [" + fmt(olo) + ", " + fmt(ohi) + ")");
+          return;  // one witness is enough
+        }
+      }
+    }
+  }
+}
+
+void InvariantAuditor::run_bound_oracles(const Instance& inst) {
+  double fmax = 0;
+  bool complete = !tasks_.empty();
+  for (const TaskRecord& rec : tasks_) {
+    if (rec.phase != 3) {
+      complete = false;
+      break;
+    }
+    fmax = std::max(fmax, rec.completion - rec.release);
+  }
+  if (!complete) return;
+  const int n = inst.n();
+  const bool unit =
+      inst.unit_tasks() && integer_releases(inst) && n <= config_.unit_oracle_max_n;
+
+  // [lb] Certified lower bounds never exceed any schedule's Fmax.
+  double lb = lb_pmax(inst);
+  if (n <= config_.oracle_max_n) lb = std::max(lb, lb_volume(inst));
+  if (fmax + config_.eps < lb) {
+    violation("lb", "Fmax " + fmt(fmax) + " below the certified lower bound " +
+                        fmt(lb));
+  }
+
+  int unit_opt = -1;
+  if (unit) {
+    unit_opt = unit_optimal_fmax(inst);
+    // [unit-opt] No schedule beats the exact unit-task optimum.
+    if (fmax + config_.eps < unit_opt) {
+      violation("unit-opt", "Fmax " + fmt(fmax) + " beats the exact optimum " +
+                                std::to_string(unit_opt));
+    }
+  }
+
+  if (!eft_or_fifo_ || !unrestricted_) return;
+  const double ratio = 3.0 - 2.0 / inst.m();
+
+  // [th1-bound] Theorem 1 at proof level: FIFO/EFT's Fmax is charged
+  // against the pmax and volume lower bounds, so ALG <= (3 - 2/m) * LB.
+  if (n <= config_.oracle_max_n) {
+    const double denom = std::max(lb_pmax(inst), lb_volume(inst));
+    if (fmax > ratio * denom + config_.eps) {
+      violation("th1-bound", "Fmax " + fmt(fmax) + " > (3 - 2/m) * " +
+                                 fmt(denom) + " = " + fmt(ratio * denom));
+    }
+  }
+
+  // [unit-opt] Theorem 2: FIFO (hence EFT, via Prop. 1) is optimal on
+  // unrestricted unit instances — equality, not just >=.
+  if (unit && fmax > unit_opt + config_.eps) {
+    violation("unit-opt", "FIFO/EFT Fmax " + fmt(fmax) +
+                              " exceeds the unit-task optimum " +
+                              std::to_string(unit_opt) +
+                              " (Theorem 2 violated)");
+  }
+
+  // [prop1] Cross-replay the instance through the *other* implementation
+  // (queue simulation vs immediate dispatch) and require the schedules to
+  // coincide: start-for-start always, machine-for-machine when the audited
+  // run's tie-break is known and deterministic.
+  const AlgoTraits traits = algo_traits(info_.algo);
+  const TieBreakKind tie = traits.tie_known ? traits.tie : TieBreakKind::kMin;
+  const Schedule other = info_.algo == "FIFO"
+                             ? [&] {
+                                 EftDispatcher eft(TieBreakKind::kMin);
+                                 return run_dispatcher(inst, eft);
+                               }()
+                             : fifo_schedule(inst, tie);
+  const bool compare_machines = traits.tie_known;
+  for (int i = 0; i < n; ++i) {
+    const TaskRecord& rec = tasks_[static_cast<std::size_t>(i)];
+    if (other.start(i) != rec.start) {
+      violation("prop1", "task " + std::to_string(i) + " starts at " +
+                             fmt(rec.start) + " but the FIFO<->EFT replay " +
+                             "starts it at " + fmt(other.start(i)));
+      break;
+    }
+    if (compare_machines && other.machine(i) != rec.machine) {
+      violation("prop1", "task " + std::to_string(i) + " ran on M" +
+                             std::to_string(rec.machine + 1) +
+                             " but the FIFO<->EFT replay puts it on M" +
+                             std::to_string(other.machine(i) + 1));
+      break;
+    }
+  }
+}
+
+std::string InvariantAuditor::report() const {
+  std::string out;
+  for (const auto& v : violations_) {
+    out += v;
+    out += '\n';
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+void InvariantAuditor::throw_if_violated() const {
+  if (!ok()) throw std::runtime_error("InvariantAuditor: " + report());
+}
+
+const Instance& InvariantAuditor::last_instance() const {
+  if (last_instance_ == nullptr) {
+    throw std::logic_error("InvariantAuditor::last_instance: no completed run");
+  }
+  return *last_instance_;
+}
+
+std::vector<std::string> audit_schedule(const Schedule& sched,
+                                        const std::string& algo,
+                                        AuditConfig config) {
+  InvariantAuditor auditor(std::move(config));
+  replay_schedule(sched, RunInfo{sched.instance().m(), algo, {}}, auditor);
+  return auditor.violations();
+}
+
+}  // namespace flowsched

@@ -1,0 +1,164 @@
+// InvariantAuditor: online validation of scheduling runs against the
+// paper's machine-checkable theorems.
+//
+// The auditor is a SchedObserver (obs/observer.hpp): attach it to any
+// engine — OnlineEngine, the FIFO simulators, the kvstore cluster
+// simulator, or a replayed Schedule — alone or fanned out beside
+// MetricsCollector / TraceRecorder through a MulticastObserver. It costs
+// nothing when detached (the engines' usual null-pointer contract) and
+// validates the run as the events stream in, then closes the books at
+// on_run_end() with whole-schedule sweeps and the configured bound
+// oracles.
+//
+// Invariant catalog (docs/testing.md lists the theorem behind each):
+//
+//   structural (always on)
+//     [protocol]     begin/event/end bracketing, sequential task ids,
+//                    non-decreasing releases, per-task event lifecycle
+//     [eligibility]  dispatched machine is in M_i (processing-set
+//                    feasibility, Section 3)
+//     [accounting]   C_i = S_i + p_i in exact Rational arithmetic,
+//                    S_i >= r_i, makespan = max C_i
+//     [overlap]      no machine double-booking (touching allowed)
+//     [busy-idle]    machine busy/idle transitions alternate and equal the
+//                    merged task intervals
+//
+//   behavioural (inferred from RunInfo::algo, or forced via AuditConfig)
+//     [fifo-order]   r_i <= r_j => S_i <= S_j on unrestricted instances
+//                    (FIFO's queue discipline; EFT inherits it via Prop. 1)
+//     [work-conservation]  no eligible machine idles while a task waits
+//                    (FIFO-class and EFT-class engines; Mäcker et al.'s
+//                    online no-unforced-idleness audit)
+//
+//   bound oracles (on_run_end; AuditConfig::bound_oracles)
+//     [lb]           Fmax >= opt_lower_bound(I) (any algorithm; the
+//                    certified bounds (3)/(4) of offline/lower_bounds)
+//     [unit-opt]     Fmax >= unit OPT, with equality for FIFO/EFT on
+//                    unrestricted unit instances (Theorem 2)
+//     [th1-bound]    Fmax <= (3 - 2/m) * max(pmax, volume LB) for
+//                    FIFO/EFT on unrestricted instances (Theorem 1 at
+//                    proof level: the proof charges ALG against exactly
+//                    these lower-bound expressions)
+//     [prop1]        FIFO-vs-EFT cross-replay, bit-equal machines/starts
+//                    (Proposition 1)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+#include "obs/observer.hpp"
+#include "sched/tiebreak.hpp"
+
+namespace flowsched {
+
+/// \brief Tuning knobs for the auditor. The default runs every check the
+/// observed algorithm is known to satisfy (see algo inference above).
+struct AuditConfig {
+  /// Derive [fifo-order] / [work-conservation] / [prop1] applicability
+  /// from RunInfo::algo ("FIFO", "EFT-Min", ...). When false, only the
+  /// force_* flags below enable behavioural checks.
+  bool infer_from_algo = true;
+
+  /// Force behavioural checks regardless of the algorithm name.
+  bool force_fifo_order = false;
+  bool force_work_conservation = false;
+
+  /// End-of-run bound oracles ([lb], [unit-opt], [th1-bound], [prop1]).
+  /// The oracles rebuild the instance from the event stream and may run
+  /// matchings / O(n^2) bounds, so they are intended for tests and fuzzing,
+  /// not for production sweeps.
+  bool bound_oracles = false;
+
+  /// Oracle size gates: the O(n^2) volume bound and Th.1 check run only
+  /// when n <= oracle_max_n; the unit-task matching oracle only when
+  /// n <= unit_oracle_max_n.
+  int oracle_max_n = 400;
+  int unit_oracle_max_n = 160;
+
+  /// Absolute tolerance for comparisons that involve accumulated floating
+  /// arithmetic (lower bounds, Th.1). Exact checks ([accounting], [prop1])
+  /// do not use it.
+  double eps = 1e-9;
+
+  /// Stop recording after this many violations (the run is already
+  /// condemned; keeps a pathological run from flooding memory).
+  int max_violations = 64;
+};
+
+/// \brief SchedObserver that validates runs online and via end-of-run
+/// oracles. May observe several runs back to back; violations accumulate
+/// across runs, each prefixed with "run#<index> <algo>:".
+class InvariantAuditor final : public SchedObserver {
+ public:
+  explicit InvariantAuditor(AuditConfig config = {});
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_event(const ObsEvent& event) override;
+  void on_run_end(double makespan) override;
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// Completed runs observed so far.
+  int runs() const { return runs_; }
+  /// All violations joined with newlines ("" when ok()).
+  std::string report() const;
+  /// Throws std::runtime_error carrying report() unless ok().
+  void throw_if_violated() const;
+
+  /// The instance reconstructed from the last completed run's event
+  /// stream. Throws std::logic_error before the first on_run_end().
+  const Instance& last_instance() const;
+
+ private:
+  struct TaskRecord {
+    double release = 0;
+    double proc = 0;
+    ProcSet eligible;
+    int machine = -1;
+    double dispatch_time = 0;
+    double start = 0;
+    double completion = 0;
+    int phase = 0;  // 0 released, 1 dispatched, 2 started, 3 completed
+  };
+  struct Transition {
+    double time;
+    bool busy;
+  };
+
+  void violation(const std::string& check, const std::string& what);
+  void check_machine_events(double makespan);
+  void check_overlap();
+  void check_fifo_order();
+  void check_work_conservation();
+  void run_bound_oracles(const Instance& inst);
+
+  AuditConfig config_;
+  std::vector<std::string> violations_;
+  int runs_ = 0;
+  bool open_ = false;
+  RunInfo info_;
+  // Behavioural expectations derived from info_.algo at on_run_begin.
+  bool expect_fifo_order_ = false;
+  bool expect_work_conservation_ = false;
+  bool eft_or_fifo_ = false;
+
+  std::vector<TaskRecord> tasks_;
+  std::vector<std::vector<Transition>> transitions_;  // per machine
+  bool unrestricted_ = true;
+  double last_release_ = 0;
+  std::vector<Task> rebuilt_;  // instance reconstruction, release order
+  std::unique_ptr<Instance> last_instance_;
+};
+
+/// \brief One-shot audit of a completed schedule: replays it through an
+/// InvariantAuditor (obs replay semantics) and returns the violations.
+/// `algo` seeds the behavioural-check inference exactly like a live run.
+std::vector<std::string> audit_schedule(const Schedule& sched,
+                                        const std::string& algo,
+                                        AuditConfig config = {});
+
+}  // namespace flowsched

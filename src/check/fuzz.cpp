@@ -1,0 +1,443 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/shrink.hpp"
+#include "io/instance_io.hpp"
+#include "lp/maxload.hpp"
+#include "offline/bruteforce.hpp"
+#include "offline/preemptive_optimal.hpp"
+#include "runner/experiment.hpp"
+#include "runner/thread_pool.hpp"
+#include "sched/engine.hpp"
+#include "sched/fifo.hpp"
+#include "util/rng.hpp"
+
+namespace flowsched {
+namespace {
+
+// Fixed seed for the randomized tie-breaks/policies: the schedule is then a
+// pure function of the instance, so a shrunk reproducer replays identically
+// under `flowsched_fuzz replay` with no extra state to carry.
+constexpr std::uint64_t kPolicySeed = 0x5eedULL;
+
+// Size gates for the exponential / polynomial oracles. Branch-and-bound is
+// fast at these sizes thanks to its frontier-ordering heuristic; the
+// preemptive bound is a bisection over max-flows.
+constexpr int kBruteforceMaxN = 9;
+constexpr int kPreemptiveMaxN = 14;
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+std::unique_ptr<Dispatcher> make_dispatcher(const std::string& policy,
+                                            bool inject_bug) {
+  if (policy == "EFT-Min") {
+    if (inject_bug) return std::make_unique<FaultyEftDispatcher>();
+    return std::make_unique<EftDispatcher>(TieBreakKind::kMin);
+  }
+  if (policy == "EFT-Max")
+    return std::make_unique<EftDispatcher>(TieBreakKind::kMax);
+  if (policy == "EFT-Rand")
+    return std::make_unique<EftDispatcher>(TieBreakKind::kRand, kPolicySeed);
+  if (policy == "LeastLoaded-Min")
+    return std::make_unique<LeastLoadedDispatcher>(TieBreakKind::kMin);
+  if (policy == "JSQ-Min")
+    return std::make_unique<JsqDispatcher>(TieBreakKind::kMin);
+  if (policy == "RoundRobin") return std::make_unique<RoundRobinDispatcher>();
+  if (policy == "RandomEligible")
+    return std::make_unique<RandomEligibleDispatcher>(kPolicySeed);
+  if (policy == "Pow2")
+    return std::make_unique<PowerOfDChoicesDispatcher>(2, kPolicySeed);
+  throw std::invalid_argument("unknown fuzz policy: " + policy);
+}
+
+std::vector<std::string> policies_for(const Instance& inst) {
+  std::vector<std::string> out = fuzz_policies();
+  if (inst.unrestricted_sets()) out.push_back("FIFO");
+  return out;
+}
+
+// Offline reference values shared by every policy run on one instance.
+// A value < 0 means "not computed" (instance too large for that oracle).
+struct Oracles {
+  double bruteforce = -1.0;
+  double preemptive = -1.0;
+};
+
+Oracles compute_oracles(const Instance& inst, bool differential) {
+  Oracles o;
+  if (!differential) return o;
+  if (inst.n() <= kBruteforceMaxN)
+    o.bruteforce = brute_force_opt_fmax(inst, kBruteforceMaxN);
+  if (inst.n() <= kPreemptiveMaxN)
+    o.preemptive = preemptive_optimal_fmax(inst);
+  return o;
+}
+
+// The two oracles checked against each other: the preemptive relaxation can
+// never be worse than the exact non-preemptive optimum.
+std::optional<std::string> oracle_cross_check(const Oracles& o) {
+  if (o.bruteforce >= 0 && o.preemptive >= 0 &&
+      o.preemptive > o.bruteforce + 1e-4) {
+    return "[diff-oracle] preemptive OPT " + fmt(o.preemptive) +
+           " exceeds bruteforce OPT " + fmt(o.bruteforce);
+  }
+  return std::nullopt;
+}
+
+struct CheckOpts {
+  bool bound_oracles = true;
+  bool differential = true;
+  bool inject_bug = false;
+};
+
+// Runs one policy on one instance under the auditor and the differential
+// oracles; returns every violation. The core shared by the fuzz loop, the
+// shrink predicate, and corpus replay.
+std::vector<std::string> check_policy(const Instance& inst,
+                                      const std::string& policy,
+                                      const CheckOpts& opts,
+                                      const Oracles& oracles) {
+  AuditConfig acfg;
+  acfg.bound_oracles = opts.bound_oracles;
+  InvariantAuditor auditor(acfg);
+
+  Schedule sched = [&] {
+    if (policy == "FIFO")
+      return fifo_schedule(inst, TieBreakKind::kMin, 0, &auditor);
+    if (policy == "FIFO-eligible")
+      return fifo_eligible_schedule(inst, TieBreakKind::kMin, 0, &auditor);
+    auto dispatcher = make_dispatcher(policy, opts.inject_bug);
+    return run_dispatcher(inst, *dispatcher, auditor);
+  }();
+
+  std::vector<std::string> out = auditor.violations();
+  if (!opts.differential) return out;
+
+  const double fmax = sched.max_flow();
+  if (oracles.bruteforce >= 0 && fmax < oracles.bruteforce - 1e-6) {
+    out.push_back(policy + ": [diff-bruteforce] Fmax " + fmt(fmax) +
+                  " beats the exact optimum " + fmt(oracles.bruteforce));
+  }
+  if (oracles.preemptive >= 0 && fmax < oracles.preemptive - 1e-4) {
+    out.push_back(policy + ": [diff-preemptive] Fmax " + fmt(fmax) +
+                  " beats the preemptive relaxation " + fmt(oracles.preemptive));
+  }
+  // Theorem 1 against the *exact* optimum: sound (unlike a lower-bound
+  // denominator, which would be stricter than the theorem) and as tight as
+  // the theorem itself. Applies to FIFO and the EFT variants on
+  // unrestricted instances.
+  const bool eft_like = policy == "FIFO" || policy.rfind("EFT-", 0) == 0;
+  if (oracles.bruteforce > 0 && eft_like && inst.unrestricted_sets()) {
+    const double ratio = 3.0 - 2.0 / static_cast<double>(inst.m());
+    if (fmax > ratio * oracles.bruteforce + 1e-6) {
+      out.push_back(policy + ": [diff-th1-exact] Fmax " + fmt(fmax) +
+                    " > (3 - 2/m) * OPT = " + fmt(ratio * oracles.bruteforce));
+    }
+  }
+  return out;
+}
+
+// LP-vs-Dinic differential on a fresh random replica system: the revised
+// simplex (lp/maxload.hpp) and the max-flow bisection solve the same
+// max-load LP by disjoint code paths, so agreement is a strong check on
+// both.
+std::optional<std::string> lp_differential(Rng& rng) {
+  const int m = static_cast<int>(rng.uniform_int(3, 8));
+  std::vector<int> pool(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) pool[static_cast<std::size_t>(j)] = j;
+  std::vector<ProcSet> sets;
+  sets.reserve(static_cast<std::size_t>(m));
+  std::vector<double> popularity;
+  popularity.reserve(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    const int k = static_cast<int>(rng.uniform_int(1, m));
+    rng.shuffle(pool);
+    sets.emplace_back(std::vector<int>(pool.begin(), pool.begin() + k));
+    popularity.push_back(rng.uniform(0.0, 1.0));
+  }
+  const double lp = max_load_lp(popularity, sets).lambda;
+  const double flow = max_load_flow(popularity, sets);
+  const double scale = std::max(1.0, std::abs(lp));
+  if (std::abs(lp - flow) > 1e-6 * scale) {
+    return "[diff-lp] simplex lambda " + fmt(lp) +
+           " != max-flow lambda " + fmt(flow) + " (m=" + std::to_string(m) +
+           ")";
+  }
+  return std::nullopt;
+}
+
+// "[tag]" extracted from a violation line, "" when absent.
+std::string tag_of(const std::string& violation) {
+  const std::size_t open = violation.find('[');
+  if (open == std::string::npos) return "";
+  const std::size_t close = violation.find(']', open);
+  if (close == std::string::npos) return "";
+  return violation.substr(open, close - open + 1);
+}
+
+struct RawFinding {
+  std::string policy;
+  std::string check;
+  std::optional<Instance> inst;  // absent for [diff-lp]
+};
+
+struct RunOutcome {
+  FuzzStructure structure = FuzzStructure::kInclusive;
+  int schedules = 0;
+  int lp_checks = 0;
+  std::vector<RawFinding> findings;
+};
+
+RunOutcome fuzz_one(const FuzzConfig& config,
+                    const std::vector<FuzzStructure>& structures, int run) {
+  RunOutcome out;
+  // replicate_seed is the runner's thread-invariant stream derivation: the
+  // run index alone picks the stream, so --threads N is byte-identical to
+  // --threads 1.
+  const std::uint64_t seed =
+      replicate_seed(experiment_id("flowsched_fuzz"), cell_id({config.seed}),
+                     static_cast<std::uint64_t>(run));
+  Rng rng(seed);
+  out.structure = structures[static_cast<std::size_t>(run) % structures.size()];
+
+  StructuredInstanceOptions sizes = config.sizes;
+  if (!sizes.unit_tasks) sizes.unit_tasks = rng.bernoulli(0.35);
+  const Instance inst = random_structured_instance(out.structure, sizes, rng);
+
+  const Oracles oracles = compute_oracles(inst, config.differential);
+  if (auto cross = oracle_cross_check(oracles)) {
+    out.findings.push_back({"oracle", *cross, inst});
+  }
+
+  const CheckOpts opts{config.bound_oracles, config.differential,
+                       config.inject_bug};
+  for (const std::string& policy : policies_for(inst)) {
+    const std::vector<std::string> violations =
+        check_policy(inst, policy, opts, oracles);
+    ++out.schedules;
+    if (!violations.empty()) {
+      out.findings.push_back({policy, violations.front(), inst});
+    }
+  }
+
+  if (config.lp_every > 0 && run % config.lp_every == 0) {
+    out.lp_checks = 1;
+    if (auto lp = lp_differential(rng)) {
+      out.findings.push_back({"lp", *lp, std::nullopt});
+    }
+  }
+  return out;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(std::tolower(
+                            static_cast<unsigned char>(c)))
+                      : '-');
+  }
+  return out;
+}
+
+std::string reproducer_text(const FuzzConfig& config, const FuzzFinding& f,
+                            const Instance& minimized) {
+  std::ostringstream os;
+  os << "# flowsched_fuzz reproducer (seed=" << config.seed
+     << " run=" << f.run << " structure=" << to_string(f.structure) << ")\n";
+  os << "# policy: " << f.policy << "\n";
+  os << "# check: " << f.check << "\n";
+  os << "# replay: flowsched_fuzz replay <this file>\n";
+  os << instance_to_string(minimized);
+  return os.str();
+}
+
+}  // namespace
+
+void FaultyEftDispatcher::reset(int m) {
+  finish_.assign(static_cast<std::size_t>(m), {});
+  cursor_.assign(static_cast<std::size_t>(m), 0);
+}
+
+int FaultyEftDispatcher::dispatch(const Task& t, const MachineState& state) {
+  const int m = static_cast<int>(state.completion.size());
+  std::vector<int> eligible = t.eligible.machines();
+  if (eligible.empty()) {
+    eligible.resize(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) eligible[static_cast<std::size_t>(j)] = j;
+  }
+  // "Idle scan": advance the finished cursor, then compute the queue depth
+  // with the off-by-one — a machine with one unfinished task reports 0.
+  int first_idle = -1;
+  for (int j : eligible) {
+    const auto uj = static_cast<std::size_t>(j);
+    const std::vector<double>& f = finish_[uj];
+    std::size_t& c = cursor_[uj];
+    while (c < f.size() && f[c] <= t.release) ++c;
+    const auto depth =
+        static_cast<std::ptrdiff_t>(f.size()) - static_cast<std::ptrdiff_t>(c) - 1;
+    if (depth <= 0 && first_idle < 0) first_idle = j;
+  }
+  int pick = first_idle;
+  if (pick < 0) {
+    // Fall back to genuine EFT (min completion frontier, min index).
+    pick = eligible.front();
+    for (int j : eligible) {
+      if (state.completion[static_cast<std::size_t>(j)] <
+          state.completion[static_cast<std::size_t>(pick)]) {
+        pick = j;
+      }
+    }
+  }
+  const auto up = static_cast<std::size_t>(pick);
+  const double start = std::max(t.release, state.completion[up]);
+  finish_[up].push_back(start + t.proc);
+  return pick;
+}
+
+const std::vector<std::string>& fuzz_policies() {
+  static const std::vector<std::string> kPolicies = {
+      "EFT-Min",         "EFT-Max",   "EFT-Rand", "LeastLoaded-Min",
+      "JSQ-Min",         "RoundRobin", "RandomEligible",
+      "Pow2",            "FIFO-eligible"};
+  return kPolicies;
+}
+
+std::vector<std::string> replay_corpus_instance(const Instance& inst,
+                                                bool bound_oracles,
+                                                bool differential) {
+  const Oracles oracles = compute_oracles(inst, differential);
+  std::vector<std::string> out;
+  if (auto cross = oracle_cross_check(oracles)) out.push_back(*cross);
+  const CheckOpts opts{bound_oracles, differential, /*inject_bug=*/false};
+  for (const std::string& policy : policies_for(inst)) {
+    for (const std::string& v : check_policy(inst, policy, opts, oracles)) {
+      out.push_back(policy + ": " + v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> replay_corpus_file(const std::string& path,
+                                            bool bound_oracles,
+                                            bool differential) {
+  return replay_corpus_instance(load_instance(path), bound_oracles,
+                                differential);
+}
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << "flowsched_fuzz: runs=" << runs << " schedules=" << schedules
+     << " lp-checks=" << lp_checks << " findings=" << findings.size() << "\n";
+  int i = 0;
+  for (const FuzzFinding& f : findings) {
+    os << "  finding " << ++i << ": run=" << f.run
+       << " structure=" << to_string(f.structure) << " policy=" << f.policy;
+    if (f.shrunk_n > 0) os << " shrunk-to=" << f.shrunk_n << " tasks";
+    if (!f.path.empty()) os << " -> " << f.path;
+    os << "\n    " << f.check << "\n";
+  }
+  return os.str();
+}
+
+FuzzReport run_fuzz(const FuzzConfig& config) {
+  if (config.runs < 0) throw std::invalid_argument("run_fuzz: runs < 0");
+  const std::vector<FuzzStructure> structures =
+      config.structures.empty()
+          ? std::vector<FuzzStructure>(std::begin(kAllFuzzStructures),
+                                       std::end(kAllFuzzStructures))
+          : config.structures;
+
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(config.runs));
+  const int threads = resolve_threads(config.threads);
+  if (threads <= 1 || config.runs <= 1) {
+    for (int r = 0; r < config.runs; ++r) {
+      outcomes[static_cast<std::size_t>(r)] = fuzz_one(config, structures, r);
+    }
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<RunOutcome>> futures;
+    futures.reserve(static_cast<std::size_t>(config.runs));
+    for (int r = 0; r < config.runs; ++r) {
+      futures.push_back(
+          pool.submit([&config, &structures, r] { return fuzz_one(config, structures, r); }));
+    }
+    // Collected in run order, so the report is independent of scheduling.
+    for (int r = 0; r < config.runs; ++r) {
+      outcomes[static_cast<std::size_t>(r)] = futures[static_cast<std::size_t>(r)].get();
+    }
+  }
+
+  FuzzReport report;
+  report.runs = config.runs;
+  if (!config.corpus_dir.empty()) {
+    std::filesystem::create_directories(config.corpus_dir);
+  }
+  for (int r = 0; r < config.runs; ++r) {
+    RunOutcome& outcome = outcomes[static_cast<std::size_t>(r)];
+    report.schedules += outcome.schedules;
+    report.lp_checks += outcome.lp_checks;
+    for (RawFinding& raw : outcome.findings) {
+      FuzzFinding f;
+      f.run = r;
+      f.structure = outcome.structure;
+      f.policy = raw.policy;
+      f.check = raw.check;
+      if (raw.inst.has_value()) {
+        Instance minimized = *raw.inst;
+        if (config.shrink) {
+          const std::string tag = tag_of(raw.check);
+          const CheckOpts opts{config.bound_oracles, config.differential,
+                               config.inject_bug};
+          const FailurePredicate pred = [&](const Instance& cand) {
+            const Oracles cand_oracles =
+                compute_oracles(cand, config.differential);
+            if (raw.policy == "oracle") {
+              return oracle_cross_check(cand_oracles).has_value();
+            }
+            for (const std::string& v :
+                 check_policy(cand, raw.policy, opts, cand_oracles)) {
+              if (tag_of(v) == tag) return true;
+            }
+            return false;
+          };
+          minimized =
+              shrink_instance(*raw.inst, pred, config.shrink_max_calls);
+        }
+        f.shrunk_n = minimized.n();
+        f.instance_text = reproducer_text(config, f, minimized);
+        if (!config.corpus_dir.empty()) {
+          const std::string name = "fuzz-s" + std::to_string(config.seed) +
+                                   "-r" + std::to_string(r) + "-" +
+                                   sanitize(raw.policy) + ".txt";
+          const std::filesystem::path path =
+              std::filesystem::path(config.corpus_dir) / name;
+          std::ofstream out(path);
+          if (!out) {
+            throw std::runtime_error("run_fuzz: cannot write " + path.string());
+          }
+          out << f.instance_text;
+          f.path = path.string();
+        }
+      }
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,138 @@
+// Differential fuzzer for the scheduling engines.
+//
+// Each fuzz run draws a random structured instance (check/gen.hpp) and
+// pushes it through every applicable policy — the immediate-dispatch
+// dispatchers, FIFO-eligible, and plain FIFO when the instance is
+// unrestricted — with an InvariantAuditor attached and its bound oracles
+// armed. On top of the auditor's per-run checks, the harness cross-checks
+// each schedule differentially against the offline oracles:
+//
+//   [diff-bruteforce]  Fmax >= branch-and-bound OPT (small n)
+//   [diff-th1-exact]   Fmax <= (3 - 2/m) * OPT for FIFO/EFT on
+//                      unrestricted instances (Theorem 1 against the exact
+//                      denominator, not a lower bound — sound and tight)
+//   [diff-preemptive]  Fmax >= preemptive OPT (relaxation bound, Section 2)
+//   [diff-lp]          LP max-load optimum == Dinic max-flow optimum
+//                      (lp/maxload.hpp's two independent solvers), run on
+//                      a fresh random replica system every lp_every runs
+//
+// A failing check yields a FuzzFinding; the delta-debugging shrinker
+// (check/shrink.hpp) minimizes the instance under "the same check still
+// fails for the same policy", and the minimized instance is emitted as a
+// self-contained reproducer file (io/instance_io format plus a comment
+// header) into FuzzConfig::corpus_dir.
+//
+// Determinism: run r derives its RNG stream from
+// replicate_seed(experiment_id("flowsched_fuzz"), cell_id({seed}), r),
+// results are collected in run order, and randomized tie-breaks use fixed
+// seeds — so the report (and any reproducer) is byte-identical for a given
+// --seed at any --threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/gen.hpp"
+#include "model/instance.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  int runs = 64;
+  /// <= 0 means hardware concurrency (runner/experiment.hpp semantics).
+  int threads = 1;
+  /// Structures to cycle through (run r uses structures[r % size]).
+  /// Empty means all of kAllFuzzStructures.
+  std::vector<FuzzStructure> structures;
+  StructuredInstanceOptions sizes;
+
+  /// Arm the auditor's end-of-run oracles ([lb], [unit-opt], [th1-bound],
+  /// [prop1]) on every audited run.
+  bool bound_oracles = true;
+  /// Run the offline-oracle differential checks ([diff-*] above).
+  bool differential = true;
+  /// Run the LP-vs-Dinic max-load differential every `lp_every` runs
+  /// (0 disables it).
+  int lp_every = 16;
+
+  /// Replace EFT-Min with FaultyEftDispatcher (still reporting the
+  /// "EFT-Min" name) — the harness's own smoke test: the injected bug must
+  /// be caught and shrunk. See FaultyEftDispatcher below.
+  bool inject_bug = false;
+
+  bool shrink = true;
+  int shrink_max_calls = 4000;
+  /// Directory for reproducer files ("" = keep findings in memory only).
+  std::string corpus_dir;
+};
+
+struct FuzzFinding {
+  int run = 0;
+  FuzzStructure structure = FuzzStructure::kInclusive;
+  std::string policy;  ///< Policy name, or "lp" for [diff-lp] findings.
+  std::string check;   ///< First violation line, "[tag] ..." format.
+  int shrunk_n = 0;    ///< Tasks in the reproducer (0 for [diff-lp]).
+  std::string instance_text;  ///< Reproducer body ("" for [diff-lp]).
+  std::string path;    ///< Corpus file written, "" when none.
+};
+
+struct FuzzReport {
+  int runs = 0;
+  int schedules = 0;  ///< Policy runs audited.
+  int lp_checks = 0;
+  std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
+
+  bool ok() const { return findings.empty(); }
+  /// Deterministic multi-line report (stable across thread counts).
+  std::string summary() const;
+};
+
+/// Runs the fuzz campaign described by `config`.
+FuzzReport run_fuzz(const FuzzConfig& config);
+
+/// \brief The harness's planted bug: EFT whose idleness test uses an
+/// off-by-one finished-task cursor.
+///
+/// It mirrors the engine's per-machine finish-time cursor, but computes
+/// queue depth as (assigned - finished - 1): a machine with exactly one
+/// unfinished task reports depth 0 and is treated as idle, so the
+/// dispatcher happily stacks a second task on it while a genuinely idle
+/// machine sits empty. It reports the name "EFT-Min", so the auditor holds
+/// it to EFT's contract — [work-conservation] catches it structurally and
+/// [prop1]/[unit-opt] catch it against the oracles. Used by
+/// FuzzConfig::inject_bug and the fault-injection ctest.
+class FaultyEftDispatcher final : public Dispatcher {
+ public:
+  void reset(int m) override;
+  int dispatch(const Task& t, const MachineState& state) override;
+  std::string name() const override { return "EFT-Min"; }
+
+ private:
+  std::vector<std::vector<double>> finish_;  // per machine, dispatch order
+  std::vector<std::size_t> cursor_;          // finished prefix per machine
+};
+
+/// Policy names run_fuzz exercises on every instance (FIFO is added when
+/// the instance is unrestricted). Exposed for the replay tool and tests.
+const std::vector<std::string>& fuzz_policies();
+
+/// \brief Re-checks one instance through the full policy battery.
+///
+/// Returns every violation found, each line prefixed "policy: [tag] ...".
+/// Used by `flowsched_fuzz replay` and the corpus_replay ctest, so a
+/// committed reproducer keeps failing loudly until the bug it witnesses is
+/// fixed — and stays green afterwards.
+std::vector<std::string> replay_corpus_instance(const Instance& inst,
+                                                bool bound_oracles = true,
+                                                bool differential = true);
+
+/// Loads the instance file at `path` (io/instance_io format) and replays it.
+std::vector<std::string> replay_corpus_file(const std::string& path,
+                                            bool bound_oracles = true,
+                                            bool differential = true);
+
+}  // namespace flowsched

@@ -1,0 +1,170 @@
+#include "check/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "adversary/th8_stream.hpp"
+
+namespace flowsched {
+namespace {
+
+// Dyadic grid: every drawn time is a multiple of 2^-3, hence an exact
+// double. Gaps between distinct values are >= 1/8, far above the engines'
+// 1e-12 tie epsilon, so "tied" and "distinct" are unambiguous.
+constexpr double kGrid = 8.0;
+
+double snap(double x) { return std::round(x * kGrid) / kGrid; }
+
+double draw_release(const StructuredInstanceOptions& opts, Rng& rng) {
+  if (opts.unit_tasks) {
+    return static_cast<double>(
+        rng.uniform_int(0, static_cast<std::int64_t>(opts.max_release)));
+  }
+  return snap(rng.uniform(0.0, opts.max_release));
+}
+
+double draw_proc(const StructuredInstanceOptions& opts, Rng& rng) {
+  if (opts.unit_tasks) return 1.0;
+  const double p = snap(rng.uniform(1.0 / kGrid, opts.max_proc));
+  return std::max(p, 1.0 / kGrid);
+}
+
+// A chain S_1 supseteq S_2 supseteq ... of random subsets: prefixes of a
+// random machine permutation at distinct random cut points. Any two
+// prefixes are comparable, so the family is inclusive.
+std::vector<ProcSet> inclusive_chain(int m, Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) order[static_cast<std::size_t>(j)] = j;
+  rng.shuffle(order);
+  const int links = static_cast<int>(rng.uniform_int(1, std::max(1, m / 2 + 1)));
+  std::vector<ProcSet> chain;
+  for (int l = 0; l < links; ++l) {
+    const int len = static_cast<int>(rng.uniform_int(1, m));
+    chain.emplace_back(std::vector<int>(order.begin(), order.begin() + len));
+  }
+  return chain;
+}
+
+// A laminar family over a random machine permutation: recursively split
+// index ranges and collect every visited range. Ranges from one tree are
+// pairwise nested or disjoint.
+void laminar_ranges(int lo, int hi, Rng& rng,
+                    std::vector<std::pair<int, int>>& out) {
+  out.emplace_back(lo, hi);
+  if (hi - lo <= 1 || rng.bernoulli(0.25)) return;
+  const int cut = static_cast<int>(
+      rng.uniform_int(lo + 1, static_cast<std::int64_t>(hi) - 1));
+  laminar_ranges(lo, cut, rng, out);
+  laminar_ranges(cut, hi, rng, out);
+}
+
+std::vector<ProcSet> nested_family(int m, Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) order[static_cast<std::size_t>(j)] = j;
+  rng.shuffle(order);
+  std::vector<std::pair<int, int>> ranges;
+  laminar_ranges(0, m, rng, ranges);
+  std::vector<ProcSet> family;
+  family.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) {
+    family.emplace_back(std::vector<int>(order.begin() + lo, order.begin() + hi));
+  }
+  return family;
+}
+
+ProcSet random_k_subset(int m, int k, Rng& rng) {
+  std::vector<int> pool(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) pool[static_cast<std::size_t>(j)] = j;
+  rng.shuffle(pool);
+  return ProcSet(std::vector<int>(pool.begin(), pool.begin() + k));
+}
+
+ProcSet random_interval(int m, Rng& rng) {
+  const int size = static_cast<int>(rng.uniform_int(1, m));
+  if (size < m && rng.bernoulli(0.25)) {
+    // Wrapped form {j <= a or j >= b} — still an interval in the paper's
+    // sense (is_interval accepts the contiguous complement).
+    const int start = static_cast<int>(rng.uniform_int(0, m - 1));
+    return ProcSet::ring_interval(start, size, m);
+  }
+  const int lo = static_cast<int>(rng.uniform_int(0, m - size));
+  return ProcSet::interval(lo, lo + size - 1);
+}
+
+}  // namespace
+
+std::string to_string(FuzzStructure structure) {
+  switch (structure) {
+    case FuzzStructure::kInclusive:
+      return "inclusive";
+    case FuzzStructure::kNested:
+      return "nested";
+    case FuzzStructure::kKSize:
+      return "ksize";
+    case FuzzStructure::kInterval:
+      return "interval";
+    case FuzzStructure::kAdversary:
+      return "adversary";
+  }
+  return "?";
+}
+
+Instance random_structured_instance(FuzzStructure structure,
+                                    const StructuredInstanceOptions& opts,
+                                    Rng& rng) {
+  if (opts.min_m < 1 || opts.max_m < opts.min_m || opts.min_n < 1 ||
+      opts.max_n < opts.min_n) {
+    throw std::invalid_argument("random_structured_instance: bad size ranges");
+  }
+  const int m = static_cast<int>(rng.uniform_int(opts.min_m, opts.max_m));
+  const int n = static_cast<int>(rng.uniform_int(opts.min_n, opts.max_n));
+
+  if (structure == FuzzStructure::kAdversary) {
+    // The oblivious Theorem-8 stream: interval sets of size k with
+    // 1 < k < m (the construction needs both a proper interval and room to
+    // slide it), unit tasks released m per step.
+    const int am = std::max(3, m);
+    const int k = static_cast<int>(rng.uniform_int(2, am - 1));
+    const int steps = std::max(1, n / am);
+    return th8_instance(am, k, steps);
+  }
+
+  std::vector<ProcSet> family;
+  switch (structure) {
+    case FuzzStructure::kInclusive:
+      family = inclusive_chain(m, rng);
+      break;
+    case FuzzStructure::kNested:
+      family = nested_family(m, rng);
+      break;
+    case FuzzStructure::kKSize: {
+      const int k = static_cast<int>(rng.uniform_int(1, m));
+      const int sets = static_cast<int>(rng.uniform_int(1, std::max(2, m)));
+      for (int s = 0; s < sets; ++s) family.push_back(random_k_subset(m, k, rng));
+      break;
+    }
+    case FuzzStructure::kInterval: {
+      const int sets = static_cast<int>(rng.uniform_int(1, std::max(2, m)));
+      for (int s = 0; s < sets; ++s) family.push_back(random_interval(m, rng));
+      break;
+    }
+    case FuzzStructure::kAdversary:
+      break;  // handled above
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.release = draw_release(opts, rng);
+    t.proc = draw_proc(opts, rng);
+    t.eligible = family[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(family.size()) - 1))];
+    tasks.push_back(std::move(t));
+  }
+  return Instance(m, std::move(tasks));
+}
+
+}  // namespace flowsched

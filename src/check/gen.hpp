@@ -1,0 +1,54 @@
+// Structured random instances for the differential fuzzer.
+//
+// workload/generator.hpp draws unstructured instances (arbitrary subsets,
+// plain intervals); the fuzzer additionally needs families landing in each
+// class of the paper's Figure-1 hierarchy — inclusive, nested, uniform
+// k-size, interval — plus the Theorem-8 adversary stream, so that every
+// dispatcher is cross-checked on exactly the structures the theorems talk
+// about. All times are drawn on a dyadic grid (multiples of 2^-3), so they
+// are exact doubles: ties are exact, the Rational accounting oracle always
+// takes its exact path, and shrinking moves along representable values.
+#pragma once
+
+#include <string>
+
+#include "model/instance.hpp"
+#include "util/rng.hpp"
+
+namespace flowsched {
+
+/// Processing-set structure drawn by random_structured_instance. Values are
+/// part of the fuzzer's reporting format — append only.
+enum class FuzzStructure {
+  kInclusive,  ///< A chain under inclusion (Theorem 3's shape).
+  kNested,     ///< A laminar family (Theorem 5's shape).
+  kKSize,      ///< All sets the same size k (Theorem 4's shape).
+  kInterval,   ///< Contiguous or wrapped intervals (Theorems 7/8's shape).
+  kAdversary,  ///< The oblivious Theorem-8 stream (unit interval tasks).
+};
+
+std::string to_string(FuzzStructure structure);
+
+/// All structures, in reporting order.
+inline constexpr FuzzStructure kAllFuzzStructures[] = {
+    FuzzStructure::kInclusive, FuzzStructure::kNested, FuzzStructure::kKSize,
+    FuzzStructure::kInterval, FuzzStructure::kAdversary};
+
+struct StructuredInstanceOptions {
+  int min_m = 2;
+  int max_m = 8;
+  int min_n = 3;
+  int max_n = 40;
+  double max_release = 12.0;
+  double max_proc = 4.0;
+  bool unit_tasks = false;  ///< p_i = 1, integer releases (exact-OPT mode).
+};
+
+/// Draws an instance whose processing-set family lies in `structure`
+/// (verified by the model/structure.hpp predicates in the tests). The draw
+/// consumes only `rng`, so a fixed seed reproduces the instance exactly.
+Instance random_structured_instance(FuzzStructure structure,
+                                    const StructuredInstanceOptions& opts,
+                                    Rng& rng);
+
+}  // namespace flowsched

@@ -1,0 +1,183 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+namespace flowsched {
+namespace {
+
+struct Candidate {
+  int m = 0;
+  std::vector<Task> tasks;
+};
+
+Candidate from_instance(const Instance& inst) {
+  Candidate c;
+  c.m = inst.m();
+  c.tasks.assign(inst.tasks().begin(), inst.tasks().end());
+  return c;
+}
+
+// Builds and tests a candidate; invalid candidates and predicate throws
+// both count as "failure gone".
+class Tester {
+ public:
+  Tester(const FailurePredicate& pred, int max_calls, ShrinkStats* stats)
+      : pred_(pred), max_calls_(max_calls), stats_(stats) {}
+
+  bool budget_left() const { return calls_ < max_calls_; }
+
+  bool fails(const Candidate& c) {
+    if (c.tasks.empty() || c.m <= 0 || !budget_left()) return false;
+    ++calls_;
+    if (stats_ != nullptr) stats_->predicate_calls = calls_;
+    try {
+      const Instance inst(c.m, c.tasks);
+      return pred_(inst);
+    } catch (...) {
+      return false;
+    }
+  }
+
+ private:
+  const FailurePredicate& pred_;
+  int max_calls_;
+  int calls_ = 0;
+  ShrinkStats* stats_;
+};
+
+// ddmin over tasks: remove chunks of shrinking size. Returns true when any
+// removal stuck.
+bool pass_drop_tasks(Candidate& best, Tester& t) {
+  bool improved = false;
+  for (std::size_t chunk = std::max<std::size_t>(best.tasks.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    for (std::size_t at = 0; at + 1 <= best.tasks.size() && t.budget_left();) {
+      Candidate c = best;
+      const std::size_t take = std::min(chunk, c.tasks.size() - at);
+      c.tasks.erase(c.tasks.begin() + static_cast<std::ptrdiff_t>(at),
+                    c.tasks.begin() + static_cast<std::ptrdiff_t>(at + take));
+      if (t.fails(c)) {
+        best = std::move(c);
+        improved = true;  // retry the same offset: the next chunk slid in
+      } else {
+        at += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return improved;
+}
+
+// Pull releases toward 0 and processing times toward 1 along exact values.
+bool pass_simplify_times(Candidate& best, Tester& t) {
+  bool improved = false;
+  for (std::size_t i = 0; i < best.tasks.size() && t.budget_left(); ++i) {
+    for (double r : {0.0, std::floor(best.tasks[i].release),
+                     best.tasks[i].release / 2}) {
+      if (r >= best.tasks[i].release || r < 0) continue;
+      Candidate c = best;
+      c.tasks[i].release = r;
+      if (t.fails(c)) {
+        best = std::move(c);
+        improved = true;
+        break;
+      }
+    }
+    for (double p : {1.0, std::ceil(best.tasks[i].proc / 2),
+                     std::floor(best.tasks[i].proc)}) {
+      if (p >= best.tasks[i].proc || p <= 0) continue;
+      Candidate c = best;
+      c.tasks[i].proc = p;
+      if (t.fails(c)) {
+        best = std::move(c);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return improved;
+}
+
+// Drop members from processing sets (never below one machine), then drop
+// machines no set references and renumber the survivors.
+bool pass_shrink_sets(Candidate& best, Tester& t) {
+  bool improved = false;
+  for (std::size_t i = 0; i < best.tasks.size() && t.budget_left(); ++i) {
+    const std::vector<int> machines = best.tasks[i].eligible.machines();
+    if (machines.size() <= 1) continue;
+    for (int drop : machines) {
+      std::vector<int> kept;
+      for (int j : best.tasks[i].eligible.machines()) {
+        if (j != drop) kept.push_back(j);
+      }
+      if (kept.empty()) continue;
+      Candidate c = best;
+      c.tasks[i].eligible = ProcSet(std::move(kept));
+      if (t.fails(c)) {
+        best = std::move(c);
+        improved = true;
+      }
+    }
+  }
+
+  // Renumber away unreferenced machines. An empty set means "all
+  // machines", so it pins every machine as referenced.
+  std::vector<bool> used(static_cast<std::size_t>(best.m), false);
+  bool any_all = false;
+  for (const Task& task : best.tasks) {
+    if (task.eligible.empty()) any_all = true;
+    for (int j : task.eligible.machines()) used[static_cast<std::size_t>(j)] = true;
+  }
+  if (!any_all) {
+    std::vector<int> remap(static_cast<std::size_t>(best.m), -1);
+    int next = 0;
+    for (int j = 0; j < best.m; ++j) {
+      if (used[static_cast<std::size_t>(j)]) remap[static_cast<std::size_t>(j)] = next++;
+    }
+    if (next < best.m && next > 0) {
+      Candidate c = best;
+      c.m = next;
+      for (Task& task : c.tasks) {
+        std::vector<int> mapped;
+        for (int j : task.eligible.machines()) {
+          mapped.push_back(remap[static_cast<std::size_t>(j)]);
+        }
+        task.eligible = ProcSet(std::move(mapped));
+      }
+      if (t.fails(c)) {
+        best = std::move(c);
+        improved = true;
+      }
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+Instance shrink_instance(const Instance& inst,
+                         const FailurePredicate& still_fails, int max_calls,
+                         ShrinkStats* stats) {
+  if (stats != nullptr) *stats = ShrinkStats{};
+  if (stats != nullptr) stats->tasks_before = inst.n();
+  Tester t(still_fails, max_calls, stats);
+  Candidate best = from_instance(inst);
+  if (!t.fails(best)) {
+    if (stats != nullptr) stats->tasks_after = inst.n();
+    return inst;  // predicate does not hold: nothing to shrink
+  }
+  bool improved = true;
+  while (improved && t.budget_left()) {
+    improved = false;
+    improved |= pass_drop_tasks(best, t);
+    improved |= pass_simplify_times(best, t);
+    improved |= pass_shrink_sets(best, t);
+  }
+  if (stats != nullptr) stats->tasks_after = static_cast<int>(best.tasks.size());
+  return Instance(best.m, best.tasks);
+}
+
+}  // namespace flowsched

@@ -1,0 +1,42 @@
+// Delta-debugging shrinker for fuzzer findings.
+//
+// Given an instance on which some check fails (the predicate returns true)
+// the shrinker greedily minimizes it while preserving the failure:
+//
+//   1. drop tasks — ddmin over chunks (halves, quarters, ... singles);
+//   2. simplify times — releases toward 0, processing times toward 1,
+//      both along integer/dyadic values so the result stays exact;
+//   3. shrink machine sets — drop members one at a time (never below one
+//      machine), then drop machines no set references and renumber.
+//
+// Passes repeat to a fixpoint. The predicate is treated as a black box;
+// a candidate that makes it throw counts as "failure gone" and is
+// discarded, so shrinking can never turn a scheduling bug into a
+// constructor crash. Everything is deterministic: the same instance and
+// predicate shrink to the same minimum, which is what makes committed
+// reproducers stable.
+#pragma once
+
+#include <functional>
+
+#include "model/instance.hpp"
+
+namespace flowsched {
+
+/// Returns true when the failure of interest still reproduces on `inst`.
+using FailurePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkStats {
+  int predicate_calls = 0;
+  int tasks_before = 0;
+  int tasks_after = 0;
+};
+
+/// Minimizes `inst` under `still_fails` (which must hold on `inst` itself;
+/// otherwise the instance is returned unchanged). `max_calls` bounds the
+/// number of predicate evaluations. `stats` (optional) reports the work.
+Instance shrink_instance(const Instance& inst,
+                         const FailurePredicate& still_fails,
+                         int max_calls = 4000, ShrinkStats* stats = nullptr);
+
+}  // namespace flowsched

@@ -17,9 +17,9 @@
 // emission order itself is deterministic (release order) and is the
 // canonical order of the NDJSON trace variant (docs/trace-format.md).
 //
-// Two concrete sinks live beside this header: MetricsCollector
-// (obs/metrics.hpp) and TraceRecorder (obs/trace.hpp); MulticastObserver
-// fans one stream out to both.
+// Three concrete sinks consume this stream: MetricsCollector
+// (obs/metrics.hpp), TraceRecorder (obs/trace.hpp), and InvariantAuditor
+// (check/audit.hpp); MulticastObserver fans one stream out to any subset.
 #pragma once
 
 #include <cstdint>

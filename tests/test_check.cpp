@@ -1,0 +1,274 @@
+// The invariant-audit subsystem (src/check/): auditor detection power,
+// generator structure guarantees, shrinker minimality, and the
+// differential fuzzer's determinism / fault-injection contract.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/fuzz.hpp"
+#include "check/gen.hpp"
+#include "check/shrink.hpp"
+#include "model/structure.hpp"
+#include "sched/dispatchers.hpp"
+#include "sched/engine.hpp"
+#include "sched/fifo.hpp"
+#include "util/rng.hpp"
+
+namespace flowsched {
+namespace {
+
+Instance small_restricted() {
+  std::vector<Task> tasks = {
+      {0.0, 2.0, ProcSet({0, 1})}, {0.0, 1.0, ProcSet({1, 2})},
+      {0.5, 1.5, ProcSet({0})},    {1.0, 1.0, ProcSet({1, 2})},
+      {2.0, 2.0, ProcSet({0, 1, 2})},
+  };
+  return Instance(3, std::move(tasks));
+}
+
+bool has_tag(const std::vector<std::string>& violations,
+             const std::string& tag) {
+  for (const std::string& v : violations) {
+    if (v.find(tag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- auditor: clean runs stay clean ---------------------------------------
+
+TEST(InvariantAuditor, CleanOnEveryPolicy) {
+  const Instance inst = small_restricted();
+  AuditConfig config;
+  config.bound_oracles = true;
+  for (const std::string& policy : fuzz_policies()) {
+    SCOPED_TRACE(policy);
+    EXPECT_TRUE(replay_corpus_instance(inst).empty());
+  }
+}
+
+TEST(InvariantAuditor, CleanOnFifoUnrestricted) {
+  const Instance inst = Instance::unrestricted(
+      3, {{0, 1}, {0, 1}, {0, 2}, {1, 1}, {1, 3}, {2, 1}});
+  AuditConfig config;
+  config.bound_oracles = true;
+  InvariantAuditor auditor(config);
+  fifo_schedule(inst, TieBreakKind::kMin, 0, &auditor);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  EXPECT_EQ(auditor.runs(), 1);
+}
+
+// --- auditor: corrupted schedules are flagged ------------------------------
+
+TEST(InvariantAuditor, FlagsEligibilityViolation) {
+  const Instance inst = small_restricted();
+  Schedule sched(inst);
+  // Task 2's set is {M1} only; put it on machine 2 (and keep the rest
+  // legal by spreading tasks over disjoint time ranges).
+  sched.assign(0, 0, 0.0);
+  sched.assign(1, 1, 0.0);
+  sched.assign(2, 2, 10.0);
+  sched.assign(3, 1, 10.0);
+  sched.assign(4, 0, 10.0);
+  const auto violations = audit_schedule(sched, "replay");
+  EXPECT_TRUE(has_tag(violations, "[eligibility]")) << sched.instance().n();
+}
+
+TEST(InvariantAuditor, FlagsDoubleBooking) {
+  const Instance inst = Instance::unrestricted(2, {{0, 2}, {0, 2}, {0, 2}});
+  Schedule sched(inst);
+  sched.assign(0, 0, 0.0);
+  sched.assign(1, 0, 1.0);  // overlaps task 0 on machine 1
+  sched.assign(2, 1, 0.0);
+  const auto violations = audit_schedule(sched, "replay");
+  EXPECT_TRUE(has_tag(violations, "[overlap]"));
+}
+
+TEST(InvariantAuditor, FlagsStartBeforeRelease) {
+  const Instance inst = Instance::unrestricted(2, {{1.0, 1}, {1.0, 1}});
+  Schedule sched(inst);
+  sched.assign(0, 0, 0.5);  // starts before its release
+  sched.assign(1, 1, 1.0);
+  const auto violations = audit_schedule(sched, "replay");
+  EXPECT_TRUE(has_tag(violations, "[accounting]"));
+}
+
+TEST(InvariantAuditor, FlagsFifoOrderBreach) {
+  // Unrestricted instance labeled FIFO, but the later release starts first.
+  const Instance inst = Instance::unrestricted(1, {{0, 1}, {1, 1}});
+  Schedule sched(inst);
+  sched.assign(0, 0, 2.0);
+  sched.assign(1, 0, 1.0);
+  const auto violations = audit_schedule(sched, "FIFO");
+  EXPECT_TRUE(has_tag(violations, "[fifo-order]"));
+}
+
+TEST(InvariantAuditor, FlagsUnforcedIdleness) {
+  // Machine idles at t=0 while both tasks wait until t=5: work conservation
+  // fails for a FIFO-class engine.
+  const Instance inst = Instance::unrestricted(1, {{0, 1}, {0, 1}});
+  Schedule sched(inst);
+  sched.assign(0, 0, 5.0);
+  sched.assign(1, 0, 6.0);
+  const auto violations = audit_schedule(sched, "FIFO");
+  EXPECT_TRUE(has_tag(violations, "[work-conservation]"));
+}
+
+// --- generators: families land in the advertised class ---------------------
+
+std::vector<ProcSet> distinct_sets(const Instance& inst) {
+  std::set<std::vector<int>> seen;
+  std::vector<ProcSet> family;
+  for (const Task& t : inst.tasks()) {
+    ProcSet s = t.eligible;
+    if (s.empty()) {  // empty means "all machines"
+      std::vector<int> all(static_cast<std::size_t>(inst.m()));
+      for (int j = 0; j < inst.m(); ++j) all[static_cast<std::size_t>(j)] = j;
+      s = ProcSet(std::move(all));
+    }
+    if (seen.insert(s.machines()).second) family.push_back(std::move(s));
+  }
+  return family;
+}
+
+TEST(StructuredGenerator, FamiliesMatchStructure) {
+  StructuredInstanceOptions opts;
+  for (FuzzStructure structure : kAllFuzzStructures) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      Rng rng(seed * 977 + 13);
+      const Instance inst = random_structured_instance(structure, opts, rng);
+      ASSERT_GE(inst.n(), 1);
+      const std::vector<ProcSet> family = distinct_sets(inst);
+      SCOPED_TRACE(to_string(structure) + " seed " + std::to_string(seed));
+      switch (structure) {
+        case FuzzStructure::kInclusive:
+          EXPECT_TRUE(is_inclusive_family(family));
+          break;
+        case FuzzStructure::kNested:
+          EXPECT_TRUE(is_nested_family(family));
+          break;
+        case FuzzStructure::kKSize:
+          EXPECT_TRUE(is_uniform_size_family(family));
+          break;
+        case FuzzStructure::kInterval:
+        case FuzzStructure::kAdversary:
+          EXPECT_TRUE(is_interval_family(family, inst.m()));
+          break;
+      }
+    }
+  }
+}
+
+TEST(StructuredGenerator, UnitModeDrawsUnitTasks) {
+  StructuredInstanceOptions opts;
+  opts.unit_tasks = true;
+  Rng rng(7);
+  const Instance inst =
+      random_structured_instance(FuzzStructure::kKSize, opts, rng);
+  EXPECT_TRUE(inst.unit_tasks());
+}
+
+// --- shrinker ---------------------------------------------------------------
+
+TEST(Shrinker, MinimizesToPredicateCore) {
+  StructuredInstanceOptions opts;
+  opts.min_n = 20;
+  opts.max_n = 30;
+  Rng rng(11);
+  const Instance inst =
+      random_structured_instance(FuzzStructure::kKSize, opts, rng);
+  // "At least two tasks and at least one long task" — the 2-task core.
+  const FailurePredicate pred = [](const Instance& cand) {
+    if (cand.n() < 2) return false;
+    for (const Task& t : cand.tasks()) {
+      if (t.proc > 1.5) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(pred(inst));
+  ShrinkStats stats;
+  const Instance minimized = shrink_instance(inst, pred, 4000, &stats);
+  EXPECT_TRUE(pred(minimized));
+  EXPECT_EQ(minimized.n(), 2);
+  EXPECT_EQ(stats.tasks_before, inst.n());
+  EXPECT_EQ(stats.tasks_after, 2);
+  EXPECT_GT(stats.predicate_calls, 0);
+}
+
+TEST(Shrinker, ReturnsInputWhenPredicateDoesNotHold) {
+  const Instance inst = small_restricted();
+  const Instance out =
+      shrink_instance(inst, [](const Instance&) { return false; });
+  EXPECT_EQ(out.n(), inst.n());
+}
+
+// --- fault injection: the planted EFT bug is caught and shrunk --------------
+
+TEST(FaultyEft, ViolatesWorkConservationDirectly) {
+  // Two simultaneous unit tasks, two machines: the off-by-one cursor calls
+  // the busy machine idle and stacks both tasks on M1 while M2 sits empty.
+  const Instance inst = Instance::unrestricted(2, {{0, 1}, {0, 1}});
+  FaultyEftDispatcher faulty;
+  InvariantAuditor auditor;
+  run_dispatcher(inst, faulty, auditor);
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_TRUE(has_tag(auditor.violations(), "[work-conservation]"))
+      << auditor.report();
+}
+
+TEST(FaultyEft, FuzzerCatchesAndShrinksToAtMostSixTasks) {
+  FuzzConfig config;
+  config.seed = 42;
+  config.runs = 8;
+  config.threads = 1;
+  config.inject_bug = true;
+  const FuzzReport report = run_fuzz(config);
+  bool caught = false;
+  for (const FuzzFinding& f : report.findings) {
+    if (f.policy != "EFT-Min") continue;
+    caught = true;
+    EXPECT_LE(f.shrunk_n, 6) << f.check;
+    EXPECT_FALSE(f.instance_text.empty());
+  }
+  EXPECT_TRUE(caught) << report.summary();
+}
+
+// --- fuzzer: determinism and clean seeds ------------------------------------
+
+TEST(Fuzz, CleanSeededCampaign) {
+  FuzzConfig config;
+  config.seed = 5;
+  config.runs = 30;
+  config.threads = 1;
+  const FuzzReport report = run_fuzz(config);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.runs, 30);
+  EXPECT_GT(report.schedules, 30 * 8);  // every policy ran on every instance
+  EXPECT_GT(report.lp_checks, 0);
+}
+
+TEST(Fuzz, ReportByteIdenticalAcrossThreadCounts) {
+  FuzzConfig config;
+  config.seed = 7;
+  config.runs = 24;
+  config.threads = 1;
+  const std::string serial = run_fuzz(config).summary();
+  config.threads = 3;
+  const std::string parallel = run_fuzz(config).summary();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Fuzz, SingleStructureCampaign) {
+  FuzzConfig config;
+  config.seed = 3;
+  config.runs = 10;
+  config.threads = 1;
+  config.structures = {FuzzStructure::kAdversary};
+  const FuzzReport report = run_fuzz(config);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace flowsched

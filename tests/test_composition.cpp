@@ -85,5 +85,54 @@ TEST(Composition, RejectsOverlappingFamilies) {
   EXPECT_THROW(composed_fifo_schedule(inst), std::invalid_argument);
 }
 
+TEST(Composition, RejectsEmptySetAlongsideBlocks) {
+  // An empty processing set means "all machines" (Instance normalizes it
+  // to the full set), so next to any proper block the family stops being
+  // disjoint and the composition must refuse it rather than silently
+  // merging the groups.
+  std::vector<Task> tasks{
+      {.release = 0, .proc = 1, .eligible = ProcSet({0, 1})},
+      {.release = 0, .proc = 1, .eligible = {}},  // normalized to {0,1,2,3}
+  };
+  const Instance inst(4, std::move(tasks));
+  EXPECT_THROW(composed_fifo_schedule(inst), std::invalid_argument);
+  EXPECT_THROW(
+      composed_schedule(inst, [](const Instance& sub) {
+        EftDispatcher eft(TieBreakKind::kMin);
+        return run_dispatcher(sub, eft);
+      }),
+      std::invalid_argument);
+}
+
+TEST(Composition, RejectsProcessingSetOutsideMachineRange) {
+  // The model layer, not the composition, is the gate: an out-of-range
+  // machine id never constructs an Instance in the first place.
+  std::vector<Task> tasks{{.release = 0, .proc = 1, .eligible = ProcSet({0, 4})}};
+  EXPECT_THROW(Instance(4, std::move(tasks)), std::invalid_argument);
+}
+
+TEST(Composition, SimultaneousReleasesAcrossBlocks) {
+  // Every task released at t = 0: each block schedules its burst
+  // independently, the per-block schedules are valid, and the composed
+  // result equals restricted EFT (Proposition 1 inside each group even
+  // when every queue tie-breaks at once).
+  const auto blocks = replica_sets(ReplicationStrategy::kDisjoint, 2, 6);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 24; ++i) {
+    tasks.push_back({.release = 0.0,
+                     .proc = 1.0 + 0.5 * (i % 3),
+                     .eligible = blocks[static_cast<std::size_t>(i % 3)]});
+  }
+  const Instance inst(6, std::move(tasks));
+  const auto composed = composed_fifo_schedule(inst, TieBreakKind::kMin);
+  EXPECT_TRUE(composed.validate().ok()) << composed.validate().str();
+  EftDispatcher eft(TieBreakKind::kMin);
+  const auto direct = run_dispatcher(inst, eft);
+  for (int i = 0; i < inst.n(); ++i) {
+    EXPECT_EQ(composed.machine(i), direct.machine(i)) << "task " << i;
+    EXPECT_DOUBLE_EQ(composed.start(i), direct.start(i)) << "task " << i;
+  }
+}
+
 }  // namespace
 }  // namespace flowsched

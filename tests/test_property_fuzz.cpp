@@ -1,11 +1,14 @@
 // Property / fuzz suite: every dispatcher, on every processing-set shape,
 // must uphold the model invariants on randomized instances. The grid is a
 // parameterized sweep (structure x machine count x policy); each cell runs
-// several seeds.
+// several seeds. Every run streams through the InvariantAuditor
+// (src/check/audit.hpp), so the event-level invariants are checked live on
+// the same instances, not just the end-state Schedule::validate() ones.
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "check/audit.hpp"
 #include "offline/unit_optimal.hpp"
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
@@ -82,12 +85,19 @@ TEST_P(DispatcherFuzz, InvariantsHoldOnRandomInstances) {
     opts.sets = param.sets;
     const auto inst = random_instance(opts, rng);
     auto dispatcher = make_policy(param.policy, 99 + trial);
-    const auto sched = run_dispatcher(inst, *dispatcher);
+    InvariantAuditor auditor;
+    const auto sched = run_dispatcher(inst, *dispatcher, auditor);
 
     // 1. Full feasibility (assignment, eligibility, releases, no overlap).
     const auto validation = sched.validate();
     ASSERT_TRUE(validation.ok())
         << policy_name(param.policy) << ": " << validation.violations.front();
+
+    // 1b. The live event stream upholds the auditor's invariant catalog
+    // (protocol, eligibility, exact accounting, busy/idle bookkeeping, and
+    // the behavioural checks the policy's name promises).
+    ASSERT_TRUE(auditor.ok())
+        << policy_name(param.policy) << ": " << auditor.report();
 
     // 2. Flow of every task at least its processing time.
     for (int i = 0; i < inst.n(); ++i) {
@@ -183,11 +193,39 @@ TEST(DispatcherFuzzCross, FifoEligibleInvariants) {
     opts.n = 100;
     opts.sets = RandomSets::kArbitrary;
     const auto inst = random_instance(opts, rng);
-    const auto sched = fifo_eligible_schedule(inst);
+    InvariantAuditor auditor;
+    const auto sched =
+        fifo_eligible_schedule(inst, TieBreakKind::kMin, 0, &auditor);
     ASSERT_TRUE(sched.validate().ok());
+    ASSERT_TRUE(auditor.ok()) << auditor.report();
     double load_total = 0;
     for (double l : sched.machine_loads()) load_total += l;
     EXPECT_NEAR(load_total, inst.total_work(), 1e-6);
+  }
+}
+
+// Unit instances with the auditor's bound oracles armed: Theorem 2 equality
+// and the Theorem 1 proof-level bound are checked on every generator draw.
+TEST(DispatcherFuzzCross, BoundOraclesHoldOnGeneratorDraws) {
+  Rng rng(987);
+  AuditConfig config;
+  config.bound_oracles = true;
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomInstanceOptions opts;
+    opts.m = 4;
+    opts.n = 30;
+    opts.unit_tasks = true;
+    opts.integer_releases = true;
+    opts.max_release = 10.0;
+    opts.sets = trial % 2 == 0 ? RandomSets::kUnrestricted
+                               : RandomSets::kIntervals;
+    const auto inst = random_instance(opts, rng);
+    InvariantAuditor auditor(config);
+    auto eft = make_eft_min();
+    run_dispatcher(inst, *eft, auditor);
+    fifo_eligible_schedule(inst, TieBreakKind::kMin, 0, &auditor);
+    EXPECT_TRUE(auditor.ok()) << auditor.report();
+    EXPECT_EQ(auditor.runs(), 2);
   }
 }
 

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <set>
 #include <vector>
+
+#include "sched/dispatchers.hpp"
+#include "sched/engine.hpp"
 
 namespace flowsched {
 namespace {
@@ -63,6 +67,68 @@ TEST(TieBreak, ToString) {
   EXPECT_EQ(to_string(TieBreakKind::kMin), "Min");
   EXPECT_EQ(to_string(TieBreakKind::kMax), "Max");
   EXPECT_EQ(to_string(TieBreakKind::kRand), "Rand");
+}
+
+// A burst of identical tasks keeps every machine's completion frontier
+// equal, so EVERY dispatch is an equal-EFT tie and the tie-break decides
+// the whole schedule.
+Instance tie_heavy_instance() {
+  std::vector<std::pair<double, double>> rp;
+  for (int wave = 0; wave < 6; ++wave) {
+    for (int i = 0; i < 4; ++i) {
+      rp.emplace_back(static_cast<double>(wave), 1.0);
+    }
+  }
+  return Instance::unrestricted(4, std::move(rp));
+}
+
+TEST(TieBreak, EqualEftTiesDeterministicAcrossThreadCounts) {
+  // Each worker owns its dispatcher (the engine contract), so concurrent
+  // runs of the same (kind, seed) must reproduce the serial schedule
+  // bit-for-bit — a tie-break reading hidden shared state would diverge
+  // here. This is the schedule-level face of the fuzzer's byte-identical
+  // --threads guarantee.
+  const Instance inst = tie_heavy_instance();
+  for (TieBreakKind kind :
+       {TieBreakKind::kMin, TieBreakKind::kMax, TieBreakKind::kRand}) {
+    SCOPED_TRACE(to_string(kind));
+    EftDispatcher serial(kind, 4242);
+    const Schedule reference = run_dispatcher(inst, serial);
+    std::vector<std::future<std::vector<std::pair<int, double>>>> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.push_back(std::async(std::launch::async, [&inst, kind] {
+        EftDispatcher eft(kind, 4242);
+        const Schedule sched = run_dispatcher(inst, eft);
+        std::vector<std::pair<int, double>> out;
+        for (int i = 0; i < inst.n(); ++i) {
+          out.emplace_back(sched.machine(i), sched.start(i));
+        }
+        return out;
+      }));
+    }
+    for (auto& worker : workers) {
+      const auto got = worker.get();
+      for (int i = 0; i < inst.n(); ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)].first, reference.machine(i))
+            << "task " << i;
+        EXPECT_EQ(got[static_cast<std::size_t>(i)].second, reference.start(i))
+            << "task " << i;
+      }
+    }
+  }
+}
+
+TEST(TieBreak, SimultaneousReleasesSpreadUnderMinTie) {
+  // Four identical tasks at t = 0 on four idle machines: kMin must assign
+  // machines 0..3 in release order, all starting at 0 (no stacking).
+  const Instance inst = Instance::unrestricted(
+      4, {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}});
+  EftDispatcher eft(TieBreakKind::kMin);
+  const Schedule sched = run_dispatcher(inst, eft);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sched.machine(i), i);
+    EXPECT_DOUBLE_EQ(sched.start(i), 0.0);
+  }
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# AddressSanitizer gate for the observability/trace pipeline and the LP
-# layer: configures an ASan+UBSan build (-DFLOWSCHED_SANITIZE=address),
-# builds the CLI, test and fig10 bench binaries, runs a
-# gen -> trace -> check-trace smoke in both encodings plus a parallel
-# warm-started fig10 sweep, and runs the relevant test suites.
+# AddressSanitizer gate for the observability/trace pipeline, the LP
+# layer, and the check subsystem: configures an ASan+UBSan build
+# (-DFLOWSCHED_SANITIZE=address), builds the CLI, fuzzer, test and fig10
+# bench binaries, runs a gen -> trace -> check-trace smoke in both
+# encodings plus a parallel warm-started fig10 sweep and a differential
+# fuzz campaign (auditor + oracles + shrinker under ASan), and runs the
+# relevant test suites.
 #
 # Usage: tools/asan_check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -14,8 +16,8 @@ BUILD_DIR=${1:-build-asan}
 cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_tests \
-  bench_fig10_maxload -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_fuzz \
+  flowsched_tests bench_fig10_maxload -j "$(nproc)"
 
 # CLI smoke under ASan: a leak or OOB anywhere in the recorder/validator
 # path aborts with a non-zero exit.
@@ -37,6 +39,18 @@ CLI="$BUILD_DIR/tools/flowsched_cli"
   > "$SMOKE_DIR/fig10.out"
 "$CLI" maxload --m 12 --k 4 --s 1.5 --transfer > "$SMOKE_DIR/maxload.out"
 
+# Fuzzer under ASan: a clean seeded campaign (auditor, offline oracles, LP
+# differential) plus an injected-bug campaign so the shrinker and the
+# reproducer writer run too (findings expected: exit 1 is the pass).
+FUZZ="$BUILD_DIR/tools/flowsched_fuzz"
+"$FUZZ" run --seed 11 --runs 60 --threads 4 > "$SMOKE_DIR/fuzz.out"
+if "$FUZZ" run --seed 11 --runs 8 --threads 1 --inject-bug \
+    --corpus-dir "$SMOKE_DIR/corpus" > "$SMOKE_DIR/fuzz-bug.out"; then
+  echo "asan_check: --inject-bug campaign unexpectedly clean" >&2
+  exit 1
+fi
+"$FUZZ" replay --input tests/corpus/prop1-tiebreak.txt > /dev/null
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow'
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator'
 echo "asan_check: OK"

@@ -5,7 +5,9 @@
 #      ROADMAP.md and docs/*.md resolves to an existing file or directory;
 #   2. every bench binary named in EXPERIMENTS.md (bench_* / micro_*) has a
 #      matching source file under bench/;
-#   3. the docs/ handbook pages referenced from the README actually exist.
+#   3. handbook cross-links hold in BOTH directions: every docs/*.md page is
+#      referenced from the README's docs table AND links back to the README;
+#      the README links EXPERIMENTS.md and EXPERIMENTS.md links back.
 #
 # Usage: tools/check_docs.sh   (from anywhere; cds to the repo root)
 set -euo pipefail
@@ -48,18 +50,32 @@ for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sor
   fi
 done
 
-# --- 3. handbook pages -----------------------------------------------------
-for page in docs/architecture.md docs/observability.md docs/trace-format.md \
-            docs/lp.md; do
-  if [ ! -f "$page" ]; then
-    say "check_docs: missing handbook page $page"
-    fail=1
-  fi
+# --- 3. handbook cross-links, both directions ------------------------------
+# Forward: every handbook page is discoverable from the README docs table.
+# Back: every handbook page links to ../README.md, so a reader landing on a
+# page from search can find the TOC. The page list is discovered, not
+# hardcoded — adding a page without wiring it into the README fails here.
+for page in docs/*.md; do
+  [ -f "$page" ] || continue
   if ! grep -q "$page" README.md; then
     say "check_docs: README.md does not reference $page"
     fail=1
   fi
+  if ! grep -q '](\.\./README\.md' "$page"; then
+    say "check_docs: $page has no backlink to ../README.md"
+    fail=1
+  fi
 done
+
+# README <-> EXPERIMENTS.md must reference each other as well.
+if ! grep -q '](EXPERIMENTS\.md' README.md; then
+  say "check_docs: README.md does not link EXPERIMENTS.md"
+  fail=1
+fi
+if ! grep -q '](README\.md' EXPERIMENTS.md; then
+  say "check_docs: EXPERIMENTS.md has no backlink to README.md"
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   say "check_docs: FAILED"

@@ -224,8 +224,11 @@ int cmd_check_trace(const ArgParser& args) {
 }
 
 int cmd_opt(const ArgParser& args) {
-  const auto inst = read_input(args.get("input", ""));
-  if (args.has("preemptive")) {
+  const std::string input = args.get("input", "");
+  const bool preemptive = args.has("preemptive");
+  args.reject_unknown();
+  const auto inst = read_input(input);
+  if (preemptive) {
     std::printf("preemptive OPT Fmax = %.6g\n", preemptive_optimal_fmax(inst));
     return 0;
   }
@@ -267,9 +270,11 @@ int cmd_gen(const ArgParser& args) {
     std::fprintf(stderr, "unknown --strategy '%s'\n", strategy.c_str());
     return 2;
   }
-  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
-  const auto pop = make_popularity(PopularityCase::kShuffled, config.m,
-                                   args.num("s", 1.0), rng);
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const double s = args.num("s", 1.0);
+  args.reject_unknown();
+  Rng rng(seed);
+  const auto pop = make_popularity(PopularityCase::kShuffled, config.m, s, rng);
   const auto inst = generate_kv_instance(config, pop, rng);
   write_instance(std::cout, inst);
   return 0;
@@ -343,7 +348,9 @@ int cmd_maxload(const ArgParser& args) {
 }
 
 int cmd_bounds(const ArgParser& args) {
-  const auto inst = read_input(args.get("input", ""));
+  const std::string input = args.get("input", "");
+  args.reject_unknown();
+  const auto inst = read_input(input);
   std::printf("pmax bound:              %.6g\n", lb_pmax(inst));
   std::printf("volume bound:            %.6g\n", lb_volume(inst));
   std::printf("restricted volume bound: %.6g\n", lb_volume_restricted(inst));

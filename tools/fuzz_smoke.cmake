@@ -1,0 +1,93 @@
+# Differential-fuzzer smoke, registered as the fuzz_smoke ctest by
+# tools/CMakeLists.txt:
+#
+#   1. a short seeded campaign across all structures comes back clean;
+#   2. the same campaign at --threads 4 prints a byte-identical report
+#      (the determinism contract of src/check/fuzz.hpp);
+#   3. with --inject-bug the planted EFT queue-depth off-by-one is caught
+#      and every reproducer shrinks to at most 6 tasks;
+#   4. every committed reproducer in tests/corpus replays clean.
+#
+# Usable standalone:
+#
+#   cmake -DFUZZ=build/tools/flowsched_fuzz \
+#         -DCORPUS_DIR=tests/corpus -DWORK_DIR=/tmp -P tools/fuzz_smoke.cmake
+if(NOT DEFINED FUZZ)
+  message(FATAL_ERROR "fuzz_smoke.cmake: -DFUZZ= is required")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/fuzz_smoke)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# --- 1 + 2. clean campaign, byte-identical across thread counts ------------
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 40 --threads 1
+  OUTPUT_FILE ${dir}/t1.txt RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  file(READ ${dir}/t1.txt out)
+  message(FATAL_ERROR "fuzz_smoke: seeded campaign not clean (rc=${rc1}):\n${out}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 40 --threads 4
+  OUTPUT_FILE ${dir}/t4.txt RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "fuzz_smoke: campaign failed at --threads 4 (rc=${rc4})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/t1.txt ${dir}/t4.txt
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: report differs between --threads 1 and --threads 4 "
+      "(diff ${dir}/t1.txt ${dir}/t4.txt)")
+endif()
+
+# --- 3. the injected bug is caught and shrinks small -----------------------
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 12 --threads 1 --inject-bug
+          --corpus-dir ${dir}/found
+  OUTPUT_FILE ${dir}/bug.txt RESULT_VARIABLE bug_rc)
+if(NOT bug_rc EQUAL 1)
+  file(READ ${dir}/bug.txt out)
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-bug campaign did not report findings "
+      "(rc=${bug_rc}):\n${out}")
+endif()
+file(READ ${dir}/bug.txt bug_report)
+if(NOT bug_report MATCHES "policy=EFT-Min")
+  message(FATAL_ERROR
+      "fuzz_smoke: injected EFT bug not attributed to EFT-Min:\n${bug_report}")
+endif()
+string(REGEX MATCHALL "shrunk-to=([0-9]+)" shrunk_all "${bug_report}")
+if(shrunk_all STREQUAL "")
+  message(FATAL_ERROR "fuzz_smoke: no shrunk reproducer in:\n${bug_report}")
+endif()
+foreach(hit IN LISTS shrunk_all)
+  string(REGEX REPLACE "shrunk-to=" "" n_tasks "${hit}")
+  if(n_tasks GREATER 6)
+    message(FATAL_ERROR
+        "fuzz_smoke: reproducer kept ${n_tasks} tasks (> 6); the shrinker "
+        "regressed:\n${bug_report}")
+  endif()
+endforeach()
+file(GLOB reproducers ${dir}/found/*.txt)
+if(reproducers STREQUAL "")
+  message(FATAL_ERROR "fuzz_smoke: --corpus-dir produced no reproducer files")
+endif()
+
+# --- 4. committed corpus replays clean -------------------------------------
+if(DEFINED CORPUS_DIR)
+  file(GLOB corpus ${CORPUS_DIR}/*.txt)
+  foreach(f IN LISTS corpus)
+    execute_process(COMMAND ${FUZZ} replay --input ${f} RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "fuzz_smoke: corpus replay failed for ${f} (rc=${rc})")
+    endif()
+  endforeach()
+endif()
+
+message(STATUS "fuzz_smoke: clean campaign, deterministic report, bug caught")

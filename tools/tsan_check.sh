@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the runner subsystem: configures a TSan build
-# (-DFLOWSCHED_SANITIZE=thread), builds the test binary and the fig10
-# bench, runs the concurrency-sensitive suites (thread pool, experiment
-# determinism, engine), and drives a parallel warm-started LP sweep — the
-# per-job MaxLoadSolver chains must not share mutable state across
-# threads.
+# (-DFLOWSCHED_SANITIZE=thread), builds the test binary, the fuzzer and
+# the fig10 bench, runs the concurrency-sensitive suites (thread pool,
+# experiment determinism, engine), and drives a parallel warm-started LP
+# sweep — the per-job MaxLoadSolver chains must not share mutable state
+# across threads — plus a parallel fuzz campaign (the fuzz workers each
+# own dispatchers, auditors and oracle solvers; TSan proves they share
+# nothing mutable).
 #
 # Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -15,10 +17,12 @@ BUILD_DIR=${1:-build-tsan}
 cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target flowsched_tests bench_fig10_maxload \
-  -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target flowsched_tests flowsched_fuzz \
+  bench_fig10_maxload -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine'
+  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine|Fuzz\.'
 "$BUILD_DIR/bench/bench_fig10_maxload" --m 10 --permutations 2 --threads 4 \
+  > /dev/null
+"$BUILD_DIR/tools/flowsched_fuzz" run --seed 11 --runs 60 --threads 4 \
   > /dev/null
 echo "tsan_check: OK"
