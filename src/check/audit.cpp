@@ -210,7 +210,10 @@ void InvariantAuditor::on_event(const ObsEvent& e) {
         // dyadic theory grid that sum is exactly representable, making this
         // exact arithmetic. Accept exact Rational equality too, for sinks
         // that compute C_i by other (exact) means and round differently.
-        bool exact_ok = e.time == rec.start + rec.proc;
+        // Under faults the final segment may be shorter than p_i
+        // (checkpoint recovery); check_fault_run does the exact
+        // segment-sum accounting instead.
+        bool exact_ok = config_.fault_mode || e.time == rec.start + rec.proc;
         if (!exact_ok) {
           const auto s = rational_from_double(rec.start);
           const auto p = rational_from_double(rec.proc);
@@ -262,9 +265,13 @@ void InvariantAuditor::on_run_end(double makespan) {
   double max_completion = 0;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (tasks_[i].phase != 3) {
-      violation("protocol", "task " + std::to_string(i) +
-                                " never completed (phase " +
-                                std::to_string(tasks_[i].phase) + ")");
+      // Under faults a dropped task legitimately never completes; its fate
+      // is validated against the log in check_fault_run.
+      if (!config_.fault_mode) {
+        violation("protocol", "task " + std::to_string(i) +
+                                  " never completed (phase " +
+                                  std::to_string(tasks_[i].phase) + ")");
+      }
     } else {
       max_completion = std::max(max_completion, tasks_[i].completion);
     }
@@ -274,10 +281,15 @@ void InvariantAuditor::on_run_end(double makespan) {
                                 " below the last completion " +
                                 fmt(max_completion));
   }
-  check_overlap();
-  check_machine_events(max_completion);
-  if (expect_fifo_order_ && unrestricted_) check_fifo_order();
-  if (expect_work_conservation_) check_work_conservation();
+  if (!config_.fault_mode) {
+    // Fault runs narrate no busy/idle stream and may checkpoint partial
+    // segments; [fault-overlap] and friends replace these in
+    // check_fault_run.
+    check_overlap();
+    check_machine_events(max_completion);
+    if (expect_fifo_order_ && unrestricted_) check_fifo_order();
+    if (expect_work_conservation_) check_work_conservation();
+  }
 
   // Reconstruct the instance for the oracles and for callers. Events were
   // validated release-sorted, so indices align with task records.
@@ -293,7 +305,11 @@ void InvariantAuditor::on_run_end(double makespan) {
   }
   if (rebuildable && !tasks_.empty()) {
     last_instance_ = std::make_unique<Instance>(info_.m, rebuilt_);
-    if (config_.bound_oracles) run_bound_oracles(*last_instance_);
+    // The oracles reason about uninterrupted schedules; they do not apply
+    // to fault runs.
+    if (config_.bound_oracles && !config_.fault_mode) {
+      run_bound_oracles(*last_instance_);
+    }
   }
 
   open_ = false;
@@ -537,6 +553,250 @@ void InvariantAuditor::run_bound_oracles(const Instance& inst) {
       break;
     }
   }
+}
+
+void InvariantAuditor::check_fault_run(const FaultPlan& plan,
+                                       const RecoveryPolicy& policy,
+                                       const FaultLog& log) {
+  if (open_) {
+    violation("protocol", "check_fault_run before on_run_end");
+    return;
+  }
+  if (!config_.fault_mode) {
+    violation("protocol", "check_fault_run without AuditConfig::fault_mode");
+    return;
+  }
+  // violation() stamps runs_, which already points past the closed run;
+  // rewind for the duration of this sweep so fault findings carry the same
+  // run index as the streaming findings of the run they belong to.
+  --runs_;
+  const int n = static_cast<int>(tasks_.size());
+  if (log.tasks() != n) {
+    violation("fault-lifecycle", "fault log covers " +
+                                     std::to_string(log.tasks()) +
+                                     " tasks, the run released " +
+                                     std::to_string(n));
+    ++runs_;
+    return;
+  }
+
+  // Group attempts chronologically per task; collect machine segments.
+  std::vector<std::vector<const FaultAttempt*>> per_task(
+      static_cast<std::size_t>(n));
+  std::vector<std::vector<std::pair<double, double>>> segments(
+      static_cast<std::size_t>(std::max(info_.m, 0)));
+  for (const FaultAttempt& a : log.attempts()) {
+    if (a.task < 0 || a.task >= n) {
+      violation("fault-lifecycle",
+                "attempt for unknown task " + std::to_string(a.task));
+      continue;
+    }
+    per_task[static_cast<std::size_t>(a.task)].push_back(&a);
+    if (a.machine >= 0 && a.machine < info_.m) {
+      segments[static_cast<std::size_t>(a.machine)].emplace_back(a.start, a.end);
+    }
+  }
+
+  const char* requeue_tag =
+      policy.kind == RecoveryKind::kBackoff ? "fault-backoff" : "fault-requeue";
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const TaskRecord& rec = tasks_[static_cast<std::size_t>(i)];
+    const auto& attempts = per_task[static_cast<std::size_t>(i)];
+    const std::string ti = "task " + std::to_string(i);
+    const TaskFate fate = log.fate(i);
+    if (fate == TaskFate::kPending) {
+      violation("fault-lifecycle",
+                ti + " left pending — drain_faults() never ran");
+      continue;
+    }
+    if (attempts.empty()) {
+      violation("fault-lifecycle", ti + " settled without any attempt");
+      continue;
+    }
+    int kills = 0;
+    for (std::size_t k = 0; k < attempts.size(); ++k) {
+      const FaultAttempt& a = *attempts[k];
+      if (k == 0 && (a.attempt != 0 || a.scheduled != rec.release)) {
+        violation("fault-lifecycle",
+                  ti + " first attempt not at its release time");
+      }
+      if (k > 0) {
+        const FaultAttempt& prev = *attempts[k - 1];
+        // Retry instants are a pure function of the policy; recompute and
+        // demand exact agreement (dyadic grid: bitwise).
+        const double due = prev.killed
+                               ? policy.retry_time(i, prev.attempt, prev.end)
+                               : prev.end;  // park wake-up
+        if (a.scheduled != due) {
+          violation(requeue_tag,
+                    ti + " attempt " + std::to_string(k) + " scheduled at " +
+                        fmt(a.scheduled) + ", policy says " + fmt(due));
+        }
+        const int expected_idx = prev.attempt + (prev.killed ? 1 : 0);
+        if (a.attempt != expected_idx) {
+          violation("fault-lifecycle",
+                    ti + " attempt index jumps to " + std::to_string(a.attempt) +
+                        " (expected " + std::to_string(expected_idx) + ")");
+        }
+      }
+      if (a.machine < 0) {
+        // Parked: every eligible machine must really be down, and the wake
+        // must be the earliest recovery among them.
+        double wake = inf;
+        for (int j : rec.eligible.machines()) {
+          if (plan.is_up(j, a.scheduled)) {
+            violation("fault-eligibility",
+                      ti + " parked at " + fmt(a.scheduled) +
+                          " while eligible machine M" + std::to_string(j + 1) +
+                          " was up");
+            break;
+          }
+          wake = std::min(wake, plan.next_up(j, a.scheduled));
+        }
+        if (a.end != wake) {
+          violation(requeue_tag, ti + " park wake-up " + fmt(a.end) +
+                                     " != earliest eligible recovery " +
+                                     fmt(wake));
+        }
+        if (k + 1 == attempts.size() && fate != TaskFate::kDropped) {
+          violation("fault-lifecycle",
+                    ti + " ends parked but was not dropped");
+        }
+        continue;
+      }
+      if (!rec.eligible.contains(a.machine)) {
+        violation("fault-eligibility",
+                  ti + " attempt " + std::to_string(k) + " ran on M" +
+                      std::to_string(a.machine + 1) + " not in its set " +
+                      rec.eligible.str());
+        continue;
+      }
+      if (!plan.is_up(a.machine, a.start)) {
+        violation("fault-eligibility",
+                  ti + " starts at " + fmt(a.start) + " on M" +
+                      std::to_string(a.machine + 1) + " while it is down");
+      }
+      const double overlap = plan.downtime(a.machine, a.start, a.end);
+      if (overlap > 0) {
+        violation("fault-downtime",
+                  ti + " executes " + fmt(overlap) + " units inside a down "
+                      "interval of M" + std::to_string(a.machine + 1) +
+                      " (segment [" + fmt(a.start) + ", " + fmt(a.end) + "))");
+      }
+      if (a.killed) {
+        ++kills;
+        const double crash = plan.next_down(a.machine, a.start);
+        if (a.end != crash) {
+          violation("fault-downtime",
+                    ti + " killed at " + fmt(a.end) + " but M" +
+                        std::to_string(a.machine + 1) + "'s crash is at " +
+                        fmt(crash));
+        }
+      } else if (k + 1 != attempts.size()) {
+        violation("fault-lifecycle",
+                  ti + " has attempts after a successful completion");
+      }
+    }
+
+    const FaultAttempt& last = *attempts.back();
+    if (fate == TaskFate::kCompleted) {
+      if (last.machine < 0 || last.killed) {
+        violation("fault-lifecycle",
+                  ti + " marked completed but its last attempt did not finish");
+        continue;
+      }
+      if (log.completion(i) != last.end) {
+        violation("fault-accounting", ti + " log completion " +
+                                          fmt(log.completion(i)) +
+                                          " != last segment end " +
+                                          fmt(last.end));
+      }
+      // Exact work accounting across kill/requeue: restart policies redo
+      // everything (final segment is exactly p_i); checkpoint retains every
+      // segment (Rational sum over all of them equals p_i).
+      bool exact_ok = false;
+      double total = 0;
+      if (policy.kind == RecoveryKind::kCheckpoint) {
+        auto sum = rational_from_double(0.0);
+        bool representable = sum.has_value();
+        for (const FaultAttempt* a : attempts) {
+          if (a->machine < 0) continue;
+          total += a->work();
+          const auto s = rational_from_double(a->start);
+          const auto e = rational_from_double(a->end);
+          if (representable && s && e) {
+            sum = *sum + (*e - *s);
+          } else {
+            representable = false;
+          }
+        }
+        const auto p = rational_from_double(rec.proc);
+        exact_ok = representable && p && *sum == *p;
+      } else {
+        total = last.work();
+        exact_ok = last.end == last.start + rec.proc;
+        if (!exact_ok) {
+          const auto s = rational_from_double(last.start);
+          const auto p = rational_from_double(rec.proc);
+          const auto e = rational_from_double(last.end);
+          exact_ok = s && p && e && *s + *p == *e;
+        }
+      }
+      // Off-grid inputs (cluster_sim's exponential service times) round the
+      // checkpointed remainders, so fall back to an eps comparison there.
+      if (!exact_ok && std::abs(total - rec.proc) > config_.eps) {
+        violation("fault-accounting",
+                  ti + " executed " + fmt(total) + " units of work, owes " +
+                      fmt(rec.proc));
+      }
+      // The narrated stream must agree with the log's successful attempt.
+      if (rec.phase != 3) {
+        violation("fault-accounting",
+                  ti + " completed in the log but not in the event stream");
+      } else if (rec.completion != last.end || rec.start != last.start ||
+                 rec.machine != last.machine) {
+        violation("fault-accounting",
+                  ti + ": event stream (M" + std::to_string(rec.machine + 1) +
+                      ", [" + fmt(rec.start) + ", " + fmt(rec.completion) +
+                      ")) diverges from the fault log (M" +
+                      std::to_string(last.machine + 1) + ", [" +
+                      fmt(last.start) + ", " + fmt(last.end) + "))");
+      }
+    } else {  // kDropped
+      if (rec.phase == 3) {
+        violation("fault-lifecycle",
+                  ti + " dropped in the log but completed in the event stream");
+      }
+      const bool budget_exhausted =
+          last.machine >= 0 && last.killed && kills == policy.max_retries + 1;
+      const bool stranded = last.machine < 0 && last.end == inf;
+      if (!budget_exhausted && !stranded) {
+        violation("fault-lifecycle",
+                  ti + " dropped without exhausting its " +
+                      std::to_string(policy.max_retries) +
+                      "-retry budget or being stranded");
+      }
+    }
+  }
+
+  // [fault-overlap]: per machine, segments (killed ones included) must not
+  // overlap — exact comparison, touching allowed.
+  for (std::size_t j = 0; j < segments.size(); ++j) {
+    auto& segs = segments[j];
+    std::sort(segs.begin(), segs.end());
+    for (std::size_t k = 1; k < segs.size(); ++k) {
+      if (segs[k].first < segs[k - 1].second) {
+        violation("fault-overlap",
+                  "machine M" + std::to_string(j + 1) + " double-booked: [" +
+                      fmt(segs[k].first) + ", ...) starts inside [" +
+                      fmt(segs[k - 1].first) + ", " + fmt(segs[k - 1].second) +
+                      ")");
+        break;
+      }
+    }
+  }
+  ++runs_;
 }
 
 std::string InvariantAuditor::report() const {

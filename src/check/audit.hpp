@@ -48,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
 #include "obs/observer.hpp"
@@ -87,6 +89,20 @@ struct AuditConfig {
   /// Stop recording after this many violations (the run is already
   /// condemned; keeps a pathological run from flooding memory).
   int max_violations = 64;
+
+  /// \brief Audit a fault-injection run (OnlineEngine::set_faults).
+  ///
+  /// Under faults the engine narrates only the successful attempt of each
+  /// task (no machine busy/idle stream, checkpointed final segments may be
+  /// shorter than p_i), so the fault-free contracts do not apply verbatim:
+  /// this flag disables [accounting]'s C_i = S_i + p_i, [overlap],
+  /// [busy-idle], the behavioural checks, the bound oracles, and the
+  /// every-task-completes sweep. Their fault-aware replacements —
+  /// [fault-downtime], [fault-eligibility], [fault-requeue]/[fault-backoff],
+  /// [fault-accounting], [fault-overlap], [fault-lifecycle] — run in
+  /// check_fault_run(), which validates the engine's FaultLog against the
+  /// plan and the recovery policy after the run ends.
+  bool fault_mode = false;
 };
 
 /// \brief SchedObserver that validates runs online and via end-of-run
@@ -112,6 +128,31 @@ class InvariantAuditor final : public SchedObserver {
   /// The instance reconstructed from the last completed run's event
   /// stream. Throws std::logic_error before the first on_run_end().
   const Instance& last_instance() const;
+
+  /// \brief Validates the last completed run's FaultLog against its plan
+  /// and recovery policy (AuditConfig::fault_mode runs only).
+  ///
+  /// Call after on_run_end(), passing the same plan/policy the engine ran
+  /// under and its fault_log(). Checks, all exact on the dyadic grid:
+  ///
+  ///   [fault-downtime]    no segment executes through a down interval of
+  ///                       its machine; kills land exactly on the crash
+  ///   [fault-eligibility] segments run on machines of M_i that are up at
+  ///                       the segment start; parked attempts really had
+  ///                       every eligible machine down
+  ///   [fault-requeue]     retry instants equal RecoveryPolicy::retry_time
+  ///   / [fault-backoff]   (recomputed, jitter included); park wake-ups
+  ///                       equal the earliest eligible recovery
+  ///   [fault-accounting]  completed tasks execute exactly p_i of work
+  ///                       (final segment under restart policies; exact
+  ///                       Rational segment sum under checkpoint), and the
+  ///                       event stream agrees with the log
+  ///   [fault-overlap]     per machine, segments never overlap
+  ///   [fault-lifecycle]   every task settles as completed or dropped, and
+  ///                       drops are justified (budget exhausted or no
+  ///                       machine ever recovers) — never a silent loss
+  void check_fault_run(const FaultPlan& plan, const RecoveryPolicy& policy,
+                       const FaultLog& log);
 
  private:
   struct TaskRecord {

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -34,6 +35,10 @@ constexpr std::uint64_t kPolicySeed = 0x5eedULL;
 // preemptive bound is a bisection over max-flows.
 constexpr int kBruteforceMaxN = 9;
 constexpr int kPreemptiveMaxN = 14;
+
+// Recovery policies the fault battery cycles through, one per battery run.
+constexpr RecoveryKind kRecoveryCycle[] = {
+    RecoveryKind::kImmediate, RecoveryKind::kBackoff, RecoveryKind::kCheckpoint};
 
 std::string fmt(double x) {
   std::ostringstream os;
@@ -151,6 +156,35 @@ std::vector<std::string> check_policy(const Instance& inst,
   return out;
 }
 
+// Runs one policy on one instance under a fault plan: run_dispatcher_faulty
+// with the fault-mode auditor attached, then check_fault_run validates the
+// attempt log against the plan and the recovery policy. Shared by the fuzz
+// loop, the fault shrink predicate, and fault-case replay.
+std::vector<std::string> check_fault_policy(const Instance& inst,
+                                            const FaultPlan& plan,
+                                            const RecoveryPolicy& recovery,
+                                            const std::string& policy,
+                                            bool inject_fault_bug) {
+  AuditConfig acfg;
+  acfg.fault_mode = true;
+  InvariantAuditor auditor(acfg);
+  auto dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  const bool buggy = inject_fault_bug && policy == "EFT-Min";
+  const OnlineEngine engine = run_dispatcher_faulty(
+      inst, *dispatcher, plan, recovery, &auditor, RunTag{}, buggy);
+  auditor.check_fault_run(plan, recovery, engine.fault_log());
+  return auditor.violations();
+}
+
+// The battery's plan is a pure function of (plan_seed, m): the shrinker
+// regenerates it for each candidate's machine count, so dropping machines
+// keeps the predicate deterministic.
+FaultPlan plan_for(std::uint64_t plan_seed, const FaultModelConfig& model,
+                   int m) {
+  Rng prng(plan_seed);
+  return FaultPlan::random(m, model, prng);
+}
+
 // LP-vs-Dinic differential on a fresh random replica system: the revised
 // simplex (lp/maxload.hpp) and the max-flow bisection solve the same
 // max-load LP by disjoint code paths, so agreement is a strong check on
@@ -189,16 +223,26 @@ std::string tag_of(const std::string& violation) {
   return violation.substr(open, close - open + 1);
 }
 
+// Fault-battery provenance of a finding: enough to regenerate the exact
+// plan for any candidate instance (shrinking) and to serialize it into the
+// reproducer.
+struct FaultContext {
+  std::uint64_t plan_seed = 0;
+  RecoveryPolicy recovery;
+};
+
 struct RawFinding {
   std::string policy;
   std::string check;
-  std::optional<Instance> inst;  // absent for [diff-lp]
+  std::optional<Instance> inst;   // absent for [diff-lp]
+  std::optional<FaultContext> fault;  // present for [fault-*] findings
 };
 
 struct RunOutcome {
   FuzzStructure structure = FuzzStructure::kInclusive;
   int schedules = 0;
   int lp_checks = 0;
+  int fault_checks = 0;
   std::vector<RawFinding> findings;
 };
 
@@ -220,7 +264,7 @@ RunOutcome fuzz_one(const FuzzConfig& config,
 
   const Oracles oracles = compute_oracles(inst, config.differential);
   if (auto cross = oracle_cross_check(oracles)) {
-    out.findings.push_back({"oracle", *cross, inst});
+    out.findings.push_back({"oracle", *cross, inst, std::nullopt});
   }
 
   const CheckOpts opts{config.bound_oracles, config.differential,
@@ -230,14 +274,31 @@ RunOutcome fuzz_one(const FuzzConfig& config,
         check_policy(inst, policy, opts, oracles);
     ++out.schedules;
     if (!violations.empty()) {
-      out.findings.push_back({policy, violations.front(), inst});
+      out.findings.push_back({policy, violations.front(), inst, std::nullopt});
     }
   }
 
   if (config.lp_every > 0 && run % config.lp_every == 0) {
     out.lp_checks = 1;
     if (auto lp = lp_differential(rng)) {
-      out.findings.push_back({"lp", *lp, std::nullopt});
+      out.findings.push_back({"lp", *lp, std::nullopt, std::nullopt});
+    }
+  }
+
+  if (config.fault_every > 0 && run % config.fault_every == 0) {
+    out.fault_checks = 1;
+    FaultContext fc;
+    fc.plan_seed = rng();
+    fc.recovery.kind = kRecoveryCycle[static_cast<std::size_t>(
+        run / config.fault_every) % std::size(kRecoveryCycle)];
+    const FaultPlan plan = plan_for(fc.plan_seed, config.fault_model, inst.m());
+    for (const std::string& policy : fault_fuzz_policies()) {
+      const std::vector<std::string> violations = check_fault_policy(
+          inst, plan, fc.recovery, policy, config.inject_fault_bug);
+      ++out.schedules;
+      if (!violations.empty()) {
+        out.findings.push_back({policy, violations.front(), inst, fc});
+      }
     }
   }
   return out;
@@ -254,15 +315,18 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
+// `body` is instance_to_string(minimized) for plain findings and
+// fault_case_to_string(...) for fault findings — the replayer routes on the
+// directives, so the header stays format-agnostic.
 std::string reproducer_text(const FuzzConfig& config, const FuzzFinding& f,
-                            const Instance& minimized) {
+                            const std::string& body) {
   std::ostringstream os;
   os << "# flowsched_fuzz reproducer (seed=" << config.seed
      << " run=" << f.run << " structure=" << to_string(f.structure) << ")\n";
   os << "# policy: " << f.policy << "\n";
   os << "# check: " << f.check << "\n";
   os << "# replay: flowsched_fuzz replay <this file>\n";
-  os << instance_to_string(minimized);
+  os << body;
   return os.str();
 }
 
@@ -317,6 +381,25 @@ const std::vector<std::string>& fuzz_policies() {
   return kPolicies;
 }
 
+const std::vector<std::string>& fault_fuzz_policies() {
+  static const std::vector<std::string> kPolicies = {
+      "EFT-Min", "EFT-Max",        "EFT-Rand", "LeastLoaded-Min",
+      "JSQ-Min", "RoundRobin",     "RandomEligible", "Pow2"};
+  return kPolicies;
+}
+
+std::vector<std::string> replay_fault_case(const FaultCase& fc) {
+  std::vector<std::string> out;
+  for (const std::string& policy : fault_fuzz_policies()) {
+    for (const std::string& v :
+         check_fault_policy(fc.instance, fc.plan, fc.recovery, policy,
+                            /*inject_fault_bug=*/false)) {
+      out.push_back(policy + ": " + v);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> replay_corpus_instance(const Instance& inst,
                                                 bool bound_oracles,
                                                 bool differential) {
@@ -335,14 +418,25 @@ std::vector<std::string> replay_corpus_instance(const Instance& inst,
 std::vector<std::string> replay_corpus_file(const std::string& path,
                                             bool bound_oracles,
                                             bool differential) {
-  return replay_corpus_instance(load_instance(path), bound_oracles,
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("replay_corpus_file: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (has_fault_directives(text)) {
+    return replay_fault_case(parse_fault_case(text));
+  }
+  return replay_corpus_instance(parse_instance_string(text), bound_oracles,
                                 differential);
 }
 
 std::string FuzzReport::summary() const {
   std::ostringstream os;
   os << "flowsched_fuzz: runs=" << runs << " schedules=" << schedules
-     << " lp-checks=" << lp_checks << " findings=" << findings.size() << "\n";
+     << " lp-checks=" << lp_checks << " fault-checks=" << fault_checks
+     << " findings=" << findings.size() << "\n";
   int i = 0;
   for (const FuzzFinding& f : findings) {
     os << "  finding " << ++i << ": run=" << f.run
@@ -391,6 +485,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     RunOutcome& outcome = outcomes[static_cast<std::size_t>(r)];
     report.schedules += outcome.schedules;
     report.lp_checks += outcome.lp_checks;
+    report.fault_checks += outcome.fault_checks;
     for (RawFinding& raw : outcome.findings) {
       FuzzFinding f;
       f.run = r;
@@ -404,6 +499,26 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
           const CheckOpts opts{config.bound_oracles, config.differential,
                                config.inject_bug};
           const FailurePredicate pred = [&](const Instance& cand) {
+            if (raw.fault.has_value()) {
+              // Regenerate the plan for the candidate's machine count; the
+              // failure must survive under the candidate's own plan. Any
+              // [fault-*] tag counts when the original was one: the fault
+              // checks witness a single semantics contract, and dropping
+              // tasks routinely shifts which of them fires first — exact
+              // matching would strand the shrinker at a local minimum.
+              const bool fault_family = tag.rfind("[fault-", 0) == 0;
+              const FaultPlan cand_plan =
+                  plan_for(raw.fault->plan_seed, config.fault_model, cand.m());
+              for (const std::string& v :
+                   check_fault_policy(cand, cand_plan, raw.fault->recovery,
+                                      raw.policy, config.inject_fault_bug)) {
+                const std::string t = tag_of(v);
+                if (fault_family ? t.rfind("[fault-", 0) == 0 : t == tag) {
+                  return true;
+                }
+              }
+              return false;
+            }
             const Oracles cand_oracles =
                 compute_oracles(cand, config.differential);
             if (raw.policy == "oracle") {
@@ -419,7 +534,15 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
               shrink_instance(*raw.inst, pred, config.shrink_max_calls);
         }
         f.shrunk_n = minimized.n();
-        f.instance_text = reproducer_text(config, f, minimized);
+        const std::string body =
+            raw.fault.has_value()
+                ? fault_case_to_string(
+                      minimized,
+                      plan_for(raw.fault->plan_seed, config.fault_model,
+                               minimized.m()),
+                      raw.fault->recovery)
+                : instance_to_string(minimized);
+        f.instance_text = reproducer_text(config, f, body);
         if (!config.corpus_dir.empty()) {
           const std::string name = "fuzz-s" + std::to_string(config.seed) +
                                    "-r" + std::to_string(r) + "-" +

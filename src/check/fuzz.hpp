@@ -16,6 +16,16 @@
 //                      (lp/maxload.hpp's two independent solvers), run on
 //                      a fresh random replica system every lp_every runs
 //
+// Every fault_every-th run additionally pushes the same instance through
+// the fault-injection battery: a seeded FaultPlan (fault/plan.hpp) plus a
+// cycling RecoveryPolicy, every dispatcher policy executed by
+// run_dispatcher_faulty under the fault-mode auditor, then
+// InvariantAuditor::check_fault_run validates the attempt log against the
+// plan ([fault-*] checks; see check/audit.hpp). Fault findings shrink like
+// any other — the plan is a pure function of (plan seed, candidate m), so
+// the shrinker regenerates it per candidate — and their reproducers embed
+// the availability trace in the fault-case format (fault/plan_io.hpp).
+//
 // A failing check yields a FuzzFinding; the delta-debugging shrinker
 // (check/shrink.hpp) minimizes the instance under "the same check still
 // fails for the same policy", and the minimized instance is emitted as a
@@ -35,6 +45,8 @@
 
 #include "check/audit.hpp"
 #include "check/gen.hpp"
+#include "fault/plan.hpp"
+#include "fault/plan_io.hpp"
 #include "model/instance.hpp"
 #include "sched/dispatchers.hpp"
 
@@ -64,6 +76,20 @@ struct FuzzConfig {
   /// be caught and shrunk. See FaultyEftDispatcher below.
   bool inject_bug = false;
 
+  /// Run the fault-injection battery every `fault_every` runs (0 disables
+  /// it): a FaultPlan seeded from the run's RNG stream, a recovery policy
+  /// cycling through immediate / backoff / checkpoint, and every dispatcher
+  /// policy (fault_fuzz_policies()) audited in fault mode plus
+  /// check_fault_run.
+  int fault_every = 4;
+  /// Crash/repair process the battery draws its plans from.
+  FaultModelConfig fault_model;
+  /// Enable OnlineEngine::set_unsafe_ignore_downtime on the battery's
+  /// EFT-Min run — the fault harness's own planted bug (dispatch on the
+  /// undegraded set, execute through down intervals); [fault-downtime] /
+  /// [fault-eligibility] must catch it and the shrinker must minimize it.
+  bool inject_fault_bug = false;
+
   bool shrink = true;
   int shrink_max_calls = 4000;
   /// Directory for reproducer files ("" = keep findings in memory only).
@@ -82,8 +108,9 @@ struct FuzzFinding {
 
 struct FuzzReport {
   int runs = 0;
-  int schedules = 0;  ///< Policy runs audited.
+  int schedules = 0;  ///< Policy runs audited (fault runs included).
   int lp_checks = 0;
+  int fault_checks = 0;  ///< Fault batteries executed.
   std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
 
   bool ok() const { return findings.empty(); }
@@ -120,6 +147,16 @@ class FaultyEftDispatcher final : public Dispatcher {
 /// the instance is unrestricted). Exposed for the replay tool and tests.
 const std::vector<std::string>& fuzz_policies();
 
+/// Policy names the fault battery exercises: fuzz_policies() minus
+/// FIFO-eligible (the fault path drives a Dispatcher; the FIFO simulators
+/// have no requeue semantics).
+const std::vector<std::string>& fault_fuzz_policies();
+
+/// \brief Re-checks one fault case (instance + plan + recovery) through the
+/// fault battery: every fault_fuzz_policies() policy under the fault-mode
+/// auditor and check_fault_run. Lines are prefixed "policy: [tag] ...".
+std::vector<std::string> replay_fault_case(const FaultCase& fc);
+
 /// \brief Re-checks one instance through the full policy battery.
 ///
 /// Returns every violation found, each line prefixed "policy: [tag] ...".
@@ -130,7 +167,9 @@ std::vector<std::string> replay_corpus_instance(const Instance& inst,
                                                 bool bound_oracles = true,
                                                 bool differential = true);
 
-/// Loads the instance file at `path` (io/instance_io format) and replays it.
+/// Loads the file at `path` and replays it. Files carrying fault
+/// directives (fault/plan_io.hpp) route to replay_fault_case; plain
+/// instance files replay through replay_corpus_instance.
 std::vector<std::string> replay_corpus_file(const std::string& path,
                                             bool bound_oracles = true,
                                             bool differential = true);

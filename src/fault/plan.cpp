@@ -1,0 +1,128 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace flowsched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Quantizes an exponential draw onto the dyadic grid, at least one step.
+double quantize(double x, double grid) {
+  const double steps = std::max(1.0, std::round(x / grid));
+  return steps * grid;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(int m) {
+  if (m < 1) throw std::invalid_argument("FaultPlan: m must be >= 1");
+  downs_.resize(static_cast<std::size_t>(m));
+}
+
+FaultPlan FaultPlan::random(int m, const FaultModelConfig& config, Rng& rng) {
+  FaultPlan plan(m);
+  if (config.mean_up <= 0 || config.horizon <= 0) return plan;
+  if (config.grid <= 0) throw std::invalid_argument("FaultPlan: grid must be > 0");
+  for (int j = 0; j < m; ++j) {
+    double t = 0;
+    while (true) {
+      const double up = quantize(rng.exponential(1.0 / config.mean_up), config.grid);
+      const double crash = t + up;
+      if (crash >= config.horizon) break;
+      const double repair =
+          quantize(rng.exponential(1.0 / config.mean_down), config.grid);
+      plan.add_down(j, crash, crash + repair);
+      t = crash + repair;
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::add_down(int machine, double from, double to) {
+  if (machine < 0 || machine >= m())
+    throw std::invalid_argument("FaultPlan: machine out of range");
+  if (!(from >= 0) || !(to > from))
+    throw std::invalid_argument("FaultPlan: interval must satisfy 0 <= from < to");
+  auto& list = downs_[static_cast<std::size_t>(machine)];
+  if (!list.empty() && !(from > list.back().to))
+    throw std::invalid_argument(
+        "FaultPlan: down intervals must be appended in order, disjoint, "
+        "non-touching");
+  list.push_back(DownInterval{from, to});
+}
+
+bool FaultPlan::fault_free() const {
+  for (const auto& list : downs_)
+    if (!list.empty()) return false;
+  return true;
+}
+
+const std::vector<DownInterval>& FaultPlan::downs(int machine) const {
+  if (machine < 0 || machine >= m())
+    throw std::invalid_argument("FaultPlan: machine out of range");
+  return downs_[static_cast<std::size_t>(machine)];
+}
+
+bool FaultPlan::is_up(int machine, double t) const {
+  for (const DownInterval& d : downs(machine)) {
+    if (t < d.from) return true;  // sorted: no later interval can cover t
+    if (t < d.to) return false;
+  }
+  return true;
+}
+
+double FaultPlan::next_up(int machine, double t) const {
+  for (const DownInterval& d : downs(machine)) {
+    if (t < d.from) return t;
+    if (t < d.to) return d.to;  // d.to may be +inf (never recovers)
+  }
+  return t;
+}
+
+double FaultPlan::next_down(int machine, double t) const {
+  for (const DownInterval& d : downs(machine))
+    if (d.from >= t) return d.from;
+  return kInf;
+}
+
+double FaultPlan::downtime(int machine, double t0, double t1) const {
+  double total = 0;
+  for (const DownInterval& d : downs(machine)) {
+    const double lo = std::max(t0, d.from);
+    const double hi = std::min(t1, d.to);
+    if (hi > lo) total += hi - lo;
+    if (d.from >= t1) break;
+  }
+  return total;
+}
+
+int FaultPlan::crash_count() const {
+  int n = 0;
+  for (const auto& list : downs_) n += static_cast<int>(list.size());
+  return n;
+}
+
+std::string FaultPlan::str() const {
+  std::string out;
+  char buf[128];
+  for (int j = 0; j < m(); ++j) {
+    for (const DownInterval& d : downs_[static_cast<std::size_t>(j)]) {
+      if (d.to == kInf) {
+        std::snprintf(buf, sizeof(buf), "down %d %.17g inf\n", j + 1, d.from);
+      } else {
+        std::snprintf(buf, sizeof(buf), "down %d %.17g %.17g\n", j + 1, d.from,
+                      d.to);
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,134 @@
+#include "fault/plan_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/instance_io.hpp"
+
+namespace flowsched {
+
+namespace {
+
+bool starts_with_directive(const std::string& line, const char* word) {
+  std::istringstream ss(line);
+  std::string first;
+  return (ss >> first) && first == word;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::invalid_argument("fault case line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+double parse_time(const std::string& tok, int line_no) {
+  if (tok == "inf") return std::numeric_limits<double>::infinity();
+  double v = 0;
+  std::size_t pos = 0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    fail(line_no, "bad time '" + tok + "'");
+  }
+  if (pos != tok.size()) fail(line_no, "bad time '" + tok + "'");
+  return v;
+}
+
+}  // namespace
+
+bool has_fault_directives(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (starts_with_directive(line, "down") ||
+        starts_with_directive(line, "recovery"))
+      return true;
+  }
+  return false;
+}
+
+FaultCase parse_fault_case(const std::string& text) {
+  // Split fault directives out, hand the rest to the instance parser.
+  std::istringstream in(text);
+  std::string line;
+  std::string instance_text;
+  struct Down {
+    int machine;
+    double from, to;
+    int line_no;
+  };
+  std::vector<Down> downs;
+  RecoveryPolicy recovery;
+  bool saw_recovery = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (starts_with_directive(line, "down")) {
+      std::istringstream ss(line);
+      std::string word, from_tok, to_tok;
+      int machine = 0;
+      ss >> word >> machine >> from_tok >> to_tok;
+      if (ss.fail() || to_tok.empty()) fail(line_no, "expected: down <machine> <from> <to>");
+      downs.push_back(Down{machine - 1, parse_time(from_tok, line_no),
+                           parse_time(to_tok, line_no), line_no});
+    } else if (starts_with_directive(line, "recovery")) {
+      if (saw_recovery) fail(line_no, "duplicate recovery directive");
+      saw_recovery = true;
+      std::istringstream ss(line);
+      std::string word, kind;
+      ss >> word >> kind;
+      if (ss.fail()) fail(line_no, "expected: recovery <kind> [params]");
+      try {
+        recovery.kind = parse_recovery_kind(kind);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      unsigned long long seed = 0;
+      if (ss >> recovery.max_retries >> recovery.backoff_base >>
+          recovery.backoff_cap >> recovery.jitter >> seed) {
+        recovery.jitter_seed = seed;
+      }
+    } else {
+      instance_text += line;
+      instance_text += '\n';
+    }
+  }
+
+  FaultCase fc{parse_instance_string(instance_text), FaultPlan{1}, recovery};
+  fc.plan = FaultPlan(fc.instance.m());
+  for (const Down& d : downs) {
+    if (d.machine < 0 || d.machine >= fc.instance.m())
+      fail(d.line_no, "down machine out of range");
+    try {
+      fc.plan.add_down(d.machine, d.from, d.to);
+    } catch (const std::invalid_argument& e) {
+      fail(d.line_no, e.what());
+    }
+  }
+  return fc;
+}
+
+FaultCase load_fault_case(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read fault case: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_fault_case(ss.str());
+}
+
+void write_fault_case(std::ostream& out, const Instance& inst,
+                      const FaultPlan& plan, const RecoveryPolicy& recovery) {
+  write_instance(out, inst);
+  out << recovery.str() << "\n";
+  out << plan.str();
+}
+
+std::string fault_case_to_string(const Instance& inst, const FaultPlan& plan,
+                                 const RecoveryPolicy& recovery) {
+  std::ostringstream ss;
+  write_fault_case(ss, inst, plan, recovery);
+  return ss.str();
+}
+
+}  // namespace flowsched

@@ -31,17 +31,33 @@ std::string SimReport::str() const {
   std::ostringstream out;
   out << "requests=" << requests << " mean=" << mean_latency << " p50=" << p50
       << " p90=" << p90 << " p99=" << p99 << " max(Fmax)=" << max_latency;
+  if (faulty) {
+    // Appended only on fault runs so fault-free reports stay byte-identical
+    // to the pre-fault format.
+    double down = 0;
+    for (double f : downtime_fraction) down += f;
+    out << " retried=" << retried << " dropped=" << dropped
+        << " parked=" << parked << " wasted=" << wasted_work << " downtime="
+        << (downtime_fraction.empty()
+                ? 0.0
+                : down / static_cast<double>(downtime_fraction.size()));
+  }
   return out.str();
 }
 
 SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
                            Dispatcher& dispatcher, Rng& rng,
-                           SchedObserver* observer) {
+                           SchedObserver* observer, const FaultPlan* faults,
+                           const RecoveryPolicy& recovery) {
   if (!(config.lambda > 0)) {
     throw std::invalid_argument("simulate_cluster: lambda <= 0");
   }
   const int m = store.config().m;
+  // A fault-free plan takes the fault-free path outright, so attaching one
+  // cannot perturb the report (byte-identical output, no fault overhead).
+  const bool faulty = faults != nullptr && !faults->fault_free();
   OnlineEngine engine(m, dispatcher);
+  if (faulty) engine.set_faults(faults, recovery);
   if (observer != nullptr) {
     observer->on_run_begin(RunInfo{m, dispatcher.name(), {}});
     engine.set_observer(observer);
@@ -50,6 +66,8 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
   std::vector<double> latencies;
   latencies.reserve(static_cast<std::size_t>(config.requests));
   std::vector<double> busy(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> releases;  // fault runs: latency is settled post hoc
+  if (faulty) releases.reserve(static_cast<std::size_t>(config.requests));
 
   double t = 0.0;
   for (int i = 0; i < config.requests; ++i) {
@@ -58,17 +76,48 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
     const double service = draw_service(config.dist, config.service_time, rng);
     const Assignment a = engine.release(Task{
         .release = t, .proc = service, .eligible = store.replicas_of_key(key)});
-    latencies.push_back(a.start + service - t);
-    busy[static_cast<std::size_t>(a.machine)] += service;
+    if (faulty) {
+      // The assignment is provisional (the request may still be killed and
+      // requeued); latencies come from the fault log after the drain.
+      releases.push_back(t);
+    } else {
+      latencies.push_back(a.start + service - t);
+      busy[static_cast<std::size_t>(a.machine)] += service;
+    }
   }
 
   SimReport report;
   report.requests = config.requests;
-  report.mean_latency = mean(latencies);
-  report.p50 = quantile(latencies, 0.50);
-  report.p90 = quantile(latencies, 0.90);
-  report.p99 = quantile(latencies, 0.99);
-  report.max_latency = quantile(latencies, 1.0);
+  if (faulty) {
+    engine.drain_faults();
+    const FaultLog& log = engine.fault_log();
+    for (int i = 0; i < config.requests; ++i) {
+      if (log.fate(i) == TaskFate::kCompleted) {
+        latencies.push_back(log.completion(i) -
+                            releases[static_cast<std::size_t>(i)]);
+      }
+    }
+    // Busy time is real occupancy: killed segments held the server too.
+    for (const FaultAttempt& a : log.attempts()) {
+      if (a.machine >= 0) busy[static_cast<std::size_t>(a.machine)] += a.work();
+    }
+    const FaultStats& stats = log.stats();
+    report.faulty = true;
+    // Dispatch-queue entries beyond each request's first: every kill or
+    // park wake-up that put a request back in line.
+    report.retried =
+        stats.attempts + stats.parked - static_cast<long long>(config.requests);
+    report.dropped = stats.dropped;
+    report.parked = stats.parked;
+    report.wasted_work = stats.wasted_work;
+  }
+  if (!latencies.empty()) {
+    report.mean_latency = mean(latencies);
+    report.p50 = quantile(latencies, 0.50);
+    report.p90 = quantile(latencies, 0.90);
+    report.p99 = quantile(latencies, 0.99);
+    report.max_latency = quantile(latencies, 1.0);
+  }
 
   double makespan = 0;
   for (int j = 0; j < m; ++j) {
@@ -79,6 +128,13 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
   for (int j = 0; j < m; ++j) {
     report.utilization[static_cast<std::size_t>(j)] =
         makespan > 0 ? busy[static_cast<std::size_t>(j)] / makespan : 0.0;
+  }
+  if (faulty) {
+    report.downtime_fraction.resize(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      report.downtime_fraction[static_cast<std::size_t>(j)] =
+          makespan > 0 ? faults->downtime(j, 0, makespan) / makespan : 0.0;
+    }
   }
   if (observer != nullptr) {
     engine.finish_observation();

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "kvstore/store.hpp"
 #include "obs/observer.hpp"
 #include "sched/dispatchers.hpp"
@@ -36,6 +38,15 @@ struct SimReport {
   double makespan = 0;
   std::vector<double> utilization;  ///< Busy fraction per server.
 
+  // Fault-run fields (all zero / empty on fault-free runs, and str() then
+  // prints the exact pre-fault report — byte-identical output).
+  bool faulty = false;      ///< A non-trivial FaultPlan was attached.
+  long long retried = 0;    ///< Kill-triggered re-dispatches.
+  long long dropped = 0;    ///< Requests that exhausted their retry budget.
+  long long parked = 0;     ///< Attempts that found every replica down.
+  double wasted_work = 0;   ///< Killed-segment work that was redone.
+  std::vector<double> downtime_fraction;  ///< Down fraction per server.
+
   std::string str() const;
 };
 
@@ -45,8 +56,17 @@ struct SimReport {
 /// request, server busy/idle transitions), bracketed by run begin/end —
 /// latency here is the flow time, so a trace of a simulation is read
 /// exactly like a trace of a scheduling run.
+///
+/// A non-null `faults` plan injects server crashes: requests are killed and
+/// recovered per `recovery` (sched/engine.hpp fault semantics), dropped
+/// requests are excluded from the latency quantiles and counted in
+/// SimReport::dropped, and latency becomes submission-to-final-completion
+/// (retries included). A fault-free plan takes the exact fault-free code
+/// path, so attaching one never perturbs the report.
 SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
                            Dispatcher& dispatcher, Rng& rng,
-                           SchedObserver* observer = nullptr);
+                           SchedObserver* observer = nullptr,
+                           const FaultPlan* faults = nullptr,
+                           const RecoveryPolicy& recovery = {});
 
 }  // namespace flowsched

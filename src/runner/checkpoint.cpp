@@ -1,0 +1,146 @@
+#include "runner/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowsched {
+
+namespace {
+
+constexpr const char* kMagic = "# flowsched-checkpoint v1";
+
+std::string hex_id(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+SweepCheckpoint::SweepCheckpoint(std::string path, std::string experiment,
+                                 std::uint64_t fingerprint)
+    : path_(std::move(path)),
+      experiment_(std::move(experiment)),
+      fingerprint_(fingerprint) {
+  std::ifstream in(path_);
+  if (!in) {
+    // Fresh checkpoint: write the header now so even a run killed before
+    // its first cell leaves a resumable file.
+    std::ofstream out(path_);
+    if (!out) {
+      throw std::runtime_error("SweepCheckpoint: cannot create " + path_);
+    }
+    out << kMagic << "\n"
+        << "experiment " << experiment_ << "\n"
+        << "fingerprint " << hex_id(fingerprint_) << "\n";
+    out.flush();
+    return;
+  }
+
+  std::string line;
+  int line_no = 0;
+  bool header_ok = false;
+  std::string seen_experiment;
+  std::string seen_fingerprint;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1) {
+      if (line != kMagic) {
+        throw std::runtime_error("SweepCheckpoint: " + path_ +
+                                 " is not a checkpoint file");
+      }
+      continue;
+    }
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word;
+    if (word == "experiment") {
+      ss >> seen_experiment;
+    } else if (word == "fingerprint") {
+      ss >> seen_fingerprint;
+      header_ok = true;
+      if (seen_experiment != experiment_ ||
+          seen_fingerprint != hex_id(fingerprint_)) {
+        throw std::runtime_error(
+            "SweepCheckpoint: " + path_ + " belongs to experiment '" +
+            seen_experiment + "' fingerprint " + seen_fingerprint +
+            ", this sweep is '" + experiment_ + "' fingerprint " +
+            hex_id(fingerprint_) + " — delete the file to restart");
+      }
+    } else if (word == "cell") {
+      std::string id_tok;
+      std::size_t k = 0;
+      ss >> id_tok >> k;
+      unsigned long long id_raw = 0;
+      bool ok = !ss.fail() &&
+                std::sscanf(id_tok.c_str(), "0x%llx", &id_raw) == 1;
+      const std::uint64_t id = id_raw;
+      std::vector<double> values;
+      values.reserve(k);
+      std::string val_tok;
+      while (ok && values.size() < k && (ss >> val_tok)) {
+        double v = 0;
+        if (std::sscanf(val_tok.c_str(), "%la", &v) != 1) {
+          ok = false;
+          break;
+        }
+        values.push_back(v);
+      }
+      if (!ok || values.size() != k) {
+        // A torn trailing line from a killed run; everything before it is
+        // intact, so just stop reading here.
+        std::fprintf(stderr,
+                     "[checkpoint] %s line %d is truncated; ignoring it\n",
+                     path_.c_str(), line_no);
+        break;
+      }
+      if (cells_.emplace(id, std::move(values)).second) ++resumed_;
+    }
+    // Unknown directives are skipped (forward compatibility).
+  }
+  if (!header_ok) {
+    throw std::runtime_error("SweepCheckpoint: " + path_ +
+                             " has no fingerprint header");
+  }
+}
+
+const std::vector<double>& SweepCheckpoint::get(std::uint64_t cell) const {
+  auto it = cells_.find(cell);
+  if (it == cells_.end()) {
+    throw std::out_of_range("SweepCheckpoint: cell " + hex_id(cell) +
+                            " not recorded");
+  }
+  return it->second;
+}
+
+void SweepCheckpoint::put(std::uint64_t cell, const std::vector<double>& values) {
+  auto it = cells_.find(cell);
+  if (it != cells_.end()) {
+    if (it->second != values) {
+      throw std::runtime_error(
+          "SweepCheckpoint: cell " + hex_id(cell) +
+          " recomputed to different values — non-deterministic sweep?");
+    }
+    return;
+  }
+  cells_.emplace(cell, values);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    throw std::runtime_error("SweepCheckpoint: cannot append to " + path_);
+  }
+  out << "cell " << hex_id(cell) << " " << values.size();
+  for (double v : values) out << " " << hexfloat(v);
+  out << "\n";
+  out.flush();
+}
+
+}  // namespace flowsched

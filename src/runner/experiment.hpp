@@ -19,16 +19,44 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <future>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "runner/thread_pool.hpp"
 
 namespace flowsched {
+
+/// \brief A replicate failure tagged with the (experiment, cell, rep)
+/// context that reproduces it.
+///
+/// ExperimentRunner::replicates wraps any exception escaping a replicate
+/// closure in one of these, so a sweep that dies half-way reports *which*
+/// seeded replicate failed — `replicate_seed(experiment, cell, rep)` re-runs
+/// exactly that job — instead of an anonymous exception unwinding through
+/// the pool. Benches catch it at top level and exit nonzero.
+class ReplicateError : public std::runtime_error {
+ public:
+  ReplicateError(std::uint64_t experiment, std::uint64_t cell,
+                 std::uint64_t rep, const std::string& detail);
+
+  std::uint64_t experiment() const { return experiment_; }
+  std::uint64_t cell() const { return cell_; }
+  std::uint64_t rep() const { return rep_; }
+
+ private:
+  std::uint64_t experiment_;
+  std::uint64_t cell_;
+  std::uint64_t rep_;
+};
 
 /// \brief Stable 64-bit id for an experiment name (FNV-1a 64 over the raw
 /// bytes, offset basis 0xcbf29ce484222325, prime 0x100000001b3).
@@ -102,27 +130,59 @@ class ExperimentRunner {
   /// Runs fn(0..count-1) and returns the results in index order. Jobs must
   /// be independent; determinism is the caller's contract (derive all
   /// randomness from replicate_seed).
+  ///
+  /// Error contract: if jobs throw, every job still runs to completion (no
+  /// detached work survives the call) and the exception of the *smallest
+  /// failing index* is rethrown — the same one a serial run hits first, so
+  /// the surfaced error is identical at any thread count.
   template <typename R>
   std::vector<R> map(int count, const std::function<R(int)>& fn) {
     std::vector<R> results;
     if (count <= 0) return results;
     results.reserve(static_cast<std::size_t>(count));
     if (!pool_) {
-      for (int i = 0; i < count; ++i) results.push_back(fn(i));
+      for (int i = 0; i < count; ++i) {
+        watch_inline_begin();
+        results.push_back(fn(i));
+        watch_inline_end(i);
+      }
       return results;
     }
+    WatchSession watch = watch_start(count);
     std::vector<std::future<R>> futures;
     futures.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
-      futures.push_back(pool_->submit([&fn, i] { return fn(i); }));
+      futures.push_back(pool_->submit([this, &fn, i, s = watch.state] {
+        watch_job_begin(s, i);
+        try {
+          R r = fn(i);
+          watch_job_end(s, i);
+          return r;
+        } catch (...) {
+          watch_job_end(s, i);
+          throw;
+        }
+      }));
     }
-    for (auto& f : futures) results.push_back(f.get());
+    // Harvest everything before surfacing a failure: the first-by-index
+    // exception wins, later ones are dropped (their jobs did complete).
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        results.push_back(f.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    watch_finish(watch);
+    if (first_error) std::rethrow_exception(first_error);
     return results;
   }
 
   /// The common case: `reps` seeded repetitions of one cell, in rep order.
   /// fn receives (seed, rep) with seed = replicate_seed(experiment, cell,
-  /// rep).
+  /// rep). Exceptions escaping fn surface as ReplicateError carrying
+  /// (experiment, cell, rep) — see the class doc above.
   std::vector<double> replicates(
       std::uint64_t experiment, std::uint64_t cell, int reps,
       const std::function<double(std::uint64_t seed, int rep)>& fn);
@@ -132,9 +192,49 @@ class ExperimentRunner {
       std::uint64_t experiment, std::uint64_t cell, int reps,
       const std::function<double(std::uint64_t seed, int rep)>& fn);
 
+  // --- Watchdog -----------------------------------------------------------
+
+  /// \brief Arms a per-replicate wall-clock watchdog (0 disables, the
+  /// default).
+  ///
+  /// A job running longer than `seconds` is reported once to stderr with
+  /// its context and recorded in hung_replicates(). The job is NOT killed —
+  /// C++ cannot cancel a thread safely — so a hung cell is *marked*, and
+  /// the caller decides whether to abandon the sweep. On the serial path
+  /// (threads == 1) overruns are detected after the job returns.
+  void set_watchdog(double seconds) { watchdog_seconds_ = seconds; }
+
+  /// Context prefix for watchdog reports of subsequent map() calls
+  /// (replicates() sets "experiment=0x... cell=0x..." automatically).
+  void set_watch_label(std::string label) { watch_label_ = std::move(label); }
+
+  /// Watchdog reports accumulated so far ("<label> job <i> exceeded ...").
+  std::vector<std::string> hung_replicates() const;
+
  private:
+  struct WatchdogState;  // defined in experiment.cpp
+
+  /// Monitor session for one map() call; state is null when the watchdog
+  /// is disarmed (then every watch_* call below is a no-op null check).
+  struct WatchSession {
+    std::shared_ptr<WatchdogState> state;
+    std::thread monitor;
+  };
+  WatchSession watch_start(int count);
+  void watch_job_begin(const std::shared_ptr<WatchdogState>& s, int index);
+  void watch_job_end(const std::shared_ptr<WatchdogState>& s, int index);
+  void watch_finish(WatchSession& session);
+  void watch_inline_begin();
+  void watch_inline_end(int index);
+  void record_hung(int index, double elapsed_seconds);
+
   int threads_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+  double watchdog_seconds_ = 0;
+  std::string watch_label_;
+  std::vector<std::string> hung_;  // guarded by hung_mu_
+  mutable std::mutex hung_mu_;
+  double inline_job_begin_ = 0;  // steady-clock seconds; serial watchdog
 };
 
 }  // namespace flowsched

@@ -1,9 +1,14 @@
 #include "sched/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace flowsched {
+
+namespace {
+constexpr double kInfTime = std::numeric_limits<double>::infinity();
+}  // namespace
 
 OnlineEngine::OnlineEngine(int m, Dispatcher& dispatcher)
     : m_(m),
@@ -20,6 +25,7 @@ OnlineEngine::OnlineEngine(int m, Dispatcher& dispatcher)
 }
 
 Assignment OnlineEngine::release(Task task) {
+  if (fault_plan_ != nullptr) return release_faulty(std::move(task));
   if (task.release < last_release_) {
     throw std::invalid_argument("OnlineEngine::release: releases must be non-decreasing");
   }
@@ -121,8 +127,193 @@ void OnlineEngine::finish_observation() {
 }
 
 double OnlineEngine::completion_of(int i) const {
+  // Under faults the final segment may be shorter than p_i (checkpoint
+  // recovery), so the fault log is the only truthful source.
+  if (fault_plan_ != nullptr) return fault_log_->completion(i);
   return assignments_.at(static_cast<std::size_t>(i)).start +
          tasks_.at(static_cast<std::size_t>(i)).proc;
+}
+
+void OnlineEngine::set_faults(const FaultPlan* plan, RecoveryPolicy recovery) {
+  if (released() > 0)
+    throw std::logic_error("OnlineEngine::set_faults: attach before releases");
+  if (plan != nullptr && plan->m() != m_)
+    throw std::invalid_argument("OnlineEngine::set_faults: plan covers " +
+                                std::to_string(plan->m()) + " machines, engine has " +
+                                std::to_string(m_));
+  fault_plan_ = plan;
+  recovery_ = recovery;
+  fault_log_ = plan != nullptr ? std::make_unique<FaultLog>() : nullptr;
+}
+
+const FaultLog& OnlineEngine::fault_log() const {
+  if (fault_log_ == nullptr)
+    throw std::logic_error("OnlineEngine::fault_log: faults not active");
+  return *fault_log_;
+}
+
+TaskFate OnlineEngine::fate_of(int i) const { return fault_log().fate(i); }
+
+Assignment OnlineEngine::release_faulty(Task task) {
+  if (task.release < last_release_) {
+    throw std::invalid_argument("OnlineEngine::release: releases must be non-decreasing");
+  }
+  last_release_ = task.release;
+  if (task.eligible.empty()) task.eligible = ProcSet::all(m_);
+  if (!task.eligible.within(m_)) {
+    throw std::invalid_argument("OnlineEngine::release: processing set outside [0,m)");
+  }
+  if (!(task.proc > 0)) {
+    throw std::invalid_argument("OnlineEngine::release: proc <= 0");
+  }
+
+  // Retries that fall due before this release dispatch first, so model time
+  // stays non-decreasing across all attempts (the lazy queue-depth cursors
+  // rely on it).
+  process_pending(task.release);
+
+  const int id = released();
+  if (observer_ != nullptr) {
+    ObsEvent e;
+    e.kind = ObsEventKind::kTaskReleased;
+    e.time = task.release;
+    e.task = id;
+    e.release = task.release;
+    e.proc = task.proc;
+    e.eligible = &task.eligible;
+    observer_->on_event(e);
+  }
+  const double release_time = task.release;
+  const double proc = task.proc;
+  tasks_.push_back(std::move(task));
+  assignments_.push_back(Assignment{-1, -1.0});
+  fault_log_->begin_task(id);
+  dispatch_attempt(id, 0, release_time, proc);
+  return assignments_[static_cast<std::size_t>(id)];
+}
+
+void OnlineEngine::process_pending(double until) {
+  while (!pending_.empty() && pending_.top().time <= until) {
+    const PendingRetry p = pending_.top();
+    pending_.pop();
+    dispatch_attempt(p.task, p.attempt, p.time, p.remaining);
+  }
+}
+
+void OnlineEngine::dispatch_attempt(int id, int attempt, double now,
+                                    double remaining) {
+  const std::size_t ti = static_cast<std::size_t>(id);
+
+  // Degraded eligible set M_i ∩ up(now).
+  Task probe;
+  probe.release = now;
+  probe.proc = remaining;
+  if (ignore_downtime_) {
+    probe.eligible = tasks_[ti].eligible;
+  } else {
+    up_buffer_.clear();
+    for (int j : tasks_[ti].eligible.machines()) {
+      if (fault_plan_->is_up(j, now)) up_buffer_.push_back(j);
+    }
+    if (up_buffer_.empty()) {
+      // Every eligible machine is down: park until the earliest recovery.
+      double wake = kInfTime;
+      for (int j : tasks_[ti].eligible.machines()) {
+        wake = std::min(wake, fault_plan_->next_up(j, now));
+      }
+      fault_log_->record(FaultAttempt{id, attempt, now, -1, now, wake, false});
+      if (wake == kInfTime) {
+        // No eligible machine ever recovers: reported drop, never a hang.
+        fault_log_->settle(id, TaskFate::kDropped, -1.0);
+      } else {
+        pending_.push(PendingRetry{wake, pending_seq_++, id, attempt, remaining});
+      }
+      return;
+    }
+    probe.eligible = ProcSet(up_buffer_);
+  }
+
+  // Lazy queue depths for the degraded set (JSQ). Attempt times are
+  // globally non-decreasing, so the cursors stay monotone exactly as in the
+  // fault-free path.
+  if (dispatcher_->needs_queue_depths()) {
+    for (int j : probe.eligible.machines()) {
+      auto& cursor = finished_cursor_[static_cast<std::size_t>(j)];
+      const auto& finishes = finish_times_[static_cast<std::size_t>(j)];
+      while (cursor < finishes.size() && finishes[cursor] <= now) ++cursor;
+      queued_[static_cast<std::size_t>(j)] =
+          static_cast<int>(finishes.size() - cursor);
+    }
+  }
+
+  const MachineState state{completion_, load_, count_, queued_};
+  const int u = dispatcher_->dispatch(probe, state);
+  if (u < 0 || u >= m_ || !probe.eligible.contains(u)) {
+    throw std::logic_error("OnlineEngine: dispatcher chose ineligible machine " +
+                           std::to_string(u) + " for set " + probe.eligible.str());
+  }
+
+  const std::size_t uj = static_cast<std::size_t>(u);
+  double start = std::max(now, completion_[uj]);
+  // The machine frontier may sit inside a later down interval; execution
+  // can only begin once the machine is back up.
+  if (!ignore_downtime_) start = fault_plan_->next_up(u, start);
+  const double crash = ignore_downtime_ ? kInfTime : fault_plan_->next_down(u, start);
+
+  if (start + remaining <= crash) {
+    const double finish = start + remaining;
+    completion_[uj] = finish;
+    load_[uj] += remaining;
+    ++count_[uj];
+    finish_times_[uj].push_back(finish);
+    assignments_[ti] = Assignment{u, start};
+    fault_log_->record(FaultAttempt{id, attempt, now, u, start, finish, false});
+    fault_log_->settle(id, TaskFate::kCompleted, finish);
+    if (observer_ != nullptr) {
+      // Only the successful attempt is narrated; killed segments and parks
+      // live in the fault log. No machine busy/idle events under faults —
+      // segment occupancy is not an alternating busy/idle staircase.
+      ObsEvent e;
+      e.task = id;
+      e.machine = u;
+      e.release = tasks_[ti].release;
+      e.proc = tasks_[ti].proc;
+      e.kind = ObsEventKind::kTaskDispatched;
+      e.time = now;
+      observer_->on_event(e);
+      e.kind = ObsEventKind::kTaskStarted;
+      e.time = start;
+      observer_->on_event(e);
+      e.kind = ObsEventKind::kTaskCompleted;
+      e.time = finish;
+      observer_->on_event(e);
+    }
+    return;
+  }
+
+  // Killed at the crash: the machine was occupied up to the crash instant.
+  completion_[uj] = crash;
+  load_[uj] += crash - start;
+  finish_times_[uj].push_back(crash);
+  fault_log_->record(FaultAttempt{id, attempt, now, u, start, crash, true});
+  if (recovery_.kind != RecoveryKind::kCheckpoint) {
+    fault_log_->add_wasted(crash - start);
+  }
+  if (attempt >= recovery_.max_retries) {
+    fault_log_->settle(id, TaskFate::kDropped, -1.0);
+    return;
+  }
+  const double next_remaining = recovery_.kind == RecoveryKind::kCheckpoint
+                                    ? remaining - (crash - start)
+                                    : remaining;
+  pending_.push(PendingRetry{recovery_.retry_time(id, attempt, crash),
+                             pending_seq_++, id, attempt + 1, next_remaining});
+}
+
+void OnlineEngine::drain_faults() {
+  if (fault_plan_ == nullptr)
+    throw std::logic_error("OnlineEngine::drain_faults: faults not active");
+  process_pending(kInfTime);
 }
 
 std::vector<double> OnlineEngine::profile(double t) const {
@@ -134,6 +325,11 @@ std::vector<double> OnlineEngine::profile(double t) const {
 }
 
 Schedule OnlineEngine::snapshot() const {
+  if (fault_plan_ != nullptr) {
+    // A Schedule models one uninterrupted run of p_i per task; kill/requeue
+    // segments do not fit it. The fault log is the fault-mode result.
+    throw std::logic_error("OnlineEngine::snapshot: unavailable under faults");
+  }
   // Releases were non-decreasing, so the Instance's stable sort preserves
   // the release order and assignment indices line up one-to-one.
   auto inst = std::make_shared<Instance>(m_, tasks_);
@@ -143,6 +339,28 @@ Schedule OnlineEngine::snapshot() const {
     sched.assign(i, a.machine, a.start);
   }
   return sched;
+}
+
+OnlineEngine run_dispatcher_faulty(const Instance& inst, Dispatcher& dispatcher,
+                                   const FaultPlan& plan,
+                                   const RecoveryPolicy& recovery,
+                                   SchedObserver* observer, const RunTag& tag,
+                                   bool unsafe_ignore_downtime) {
+  OnlineEngine engine(inst.m(), dispatcher);
+  engine.set_faults(&plan, recovery);
+  if (unsafe_ignore_downtime) engine.set_unsafe_ignore_downtime(true);
+  if (observer != nullptr) {
+    observer->on_run_begin(RunInfo{inst.m(), dispatcher.name(), tag});
+    engine.set_observer(observer);
+  }
+  for (int i = 0; i < inst.n(); ++i) engine.release(inst.task(i));
+  engine.drain_faults();
+  if (observer != nullptr) {
+    double makespan = 0;
+    for (double c : engine.completions()) makespan = std::max(makespan, c);
+    observer->on_run_end(makespan);
+  }
+  return engine;
 }
 
 Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher) {

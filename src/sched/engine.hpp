@@ -11,9 +11,13 @@
 //    adversary is allowed to use against an immediate-dispatch algorithm.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <queue>
 #include <vector>
 
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
 #include "obs/observer.hpp"
@@ -75,7 +79,51 @@ class OnlineEngine {
   /// makespan it wants to report.
   void finish_observation();
 
+  // --- Fault injection (src/fault/, docs/faults.md) ----------------------
+
+  /// \brief Attaches a borrowed availability plan (nullptr detaches).
+  ///
+  /// Must be called before the first release; the plan must cover exactly
+  /// m machines and outlive the engine. With a plan attached the engine
+  /// runs its fault path: dispatchers see the degraded eligible set
+  /// M_i ∩ up(t), a task whose machine crashes mid-segment is killed at
+  /// the crash instant and requeued per `recovery`, and a task whose
+  /// degraded set is empty is parked until the earliest recovery among its
+  /// machines (dropped — never silently lost — when no machine ever
+  /// recovers or the retry budget is exhausted). With no plan attached
+  /// (the default) release() is the exact pre-fault code path: one
+  /// predictable null check, same pattern as the observer layer.
+  ///
+  /// Fault-mode semantics changes, all documented in docs/faults.md:
+  /// completion_of() reads the fault log (throws for non-completed tasks),
+  /// snapshot() is unavailable, and the observer stream carries task
+  /// events for *successful* attempts only (no machine busy/idle
+  /// transitions — segment-level occupancy lives in fault_log()).
+  void set_faults(const FaultPlan* plan, RecoveryPolicy recovery = {});
+  bool faults_active() const { return fault_plan_ != nullptr; }
+
+  /// \brief Processes every queued retry/park wake-up (call after the last
+  /// release; model time runs to +infinity). After this, every released
+  /// task has a terminal fate in fault_log(). Fault mode only.
+  void drain_faults();
+
+  /// Ground-truth attempt log of the current fault run. Fault mode only.
+  const FaultLog& fault_log() const;
+
+  /// Terminal state of task i (kPending before drain_faults() settles it).
+  TaskFate fate_of(int i) const;
+
+  /// \brief Testing backdoor: dispatch on the *undegraded* eligible set and
+  /// run segments straight through down intervals. This is the planted bug
+  /// the fuzzer's --inject-fault-bug campaign must catch via the
+  /// [fault-downtime] audit; never enable it outside tests.
+  void set_unsafe_ignore_downtime(bool v) { ignore_downtime_ = v; }
+
  private:
+  Assignment release_faulty(Task task);
+  void process_pending(double until);
+  void dispatch_attempt(int task, int attempt, double now, double remaining);
+
   int m_;
   Dispatcher* dispatcher_;
   std::vector<Task> tasks_;
@@ -98,6 +146,31 @@ class OnlineEngine {
   SchedObserver* observer_ = nullptr;  // borrowed; null = disabled (no cost)
   // Machines whose busy interval is still open (for finish_observation).
   std::vector<bool> observed_busy_;
+
+  // Fault state. A queued retry (kill) or wake-up (park) of one task;
+  // ordered by (time, insertion seq) so equal-time retries dispatch in
+  // creation order — deterministic at any thread count because the engine
+  // itself is single-threaded per replicate.
+  struct PendingRetry {
+    double time = 0;
+    std::uint64_t seq = 0;
+    int task = -1;
+    int attempt = 0;
+    double remaining = 0;
+    bool operator>(const PendingRetry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  const FaultPlan* fault_plan_ = nullptr;  // borrowed; null = faults off
+  RecoveryPolicy recovery_;
+  std::unique_ptr<FaultLog> fault_log_;
+  std::priority_queue<PendingRetry, std::vector<PendingRetry>,
+                      std::greater<PendingRetry>>
+      pending_;
+  std::uint64_t pending_seq_ = 0;
+  std::vector<int> up_buffer_;  // reused degraded-set scratch
+  bool ignore_downtime_ = false;
 };
 
 /// Replays a full instance through `dispatcher` and returns the schedule
@@ -108,5 +181,20 @@ Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher);
 /// optional `tag` attributes the run to a sweep replicate (obs/observer.hpp).
 Schedule run_dispatcher(const Instance& inst, Dispatcher& dispatcher,
                         SchedObserver& observer, const RunTag& tag = {});
+
+/// \brief Replays a full instance through `dispatcher` under `plan` and
+/// drains all retries, so every task ends with a terminal fate.
+///
+/// Returns the engine itself — the fault log, fates, and per-task outcomes
+/// are the result of a fault run, not a Schedule. When `observer` is
+/// non-null the run brackets are emitted around the release loop
+/// (on_run_end reports the completion-frontier makespan). `dispatcher` and
+/// `plan` are borrowed and must outlive the returned engine.
+OnlineEngine run_dispatcher_faulty(const Instance& inst, Dispatcher& dispatcher,
+                                   const FaultPlan& plan,
+                                   const RecoveryPolicy& recovery,
+                                   SchedObserver* observer = nullptr,
+                                   const RunTag& tag = {},
+                                   bool unsafe_ignore_downtime = false);
 
 }  // namespace flowsched

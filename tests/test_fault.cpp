@@ -1,0 +1,409 @@
+// Fault-injection subsystem: FaultPlan timelines, engine kill/requeue/park
+// semantics per recovery policy, the fault-mode auditor, the hardened
+// runner (error context, watchdog), and sweep checkpointing (docs/faults.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "fault/plan.hpp"
+#include "fault/plan_io.hpp"
+#include "fault/recovery.hpp"
+#include "io/instance_io.hpp"
+#include "model/instance.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/experiment.hpp"
+#include "sched/dispatchers.hpp"
+#include "sched/engine.hpp"
+#include "util/rng.hpp"
+
+namespace flowsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- FaultPlan timelines ----------------------------------------------------
+
+TEST(FaultPlan, QueriesFollowTheTimeline) {
+  FaultPlan plan(2);
+  plan.add_down(0, 1.0, 2.5);
+  plan.add_down(0, 4.0, kInf);
+  EXPECT_FALSE(plan.fault_free());
+  EXPECT_EQ(plan.crash_count(), 2);
+
+  EXPECT_TRUE(plan.is_up(0, 0.0));
+  EXPECT_FALSE(plan.is_up(0, 1.0));   // [from, to) is closed at from
+  EXPECT_FALSE(plan.is_up(0, 2.0));
+  EXPECT_TRUE(plan.is_up(0, 2.5));    // ... and open at to
+  EXPECT_FALSE(plan.is_up(0, 1e9));   // never recovers after 4
+  EXPECT_TRUE(plan.is_up(1, 1.5));    // other machine untouched
+
+  EXPECT_DOUBLE_EQ(plan.next_up(0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(plan.next_up(0, 1.0), 2.5);
+  EXPECT_EQ(plan.next_up(0, 5.0), kInf);
+  EXPECT_DOUBLE_EQ(plan.next_down(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.next_down(0, 3.0), 4.0);
+  EXPECT_EQ(plan.next_down(1, 0.0), kInf);
+
+  EXPECT_DOUBLE_EQ(plan.downtime(0, 0.0, 3.0), 1.5);
+  EXPECT_DOUBLE_EQ(plan.downtime(0, 2.0, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(plan.downtime(1, 0.0, 3.0), 0.0);
+}
+
+TEST(FaultPlan, RejectsUnorderedOrTouchingIntervals) {
+  FaultPlan plan(1);
+  plan.add_down(0, 1.0, 2.0);
+  EXPECT_THROW(plan.add_down(0, 0.5, 0.75), std::invalid_argument);
+  EXPECT_THROW(plan.add_down(0, 1.5, 3.0), std::invalid_argument);
+  EXPECT_THROW(plan.add_down(0, 2.0, 3.0), std::invalid_argument);  // touches
+  plan.add_down(0, 2.5, 3.0);  // a gap is fine
+}
+
+TEST(FaultPlan, RandomIsAPureFunctionOfSeedAndGridAligned) {
+  FaultModelConfig model;
+  model.mean_up = 4.0;
+  model.mean_down = 1.0;
+  model.horizon = 64.0;
+  Rng a(99), b(99);
+  const FaultPlan pa = FaultPlan::random(6, model, a);
+  const FaultPlan pb = FaultPlan::random(6, model, b);
+  EXPECT_EQ(pa.str(), pb.str());
+  EXPECT_GT(pa.crash_count(), 0);
+  for (int j = 0; j < pa.m(); ++j) {
+    for (const DownInterval& d : pa.downs(j)) {
+      EXPECT_LT(d.from, model.horizon);
+      // Every boundary is a multiple of the dyadic grid — exact doubles.
+      EXPECT_DOUBLE_EQ(d.from / model.grid,
+                       std::floor(d.from / model.grid + 0.5));
+      EXPECT_DOUBLE_EQ(d.to / model.grid, std::floor(d.to / model.grid + 0.5));
+    }
+  }
+}
+
+TEST(FaultPlan, NonPositiveMeanUpMeansFaultFree) {
+  FaultModelConfig model;
+  model.mean_up = 0.0;
+  Rng rng(1);
+  EXPECT_TRUE(FaultPlan::random(4, model, rng).fault_free());
+  model.mean_up = 16.0;
+  model.horizon = 0.0;
+  EXPECT_TRUE(FaultPlan::random(4, model, rng).fault_free());
+}
+
+TEST(FaultCase, SerializationRoundTrips) {
+  Instance inst(3, {{0.0, 2.0, ProcSet({0, 1})}, {0.5, 1.0, ProcSet({2})}});
+  FaultPlan plan(3);
+  plan.add_down(0, 1.0, 2.5);
+  plan.add_down(2, 0.25, kInf);
+  RecoveryPolicy recovery;
+  recovery.kind = RecoveryKind::kBackoff;
+  recovery.max_retries = 3;
+  recovery.jitter_seed = 77;
+
+  const std::string text = fault_case_to_string(inst, plan, recovery);
+  EXPECT_TRUE(has_fault_directives(text));
+  const FaultCase fc = parse_fault_case(text);
+  EXPECT_EQ(fc.instance.n(), 2);
+  EXPECT_EQ(fc.plan.str(), plan.str());
+  EXPECT_EQ(fc.recovery.kind, RecoveryKind::kBackoff);
+  EXPECT_EQ(fc.recovery.max_retries, 3);
+  EXPECT_EQ(fc.recovery.jitter_seed, 77u);
+  EXPECT_EQ(fc.recovery.str(), recovery.str());
+
+  EXPECT_FALSE(has_fault_directives(instance_to_string(inst)));
+}
+
+// --- Engine semantics under faults ------------------------------------------
+
+Instance one_machine(double proc) { return Instance(1, {{0.0, proc, {}}}); }
+
+TEST(FaultEngine, FaultFreePlanMatchesTheNormalPath) {
+  std::vector<Task> tasks;
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    const int a = static_cast<int>(rng() % 4);
+    const int b = static_cast<int>(rng() % 4);
+    tasks.push_back({0.25 * i, 0.5 + 0.125 * static_cast<double>(rng() % 8),
+                     a == b ? ProcSet({a}) : ProcSet({a, b})});
+  }
+  const Instance inst(4, tasks);
+  EftDispatcher eft_a(TieBreakKind::kMin);
+  const Schedule reference = run_dispatcher(inst, eft_a);
+
+  EftDispatcher eft_b(TieBreakKind::kMin);
+  const FaultPlan plan(4);  // no faults scripted
+  const OnlineEngine engine =
+      run_dispatcher_faulty(inst, eft_b, plan, RecoveryPolicy{});
+  const FaultStats& stats = engine.fault_log().stats();
+  EXPECT_EQ(stats.completed, inst.n());
+  EXPECT_EQ(stats.kills, 0);
+  EXPECT_EQ(stats.parked, 0);
+  for (int i = 0; i < inst.n(); ++i) {
+    EXPECT_EQ(engine.fate_of(i), TaskFate::kCompleted);
+    EXPECT_DOUBLE_EQ(engine.completion_of(i), reference.completion(i)) << i;
+    EXPECT_EQ(engine.machine_of(i), reference.machine(i)) << i;
+  }
+}
+
+TEST(FaultEngine, ImmediateRecoveryRedoesKilledWork) {
+  FaultPlan plan(1);
+  plan.add_down(0, 1.0, 1.5);
+  EftDispatcher eft(TieBreakKind::kMin);
+  const OnlineEngine engine =
+      run_dispatcher_faulty(one_machine(2.0), eft, plan, RecoveryPolicy{});
+  const FaultLog& log = engine.fault_log();
+
+  // Attempt 0 runs [0, 1) and is killed; the immediate retry at t=1 finds
+  // the machine still down and parks until 1.5; the rerun owes the full
+  // p=2 again, so C = 3.5.
+  EXPECT_EQ(engine.fate_of(0), TaskFate::kCompleted);
+  EXPECT_DOUBLE_EQ(log.completion(0), 3.5);
+  const auto attempts = log.attempts_of(0);
+  ASSERT_EQ(attempts.size(), 3u);
+  EXPECT_TRUE(attempts[0].killed);
+  EXPECT_DOUBLE_EQ(attempts[0].end, 1.0);
+  EXPECT_EQ(attempts[1].machine, -1);  // parked
+  EXPECT_DOUBLE_EQ(attempts[1].end, 1.5);
+  EXPECT_DOUBLE_EQ(attempts[2].start, 1.5);
+  EXPECT_EQ(log.stats().kills, 1);
+  EXPECT_EQ(log.stats().parked, 1);
+  EXPECT_DOUBLE_EQ(log.stats().wasted_work, 1.0);
+}
+
+TEST(FaultEngine, CheckpointRecoveryRetainsCompletedWork) {
+  FaultPlan plan(1);
+  plan.add_down(0, 1.0, 1.5);
+  RecoveryPolicy recovery;
+  recovery.kind = RecoveryKind::kCheckpoint;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const OnlineEngine engine =
+      run_dispatcher_faulty(one_machine(2.0), eft, plan, recovery);
+  const FaultLog& log = engine.fault_log();
+
+  // The killed segment's one unit of work is retained: only the remaining
+  // unit reruns after the repair, so C = 2.5 and nothing is wasted.
+  EXPECT_DOUBLE_EQ(log.completion(0), 2.5);
+  EXPECT_DOUBLE_EQ(log.stats().wasted_work, 0.0);
+  double executed = 0;
+  for (const FaultAttempt& a : log.attempts_of(0)) executed += a.work();
+  EXPECT_DOUBLE_EQ(executed, 2.0);  // total machine time equals p exactly
+}
+
+TEST(FaultEngine, BackoffRetriesAtThePolicyInstant) {
+  FaultPlan plan(1);
+  plan.add_down(0, 1.0, 1.125);
+  RecoveryPolicy recovery;
+  recovery.kind = RecoveryKind::kBackoff;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const OnlineEngine engine =
+      run_dispatcher_faulty(one_machine(2.0), eft, plan, recovery);
+  const auto attempts = engine.fault_log().attempts_of(0);
+  ASSERT_GE(attempts.size(), 2u);
+  // The retry is scheduled exactly where the pure policy function says —
+  // this is the contract the [fault-backoff] audit recomputes.
+  EXPECT_DOUBLE_EQ(attempts[1].scheduled, recovery.retry_time(0, 0, 1.0));
+  EXPECT_GE(attempts[1].scheduled, 1.0 + recovery.backoff_base);
+}
+
+TEST(FaultEngine, WholeSetOutageParksInsteadOfDropping) {
+  FaultPlan plan(2);
+  plan.add_down(0, 0.0, 4.0);
+  plan.add_down(1, 0.0, 4.0);
+  EftDispatcher eft(TieBreakKind::kMin);
+  const Instance inst(2, {{0.0, 1.0, {}}});
+  const OnlineEngine engine =
+      run_dispatcher_faulty(inst, eft, plan, RecoveryPolicy{});
+  const FaultLog& log = engine.fault_log();
+  EXPECT_EQ(engine.fate_of(0), TaskFate::kCompleted);
+  EXPECT_DOUBLE_EQ(log.completion(0), 5.0);  // parked [0,4), then p=1
+  ASSERT_EQ(log.attempts_of(0).size(), 2u);
+  EXPECT_EQ(log.attempts_of(0)[0].machine, -1);
+  EXPECT_EQ(log.stats().parked, 1);
+  EXPECT_EQ(log.stats().dropped, 0);
+}
+
+TEST(FaultEngine, StrandedTaskIsDroppedNotLost) {
+  FaultPlan plan(1);
+  plan.add_down(0, 0.5, kInf);
+  EftDispatcher eft(TieBreakKind::kMin);
+  const OnlineEngine engine =
+      run_dispatcher_faulty(one_machine(2.0), eft, plan, RecoveryPolicy{});
+  // Killed at 0.5, and the only machine never recovers: explicit drop.
+  EXPECT_EQ(engine.fate_of(0), TaskFate::kDropped);
+  EXPECT_EQ(engine.fault_log().stats().dropped, 1);
+  EXPECT_THROW(engine.fault_log().completion(0), std::logic_error);
+}
+
+TEST(FaultEngine, RetryBudgetExhaustionDrops) {
+  FaultPlan plan(1);
+  plan.add_down(0, 0.5, 1.0);
+  plan.add_down(0, 1.5, 2.0);
+  RecoveryPolicy recovery;
+  recovery.max_retries = 1;
+  EftDispatcher eft(TieBreakKind::kMin);
+  const OnlineEngine engine =
+      run_dispatcher_faulty(one_machine(1.0), eft, plan, recovery);
+  // Kill at 0.5 (attempt 0), retry killed again at 1.5 (attempt 1 ==
+  // max_retries): dropped with both kills on the books.
+  EXPECT_EQ(engine.fate_of(0), TaskFate::kDropped);
+  EXPECT_EQ(engine.fault_log().stats().kills, 2);
+  EXPECT_EQ(engine.fault_log().stats().dropped, 1);
+}
+
+TEST(FaultEngine, AuditorAcceptsCleanRunsAndFlagsDowntimeViolations) {
+  Instance inst(3, {{0.0, 2.0, ProcSet({0, 1})},
+                    {0.25, 1.0, ProcSet({1, 2})},
+                    {0.5, 1.5, ProcSet({0, 2})},
+                    {1.0, 1.0, {}}});
+  FaultPlan plan(3);
+  plan.add_down(0, 0.5, 2.0);
+  plan.add_down(1, 1.0, 3.0);
+  RecoveryPolicy recovery;
+  recovery.kind = RecoveryKind::kBackoff;
+
+  for (bool buggy : {false, true}) {
+    AuditConfig acfg;
+    acfg.fault_mode = true;
+    InvariantAuditor auditor(acfg);
+    EftDispatcher eft(TieBreakKind::kMin);
+    const OnlineEngine engine = run_dispatcher_faulty(
+        inst, eft, plan, recovery, &auditor, RunTag{}, buggy);
+    auditor.check_fault_run(plan, recovery, engine.fault_log());
+    if (buggy) {
+      // set_unsafe_ignore_downtime executes through down windows; the
+      // auditor must catch it as a [fault-*] violation.
+      ASSERT_FALSE(auditor.ok());
+      EXPECT_NE(auditor.report().find("[fault-"), std::string::npos);
+    } else {
+      EXPECT_TRUE(auditor.ok()) << auditor.report();
+    }
+  }
+}
+
+// --- Hardened runner ---------------------------------------------------------
+
+TEST(RunnerHardening, ThrowingReplicateSurfacesTaggedAndIndexStable) {
+  const std::uint64_t exp = experiment_id("fault_test");
+  const std::uint64_t cell = cell_id({3, 1});
+  for (int threads : {1, 8}) {
+    ExperimentRunner runner(threads);
+    std::atomic<int> ran{0};
+    bool caught = false;
+    try {
+      runner.replicates(exp, cell, 8, [&](std::uint64_t, int rep) -> double {
+        ++ran;
+        if (rep == 2 || rep == 5) {
+          throw std::runtime_error("synthetic replicate failure");
+        }
+        return 1.0;
+      });
+    } catch (const ReplicateError& e) {
+      caught = true;
+      // The smallest failing index wins at any thread count — the same
+      // error a serial run hits first.
+      EXPECT_EQ(e.rep(), 2u) << "threads=" << threads;
+      EXPECT_EQ(e.experiment(), exp);
+      EXPECT_EQ(e.cell(), cell);
+      EXPECT_NE(std::string(e.what()).find("synthetic replicate failure"),
+                std::string::npos);
+    }
+    EXPECT_TRUE(caught) << "threads=" << threads;
+    if (threads > 1) {
+      // Pool path: every job still ran to completion (no detached work).
+      EXPECT_EQ(ran.load(), 8) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RunnerHardening, WatchdogReportsSlowReplicatesWithoutKillingThem) {
+  for (int threads : {1, 2}) {
+    ExperimentRunner runner(threads);
+    runner.set_watchdog(0.01);
+    runner.set_watch_label("unit-test");
+    const auto out = runner.map<int>(2, [](int i) {
+      if (i == 1) std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      return i;
+    });
+    ASSERT_EQ(out.size(), 2u);  // the slow job completed, not killed
+    EXPECT_EQ(out[1], 1);
+    const auto hung = runner.hung_replicates();
+    ASSERT_FALSE(hung.empty()) << "threads=" << threads;
+    EXPECT_NE(hung.front().find("unit-test"), std::string::npos);
+  }
+}
+
+// --- Sweep checkpointing -----------------------------------------------------
+
+std::string temp_ckpt(const char* name) {
+  return testing::TempDir() + "/flowsched_" + name + ".ckpt";
+}
+
+TEST(SweepCheckpoint, RoundTripsHexfloatsExactly) {
+  const std::string path = temp_ckpt("roundtrip");
+  std::remove(path.c_str());
+  const std::vector<double> values{1.0 / 3.0, 1e-301, 0.0, -2.5,
+                                   0.1 + 0.2};  // not representable exactly
+  {
+    SweepCheckpoint ckpt(path, "unit", 42);
+    EXPECT_EQ(ckpt.resumed(), 0);
+    ckpt.put(7, values);
+    ckpt.put(9, {1.0});
+  }
+  SweepCheckpoint resumed(path, "unit", 42);
+  EXPECT_EQ(resumed.resumed(), 2);
+  ASSERT_TRUE(resumed.has(7));
+  const std::vector<double>& back = resumed.get(7);
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back[i], values[i]) << i;  // bit-exact, not approximately
+  }
+  EXPECT_FALSE(resumed.has(8));
+  EXPECT_THROW(resumed.get(8), std::out_of_range);
+}
+
+TEST(SweepCheckpoint, RejectsForeignFingerprint) {
+  const std::string path = temp_ckpt("fingerprint");
+  std::remove(path.c_str());
+  { SweepCheckpoint ckpt(path, "unit", 42); }
+  EXPECT_THROW(SweepCheckpoint(path, "unit", 43), std::runtime_error);
+  EXPECT_THROW(SweepCheckpoint(path, "other", 42), std::runtime_error);
+  SweepCheckpoint same(path, "unit", 42);  // same config reopens fine
+}
+
+TEST(SweepCheckpoint, IgnoresTornTrailingLine) {
+  const std::string path = temp_ckpt("torn");
+  std::remove(path.c_str());
+  {
+    SweepCheckpoint ckpt(path, "unit", 42);
+    ckpt.put(1, {1.5, 2.5});
+  }
+  {
+    // Simulate a run killed mid-append: a truncated cell line.
+    std::ofstream out(path, std::ios::app);
+    out << "cell 0x0000000000000002 3 0x1p+0";
+  }
+  SweepCheckpoint resumed(path, "unit", 42);
+  EXPECT_EQ(resumed.resumed(), 1);  // intact cell recovered
+  EXPECT_TRUE(resumed.has(1));
+  EXPECT_FALSE(resumed.has(2));  // torn line dropped, not half-read
+}
+
+TEST(SweepCheckpoint, RePutMustBeBitIdentical) {
+  const std::string path = temp_ckpt("reput");
+  std::remove(path.c_str());
+  SweepCheckpoint ckpt(path, "unit", 42);
+  ckpt.put(1, {1.0, 2.0});
+  ckpt.put(1, {1.0, 2.0});  // identical re-put is a no-op
+  EXPECT_THROW(ckpt.put(1, {1.0, 2.000000001}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flowsched

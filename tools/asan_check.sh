@@ -51,6 +51,14 @@ if "$FUZZ" run --seed 11 --runs 8 --threads 1 --inject-bug \
 fi
 "$FUZZ" replay --input tests/corpus/prop1-tiebreak.txt > /dev/null
 
+# Fault campaign under ASan: the fault battery on every run (plan
+# generation, kill/requeue/park bookkeeping, fault-mode audits) plus the
+# committed fault-case reproducers through the replay path.
+"$FUZZ" run --seed 13 --runs 24 --threads 4 --fault-every 1 \
+  > "$SMOKE_DIR/fuzz-fault.out"
+"$FUZZ" replay --input tests/corpus/fault-overlapping.txt > /dev/null
+"$CLI" faultsim --input tests/corpus/fault-disjoint.txt > /dev/null
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator'
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint'
 echo "asan_check: OK"

@@ -1,0 +1,67 @@
+# Checkpoint/resume harness: kill a checkpointed sweep half-way, resume it,
+# and require the resumed output to be byte-identical to an uninterrupted
+# run. Registered as the bench_failures_resume ctest by bench/CMakeLists.txt;
+# usable standalone:
+#
+#   cmake -DBENCH=build/bench/bench_ext_failures \
+#         "-DBENCH_ARGS=--reps;2;--requests;400" \
+#         -DWORK_DIR=/tmp/resume -P tools/checkpoint_resume.cmake
+#
+# Protocol:
+#   1. reference run, no checkpoint;
+#   2. run with --checkpoint and --abort-after-cells 3 — must die with
+#      exit 3 after three computed cells, leaving a resumable file;
+#   3. run again with the same --checkpoint — restores the finished cells,
+#      computes the rest, and must print the reference bytes.
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "checkpoint_resume.cmake: -DBENCH=<binary> is required")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(ckpt ${WORK_DIR}/sweep.ckpt)
+set(reference_out ${WORK_DIR}/reference.out)
+set(resumed_out ${WORK_DIR}/resumed.out)
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARGS} --threads 1
+  OUTPUT_FILE ${reference_out}
+  RESULT_VARIABLE ref_rc)
+if(NOT ref_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} reference run failed (rc=${ref_rc})")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARGS} --threads 1 --checkpoint ${ckpt}
+          --abort-after-cells 3
+  OUTPUT_QUIET
+  RESULT_VARIABLE abort_rc)
+if(NOT abort_rc EQUAL 3)
+  message(FATAL_ERROR
+      "interrupted run exited ${abort_rc}, expected the abort code 3")
+endif()
+if(NOT EXISTS ${ckpt})
+  message(FATAL_ERROR "interrupted run left no checkpoint at ${ckpt}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARGS} --threads 1 --checkpoint ${ckpt}
+  OUTPUT_FILE ${resumed_out}
+  RESULT_VARIABLE resume_rc)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "resumed run failed (rc=${resume_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${reference_out} ${resumed_out}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "resumed output differs from the uninterrupted run "
+      "(diff ${reference_out} ${resumed_out}); the checkpoint is not "
+      "byte-exact")
+endif()
+message(STATUS "killed sweep resumed to byte-identical output")

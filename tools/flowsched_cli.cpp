@@ -14,6 +14,10 @@
 //   flowsched_cli maxload [--m N] [--k N] [--s X]
 //                         [--strategy overlapping|disjoint|spread|none]
 //                         [--seed N] [--solver lp|flow] [--transfer]
+//   flowsched_cli faultsim [--input FILE] [--algo <name>] [--seed N]
+//                          [--mtbf X] [--mean-down X] [--horizon X]
+//                          [--recovery immediate|backoff|checkpoint]
+//                          [--fates] [--no-audit]
 //
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
@@ -25,7 +29,11 @@
 // validates a trace file against docs/trace-format.md; `maxload` solves
 // LP (15) — the theoretical maximum cluster load for a popularity
 // distribution under a replication scheme (docs/lp.md) — and with
-// --transfer also prints the optimal owner-to-server work transfers.
+// --transfer also prints the optimal owner-to-server work transfers;
+// `faultsim` replays an instance under machine failures (a fault-case file
+// with `down`/`recovery` directives, or a plain instance plus a seeded
+// --mtbf crash/repair plan), reports attempts / kills / parks / drops, and
+// audits the run with the [fault-*] checks (docs/faults.md).
 // Instance format: see src/io/instance_io.hpp.
 #include <cmath>
 #include <cstdio>
@@ -37,6 +45,10 @@
 #include <sstream>
 #include <string>
 
+#include "check/audit.hpp"
+#include "fault/plan.hpp"
+#include "fault/plan_io.hpp"
+#include "fault/recovery.hpp"
 #include "io/instance_io.hpp"
 #include "util/args.hpp"
 #include "obs/metrics.hpp"
@@ -347,6 +359,113 @@ int cmd_maxload(const ArgParser& args) {
   return 0;
 }
 
+int cmd_faultsim(const ArgParser& args) {
+  const std::string input = args.get("input", "");
+  const std::string algo = args.get("algo", "eft-min");
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const double mtbf = args.num("mtbf", 16.0);
+  const double mean_down = args.num("mean-down", 2.0);
+  const double horizon = args.num("horizon", 64.0);
+  const std::string recovery_name = args.get("recovery", "");
+  const bool want_fates = args.has("fates");
+  const bool audit = !args.has("no-audit");
+  args.reject_unknown();
+
+  // Read the whole input: a fault-case file carries its own plan and
+  // recovery policy; a plain instance gets a seeded random plan.
+  std::string text;
+  if (input.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(input, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", input.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  FaultCase fc = [&]() -> FaultCase {
+    if (has_fault_directives(text)) return parse_fault_case(text);
+    FaultCase plain{parse_instance_string(text), FaultPlan(1), {}};
+    FaultModelConfig fm;
+    fm.mean_up = mtbf;
+    fm.mean_down = mean_down;
+    fm.horizon = horizon;
+    Rng rng(seed);
+    plain.plan = FaultPlan::random(plain.instance.m(), fm, rng);
+    return plain;
+  }();
+  if (!recovery_name.empty()) {
+    fc.recovery.kind = parse_recovery_kind(recovery_name);
+  }
+
+  auto dispatcher = make_dispatcher(algo, seed);
+  if (dispatcher == nullptr) {
+    std::fprintf(stderr,
+                 "faultsim drives a Dispatcher; the FIFO simulators have no "
+                 "requeue semantics (got --algo %s)\n", algo.c_str());
+    return 2;
+  }
+
+  AuditConfig acfg;
+  acfg.fault_mode = true;
+  InvariantAuditor auditor(acfg);
+  const OnlineEngine engine = run_dispatcher_faulty(
+      fc.instance, *dispatcher, fc.plan, fc.recovery,
+      audit ? &auditor : nullptr);
+  const FaultLog& log = engine.fault_log();
+  const FaultStats& stats = log.stats();
+
+  double fmax = 0, flow_sum = 0;
+  int completed = 0;
+  for (int i = 0; i < fc.instance.n(); ++i) {
+    if (log.fate(i) != TaskFate::kCompleted) continue;
+    const double flow =
+        log.completion(i) -
+        fc.instance.tasks()[static_cast<std::size_t>(i)].release;
+    fmax = std::max(fmax, flow);
+    flow_sum += flow;
+    ++completed;
+  }
+
+  std::printf("algo=%s n=%d m=%d crashes=%d recovery=%s\n", algo.c_str(),
+              fc.instance.n(), fc.instance.m(), fc.plan.crash_count(),
+              recovery_kind_name(fc.recovery.kind));
+  std::printf("completed=%lld dropped=%lld attempts=%lld kills=%lld "
+              "parked=%lld wasted=%.6g\n",
+              stats.completed, stats.dropped, stats.attempts, stats.kills,
+              stats.parked, stats.wasted_work);
+  std::printf("Fmax=%.6g mean_flow=%.6g (over completed tasks)\n", fmax,
+              completed > 0 ? flow_sum / completed : 0.0);
+  if (want_fates) {
+    for (int i = 0; i < fc.instance.n(); ++i) {
+      if (log.fate(i) == TaskFate::kCompleted) {
+        std::printf("task %d completed C=%.6g attempts=%zu\n", i,
+                    log.completion(i), log.attempts_of(i).size());
+      } else {
+        std::printf("task %d dropped attempts=%zu\n", i,
+                    log.attempts_of(i).size());
+      }
+    }
+  }
+  if (audit) {
+    auditor.check_fault_run(fc.plan, fc.recovery, log);
+    if (!auditor.ok()) {
+      std::fprintf(stderr, "AUDIT VIOLATIONS:\n%s\n",
+                   auditor.report().c_str());
+      return 3;
+    }
+    std::printf("audit: clean (%zu attempts checked)\n",
+                log.attempts().size());
+  }
+  return 0;
+}
+
 int cmd_bounds(const ArgParser& args) {
   const std::string input = args.get("input", "");
   args.reject_unknown();
@@ -370,13 +489,14 @@ int main(int argc, char** argv) {
     if (args.command() == "trace") return cmd_trace(args);
     if (args.command() == "check-trace") return cmd_check_trace(args);
     if (args.command() == "maxload") return cmd_maxload(args);
+    if (args.command() == "faultsim") return cmd_faultsim(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
   }
   std::fprintf(stderr,
                "usage: flowsched_cli run|opt|gen|bounds|trace|check-trace"
-               "|maxload [--options]\n"
+               "|maxload|faultsim [--options]\n"
                "see the header of tools/flowsched_cli.cpp\n");
   return 2;
 }

@@ -4,7 +4,8 @@
 //   flowsched_fuzz run [--seed N] [--runs N] [--threads N]
 //       [--structure inclusive|nested|ksize|interval|adversary|all]
 //       [--corpus-dir DIR] [--inject-bug] [--no-shrink] [--no-oracles]
-//       [--lp-every N] [--max-n N] [--max-m N] [--unit]
+//       [--lp-every N] [--fault-every N] [--no-faults] [--inject-fault-bug]
+//       [--max-n N] [--max-m N] [--unit]
 //   flowsched_fuzz replay --input FILE [--no-oracles]
 //
 // `run` executes a fuzz campaign: each run draws a random structured
@@ -12,8 +13,12 @@
 // its bound oracles armed, and cross-checks the schedules against the
 // offline oracles; failures are shrunk and written as reproducer files
 // under --corpus-dir. The report is byte-identical for a given --seed at
-// any --threads. `replay` re-checks a committed reproducer (or any
-// instance file) through the same battery.
+// any --threads. Every --fault-every-th run additionally executes the
+// fault-injection battery (seeded machine failures and recovery policies
+// audited by the [fault-*] checks); --inject-fault-bug plants a
+// downtime-ignoring engine backdoor the battery must catch and shrink.
+// `replay` re-checks a committed reproducer (or any instance / fault-case
+// file) through the matching battery.
 //
 // Exit status: 0 clean, 1 findings / replay violations, 2 usage error.
 #include <iostream>
@@ -51,6 +56,9 @@ int run_command(const ArgParser& args) {
     config.differential = false;
   }
   config.lp_every = args.integer("lp-every", config.lp_every);
+  config.fault_every = args.integer("fault-every", config.fault_every);
+  if (args.has("no-faults")) config.fault_every = 0;
+  config.inject_fault_bug = args.has("inject-fault-bug");
   config.sizes.max_n = args.integer("max-n", config.sizes.max_n);
   config.sizes.max_m = args.integer("max-m", config.sizes.max_m);
   if (args.has("unit")) config.sizes.unit_tasks = true;

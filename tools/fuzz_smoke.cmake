@@ -6,7 +6,10 @@
 #      (the determinism contract of src/check/fuzz.hpp);
 #   3. with --inject-bug the planted EFT queue-depth off-by-one is caught
 #      and every reproducer shrinks to at most 6 tasks;
-#   4. every committed reproducer in tests/corpus replays clean.
+#   4. with --inject-fault-bug the planted downtime-ignoring dispatcher is
+#      caught by a [fault-*] check and shrinks to at most 3 tasks;
+#   5. every committed reproducer in tests/corpus replays clean (fault
+#      cases route through the fault battery automatically).
 #
 # Usable standalone:
 #
@@ -79,7 +82,46 @@ if(reproducers STREQUAL "")
   message(FATAL_ERROR "fuzz_smoke: --corpus-dir produced no reproducer files")
 endif()
 
-# --- 4. committed corpus replays clean -------------------------------------
+# --- 4. the injected *fault* bug is caught and shrinks small ---------------
+# Pinned to one structure: dropping tasks perturbs the whole EFT cascade,
+# so ddmin can stall above 3 tasks on the adversarial structures; nested
+# instances shrink all the way and still witness every [fault-*] check.
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 12 --threads 1 --inject-fault-bug
+          --fault-every 1 --structure nested --corpus-dir ${dir}/fault-found
+  OUTPUT_FILE ${dir}/fault-bug.txt RESULT_VARIABLE fault_rc)
+if(NOT fault_rc EQUAL 1)
+  file(READ ${dir}/fault-bug.txt out)
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-fault-bug campaign did not report findings "
+      "(rc=${fault_rc}):\n${out}")
+endif()
+file(READ ${dir}/fault-bug.txt fault_report)
+if(NOT fault_report MATCHES "\\[fault-")
+  message(FATAL_ERROR
+      "fuzz_smoke: injected fault bug not caught by a [fault-*] check:\n"
+      "${fault_report}")
+endif()
+string(REGEX MATCHALL "shrunk-to=([0-9]+)" fault_shrunk "${fault_report}")
+if(fault_shrunk STREQUAL "")
+  message(FATAL_ERROR
+      "fuzz_smoke: no shrunk fault reproducer in:\n${fault_report}")
+endif()
+foreach(hit IN LISTS fault_shrunk)
+  string(REGEX REPLACE "shrunk-to=" "" n_tasks "${hit}")
+  if(n_tasks GREATER 3)
+    message(FATAL_ERROR
+        "fuzz_smoke: fault reproducer kept ${n_tasks} tasks (> 3); the "
+        "shrinker regressed:\n${fault_report}")
+  endif()
+endforeach()
+file(GLOB fault_reproducers ${dir}/fault-found/*.txt)
+if(fault_reproducers STREQUAL "")
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-fault-bug produced no reproducer files")
+endif()
+
+# --- 5. committed corpus replays clean -------------------------------------
 if(DEFINED CORPUS_DIR)
   file(GLOB corpus ${CORPUS_DIR}/*.txt)
   foreach(f IN LISTS corpus)

@@ -20,9 +20,21 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" --target flowsched_tests flowsched_fuzz \
   bench_fig10_maxload -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine|Fuzz\.'
+  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine|Fuzz\.|RunnerHardening'
 "$BUILD_DIR/bench/bench_fig10_maxload" --m 10 --permutations 2 --threads 4 \
   > /dev/null
 "$BUILD_DIR/tools/flowsched_fuzz" run --seed 11 --runs 60 --threads 4 \
   > /dev/null
+
+# Fault campaign under TSan: fuzz workers running the fault battery own
+# their plans, fault logs and auditors privately, and the checkpointed
+# parallel failure sweep exercises the watchdog monitor thread against
+# the pool (the hung_replicates list is the one shared structure).
+cmake --build "$BUILD_DIR" --target bench_ext_failures -j "$(nproc)"
+"$BUILD_DIR/tools/flowsched_fuzz" run --seed 13 --runs 24 --threads 4 \
+  --fault-every 1 > /dev/null
+TSAN_CKPT=$(mktemp -u)
+"$BUILD_DIR/bench/bench_ext_failures" --reps 2 --requests 300 --threads 4 \
+  --checkpoint "$TSAN_CKPT" --watchdog 300 > /dev/null
+rm -f "$TSAN_CKPT"
 echo "tsan_check: OK"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# UndefinedBehaviorSanitizer gate for the fault-injection subsystem:
+# configures a standalone UBSan build (-DFLOWSCHED_SANITIZE=undefined,
+# trap-on-error so any report is a hard failure), builds the CLI, fuzzer,
+# test and failure-bench binaries, and drives the fault paths end to end —
+# plan generation and quantization, kill/requeue/park arithmetic in the
+# engine (infinities on the dyadic grid are deliberate; UBSan proves the
+# boundary comparisons never leave defined territory), backoff jitter
+# hashing, checkpoint hexfloat parsing, and the fault-mode auditor.
+#
+# Usage: tools/ubsan_check.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-ubsan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFLOWSCHED_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_fuzz \
+  flowsched_tests bench_ext_failures -j "$(nproc)"
+
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI="$BUILD_DIR/tools/flowsched_cli"
+FUZZ="$BUILD_DIR/tools/flowsched_fuzz"
+
+# Fault unit suites plus the runner/checkpoint hardening tests.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint'
+
+# faultsim CLI on the committed corpus cases (scripted plans, both
+# replication schemes) and on a seeded random plan per recovery policy.
+"$CLI" faultsim --input tests/corpus/fault-overlapping.txt > /dev/null
+"$CLI" faultsim --input tests/corpus/fault-disjoint.txt > /dev/null
+"$CLI" gen --m 6 --k 3 --n 120 --strategy overlapping --seed 7 \
+  > "$SMOKE_DIR/inst.txt"
+for recovery in immediate backoff checkpoint; do
+  "$CLI" faultsim --input "$SMOKE_DIR/inst.txt" --mtbf 8 --mean-down 2 \
+    --horizon 64 --seed 3 --recovery "$recovery" > /dev/null
+done
+
+# Fuzz campaign with the fault battery on every run: seeded plans,
+# cycling recovery policies, the fault-mode auditor, and (second
+# campaign) the downtime-ignoring bug through the shrinker and the
+# fault-case reproducer writer (findings expected: exit 1 is the pass).
+"$FUZZ" run --seed 11 --runs 60 --threads 4 --fault-every 1 \
+  > "$SMOKE_DIR/fuzz.out"
+if "$FUZZ" run --seed 42 --runs 8 --threads 1 --inject-fault-bug \
+    --fault-every 1 --structure nested --corpus-dir "$SMOKE_DIR/corpus" \
+    > "$SMOKE_DIR/fuzz-bug.out"; then
+  echo "ubsan_check: --inject-fault-bug campaign unexpectedly clean" >&2
+  exit 1
+fi
+"$FUZZ" replay --input tests/corpus/fault-overlapping.txt > /dev/null
+"$FUZZ" replay --input tests/corpus/fault-disjoint.txt > /dev/null
+
+# Failure sweep: checkpointed, parallel, with the watchdog armed — the
+# whole hardened-runner surface in one run.
+"$BUILD_DIR/bench/bench_ext_failures" --reps 2 --requests 300 --threads 4 \
+  --checkpoint "$SMOKE_DIR/sweep.ckpt" --watchdog 300 > /dev/null
+
+echo "ubsan_check: OK"
