@@ -140,6 +140,15 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(patched_argc, arg_ptrs.data())) {
     return 1;
   }
+  // Provenance of *our* code in the JSON context. google-benchmark's own
+  // "library_build_type" describes how the (distro-packaged) benchmark
+  // library was compiled, not this binary — tools/bench_trajectory.sh keys
+  // its debug-build refusal on this field instead.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("flowsched_build_type", "release");
+#else
+  benchmark::AddCustomContext("flowsched_build_type", "debug");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

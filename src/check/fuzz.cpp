@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "check/shrink.hpp"
+#include "check/stream_audit.hpp"
 #include "io/instance_io.hpp"
 #include "lp/maxload.hpp"
 #include "offline/bruteforce.hpp"
@@ -20,6 +21,7 @@
 #include "runner/thread_pool.hpp"
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
+#include "sched/streaming.hpp"
 #include "util/rng.hpp"
 
 namespace flowsched {
@@ -176,6 +178,43 @@ std::vector<std::string> check_fault_policy(const Instance& inst,
   return auditor.violations();
 }
 
+// Batch-vs-streaming differential: the same instance through OnlineEngine
+// and StreamingEngine (fresh, identically seeded dispatchers) must commit
+// the bit-identical (machine, start) sequence, and the windowed
+// StreamAuditor attached to the streaming run must come back clean. Shared
+// by the fuzz loop, the shrink predicate, and corpus replay.
+std::vector<std::string> check_streaming(const Instance& inst,
+                                         const std::string& policy) {
+  std::vector<std::string> out;
+  auto batch_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  OnlineEngine batch(inst.m(), *batch_dispatcher);
+  auto stream_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  StreamingEngine stream(inst.m(), *stream_dispatcher);
+  StreamAuditor auditor;
+  auditor.on_run_begin(RunInfo{inst.m(), stream_dispatcher->name(), {}});
+  stream.set_observer(&auditor);
+  for (int i = 0; i < inst.n(); ++i) {
+    const Task& task = inst.task(i);
+    const Assignment a = batch.release(task);
+    const Assignment s = stream.release(task);
+    if (s.machine != a.machine || s.start != a.start) {
+      out.push_back(policy + ": [diff-streaming] task " + std::to_string(i) +
+                    " diverges: batch (machine " + std::to_string(a.machine) +
+                    ", start " + fmt(a.start) + ") vs stream (machine " +
+                    std::to_string(s.machine) + ", start " + fmt(s.start) +
+                    ")");
+      break;  // every later task inherits the divergence; one line suffices
+    }
+  }
+  stream.drain();
+  double makespan = 0;
+  for (double c : stream.completions()) makespan = std::max(makespan, c);
+  auditor.on_run_end(makespan);
+  out.insert(out.end(), auditor.violations().begin(),
+             auditor.violations().end());
+  return out;
+}
+
 // The battery's plan is a pure function of (plan_seed, m): the shrinker
 // regenerates it for each candidate's machine count, so dropping machines
 // keeps the predicate deterministic.
@@ -243,6 +282,7 @@ struct RunOutcome {
   int schedules = 0;
   int lp_checks = 0;
   int fault_checks = 0;
+  int stream_checks = 0;
   std::vector<RawFinding> findings;
 };
 
@@ -282,6 +322,18 @@ RunOutcome fuzz_one(const FuzzConfig& config,
     out.lp_checks = 1;
     if (auto lp = lp_differential(rng)) {
       out.findings.push_back({"lp", *lp, std::nullopt, std::nullopt});
+    }
+  }
+
+  if (config.stream_every > 0 && run % config.stream_every == 0) {
+    out.stream_checks = 1;
+    for (const std::string& policy : fault_fuzz_policies()) {
+      const std::vector<std::string> violations =
+          check_streaming(inst, policy);
+      ++out.schedules;
+      if (!violations.empty()) {
+        out.findings.push_back({policy, violations.front(), inst, std::nullopt});
+      }
     }
   }
 
@@ -412,6 +464,15 @@ std::vector<std::string> replay_corpus_instance(const Instance& inst,
       out.push_back(policy + ": " + v);
     }
   }
+  if (differential) {
+    // Corpus instances also pin the batch-vs-streaming equivalence: a
+    // committed reproducer keeps witnessing the engines agree.
+    for (const std::string& policy : fault_fuzz_policies()) {
+      for (const std::string& v : check_streaming(inst, policy)) {
+        out.push_back(policy + ": " + v);
+      }
+    }
+  }
   return out;
 }
 
@@ -436,7 +497,8 @@ std::string FuzzReport::summary() const {
   std::ostringstream os;
   os << "flowsched_fuzz: runs=" << runs << " schedules=" << schedules
      << " lp-checks=" << lp_checks << " fault-checks=" << fault_checks
-     << " findings=" << findings.size() << "\n";
+     << " stream-checks=" << stream_checks << " findings=" << findings.size()
+     << "\n";
   int i = 0;
   for (const FuzzFinding& f : findings) {
     os << "  finding " << ++i << ": run=" << f.run
@@ -486,6 +548,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     report.schedules += outcome.schedules;
     report.lp_checks += outcome.lp_checks;
     report.fault_checks += outcome.fault_checks;
+    report.stream_checks += outcome.stream_checks;
     for (RawFinding& raw : outcome.findings) {
       FuzzFinding f;
       f.run = r;
@@ -514,6 +577,21 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
                                       raw.policy, config.inject_fault_bug)) {
                 const std::string t = tag_of(v);
                 if (fault_family ? t.rfind("[fault-", 0) == 0 : t == tag) {
+                  return true;
+                }
+              }
+              return false;
+            }
+            // Streaming findings replay through the engine differential;
+            // any [diff-streaming]/[stream-*] tag counts (like the fault
+            // family, the checks witness one equivalence contract and
+            // shrinking shifts which line fires first).
+            const bool stream_family = tag == "[diff-streaming]" ||
+                                       tag.rfind("[stream-", 0) == 0;
+            if (stream_family) {
+              for (const std::string& v : check_streaming(cand, raw.policy)) {
+                const std::string t = tag_of(v);
+                if (t == "[diff-streaming]" || t.rfind("[stream-", 0) == 0) {
                   return true;
                 }
               }

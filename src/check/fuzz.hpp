@@ -15,6 +15,12 @@
 //   [diff-lp]          LP max-load optimum == Dinic max-flow optimum
 //                      (lp/maxload.hpp's two independent solvers), run on
 //                      a fresh random replica system every lp_every runs
+//   [diff-streaming]   StreamingEngine (sched/streaming.hpp) commits the
+//                      bit-identical (machine, start) sequence as
+//                      OnlineEngine for every dispatcher policy, with the
+//                      windowed StreamAuditor (check/stream_audit.hpp)
+//                      attached — its [stream-*] checks ride along — run
+//                      every stream_every runs
 //
 // Every fault_every-th run additionally pushes the same instance through
 // the fault-injection battery: a seeded FaultPlan (fault/plan.hpp) plus a
@@ -70,6 +76,11 @@ struct FuzzConfig {
   /// Run the LP-vs-Dinic max-load differential every `lp_every` runs
   /// (0 disables it).
   int lp_every = 16;
+  /// Run the batch-vs-streaming engine differential ([diff-streaming],
+  /// with the [stream-*] windowed audit attached) every `stream_every`
+  /// runs (0 disables it). Cheap — two engine replays per policy — so it
+  /// defaults to every run.
+  int stream_every = 1;
 
   /// Replace EFT-Min with FaultyEftDispatcher (still reporting the
   /// "EFT-Min" name) — the harness's own smoke test: the injected bug must
@@ -108,9 +119,10 @@ struct FuzzFinding {
 
 struct FuzzReport {
   int runs = 0;
-  int schedules = 0;  ///< Policy runs audited (fault runs included).
+  int schedules = 0;  ///< Policy runs audited (fault and stream runs included).
   int lp_checks = 0;
   int fault_checks = 0;  ///< Fault batteries executed.
+  int stream_checks = 0;  ///< Batch-vs-streaming differentials executed.
   std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
 
   bool ok() const { return findings.empty(); }

@@ -1,10 +1,13 @@
 #include "kvstore/cluster_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/sketch.hpp"
 #include "sched/engine.hpp"
+#include "sched/streaming.hpp"
 #include "util/stats.hpp"
 
 namespace flowsched {
@@ -140,6 +143,98 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
     engine.finish_observation();
     observer->on_run_end(makespan);
   }
+  return report;
+}
+
+std::string StreamReport::str() const {
+  std::ostringstream out;
+  out << sim.str() << " p999=" << p999
+      << " quantiles=" << (exact_quantiles ? "exact" : "p2")
+      << " peak-backlog=" << peak_backlog;
+  return out.str();
+}
+
+StreamReport simulate_cluster_streaming(const KeyValueStore& store,
+                                        const StreamConfig& config,
+                                        Dispatcher& dispatcher, Rng& rng,
+                                        SchedObserver* observer) {
+  if (!(config.lambda > 0)) {
+    throw std::invalid_argument("simulate_cluster_streaming: lambda <= 0");
+  }
+  if (config.requests < 0) {
+    throw std::invalid_argument("simulate_cluster_streaming: requests < 0");
+  }
+  const int m = store.config().m;
+  StreamingEngine engine(m, dispatcher);
+  if (observer != nullptr) {
+    observer->on_run_begin(RunInfo{m, dispatcher.name(), {}});
+    engine.set_observer(observer);
+  }
+
+  // Exact regime: retain latencies and run the batch path's own
+  // mean/quantile code, so the report is byte-identical to
+  // simulate_cluster for the same seed. Sketch regime: O(1) aggregation.
+  const bool exact = config.requests <= config.exact_quantile_cap;
+  std::vector<double> latencies;
+  if (exact) latencies.reserve(static_cast<std::size_t>(config.requests));
+  StreamingQuantiles sketch;
+  std::vector<double> busy(static_cast<std::size_t>(m), 0.0);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  double t = 0.0;
+  for (long long i = 0; i < config.requests; ++i) {
+    t += rng.exponential(config.lambda);
+    const int key = store.sample_key(rng);
+    const double service = draw_service(config.dist, config.service_time, rng);
+    const Assignment a = engine.release(t, service, store.replicas_of_key(key));
+    const double flow = a.start + service - t;
+    if (exact) {
+      latencies.push_back(flow);
+    } else {
+      sketch.add(flow);
+    }
+    busy[static_cast<std::size_t>(a.machine)] += service;
+  }
+  const std::size_t live_bytes = engine.memory_bytes();
+  engine.drain();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  StreamReport report;
+  report.sim.requests = static_cast<int>(config.requests);
+  report.exact_quantiles = exact;
+  if (exact) {
+    if (!latencies.empty()) {
+      report.sim.mean_latency = mean(latencies);
+      report.sim.p50 = quantile(latencies, 0.50);
+      report.sim.p90 = quantile(latencies, 0.90);
+      report.sim.p99 = quantile(latencies, 0.99);
+      report.sim.max_latency = quantile(latencies, 1.0);
+      report.p999 = quantile(latencies, 0.999);
+    }
+  } else {
+    report.sim.mean_latency = sketch.mean();
+    report.sim.p50 = sketch.p50();
+    report.sim.p90 = sketch.p90();
+    report.sim.p99 = sketch.p99();
+    report.sim.max_latency = sketch.max();  // exact in both regimes
+    report.p999 = sketch.p999();
+  }
+
+  double makespan = 0;
+  for (double c : engine.completions()) makespan = std::max(makespan, c);
+  report.sim.makespan = makespan;
+  report.sim.utilization.resize(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    report.sim.utilization[static_cast<std::size_t>(j)] =
+        makespan > 0 ? busy[static_cast<std::size_t>(j)] / makespan : 0.0;
+  }
+  report.peak_backlog = engine.peak_in_flight();
+  report.memory_bytes = live_bytes;
+  const double wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.requests_per_sec =
+      wall_s > 0 ? static_cast<double>(config.requests) / wall_s : 0.0;
+  if (observer != nullptr) observer->on_run_end(makespan);
   return report;
 }
 

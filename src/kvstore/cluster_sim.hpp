@@ -69,4 +69,51 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
                            const FaultPlan* faults = nullptr,
                            const RecoveryPolicy& recovery = {});
 
+// --- Streaming mode (docs/streaming.md) -----------------------------------
+
+struct StreamConfig {
+  double lambda = 7.5;          ///< Poisson arrival rate.
+  long long requests = 10000;   ///< Stream length; 10^8+ is in scope.
+  double service_time = 1.0;
+  ServiceDist dist = ServiceDist::kConstant;
+  /// Streams up to this length retain per-request latencies and compute
+  /// exact type-7 quantiles — byte-identical to simulate_cluster on the
+  /// same seed. Longer streams switch to the O(1)-memory P² sketches
+  /// (obs/sketch.hpp); mean and max stay exact in both regimes.
+  long long exact_quantile_cap = 1 << 16;
+};
+
+struct StreamReport {
+  /// The batch-report fields, computed identically (same mean/quantile
+  /// code on the exact path, running-sum mean + sketch quantiles beyond
+  /// the cap). Fault fields stay zero: streaming runs are fault-free.
+  SimReport sim;
+  double p999 = 0;              ///< Tail beyond the batch report's p99.
+  bool exact_quantiles = true;  ///< False once the sketch path engaged.
+  std::size_t peak_backlog = 0;     ///< Max in-flight requests.
+  std::size_t memory_bytes = 0;     ///< Engine live-footprint estimate.
+  double requests_per_sec = 0;  ///< Wall-clock throughput; non-deterministic,
+                                ///< excluded from str().
+  /// Deterministic one-liner: sim.str() plus the streaming extras. Safe to
+  /// byte-compare across thread counts and replays.
+  std::string str() const;
+};
+
+/// \brief simulate_cluster in O(backlog) memory: same request stream, same
+/// dispatch decisions, bounded state.
+///
+/// Consumes `rng` draw-for-draw like simulate_cluster (arrival gap, key,
+/// service per request), drives a StreamingEngine instead of an
+/// OnlineEngine, and aggregates latencies streamingly. For
+/// requests <= exact_quantile_cap the returned sim fields are byte-identical
+/// to the batch path on the same seed (asserted across the corpus grid by
+/// tests/test_streaming.cpp); beyond the cap quantiles come from P²
+/// sketches with documented error bounds. A non-null observer receives run
+/// brackets plus the per-task milestones (no machine busy/idle events —
+/// see StreamingEngine::set_observer).
+StreamReport simulate_cluster_streaming(const KeyValueStore& store,
+                                        const StreamConfig& config,
+                                        Dispatcher& dispatcher, Rng& rng,
+                                        SchedObserver* observer = nullptr);
+
 }  // namespace flowsched

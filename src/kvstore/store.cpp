@@ -1,6 +1,5 @@
 #include "kvstore/store.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace flowsched {
@@ -29,13 +28,7 @@ KeyValueStore::KeyValueStore(const StoreConfig& config,
   if (!(total > 0)) throw std::invalid_argument("KeyValueStore: zero popularity");
   for (double& w : key_popularity_) w /= total;
 
-  key_cdf_.resize(key_popularity_.size());
-  double acc = 0;
-  for (std::size_t i = 0; i < key_popularity_.size(); ++i) {
-    acc += key_popularity_[i];
-    key_cdf_[i] = acc;
-  }
-  key_cdf_.back() = 1.0;
+  key_sampler_.emplace(key_popularity_);
 
   key_owner_.resize(static_cast<std::size_t>(config_.keys));
   for (int key = 0; key < config_.keys; ++key) {
@@ -57,12 +50,6 @@ int KeyValueStore::owner(int key) const {
 
 const ProcSet& KeyValueStore::replicas_of_key(int key) const {
   return replica_by_owner_.at(static_cast<std::size_t>(owner(key)));
-}
-
-int KeyValueStore::sample_key(Rng& rng) const {
-  const double u = rng.uniform();
-  const auto it = std::lower_bound(key_cdf_.begin(), key_cdf_.end(), u);
-  return static_cast<int>(it - key_cdf_.begin());
 }
 
 }  // namespace flowsched

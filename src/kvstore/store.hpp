@@ -10,10 +10,12 @@
 // the LP analysis).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "model/procset.hpp"
 #include "util/rng.hpp"
+#include "workload/alias.hpp"
 #include "workload/replication.hpp"
 #include "workload/zipf.hpp"
 
@@ -41,8 +43,15 @@ class KeyValueStore {
   int owner(int key) const;
   const ProcSet& replicas_of_key(int key) const;
 
-  /// Draws a key according to its popularity.
-  int sample_key(Rng& rng) const;
+  /// \brief Draws a key according to its popularity.
+  ///
+  /// O(1) via the Walker/Vose alias tables (workload/alias.hpp); exactly one
+  /// Rng::uniform() per draw — the same deviate budget as the previous
+  /// inverse-CDF lookup, so the arrival/service draws that follow each key
+  /// in cluster_sim read the same stream positions as before.
+  int sample_key(Rng& rng) const {
+    return static_cast<int>(key_sampler_->sample(rng));
+  }
 
   /// Induced machine popularity P(E_j): total popularity of keys owned by
   /// each server. Sums to 1.
@@ -53,7 +62,7 @@ class KeyValueStore {
  private:
   StoreConfig config_;
   std::vector<double> key_popularity_;  ///< Per key, sums to 1.
-  std::vector<double> key_cdf_;
+  std::optional<AliasSampler> key_sampler_;  ///< Built in the ctor body.
   std::vector<int> key_owner_;
   std::vector<ProcSet> replica_by_owner_;
   std::vector<double> machine_popularity_;

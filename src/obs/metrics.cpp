@@ -92,6 +92,7 @@ void MetricsCollector::on_event(const ObsEvent& e) {
       max_flow_ = std::max(max_flow_, flow);
       flow_sum_ += flow;
       flow_hist_.add(flow);
+      flow_sketch_.add(flow);
       makespan_ = std::max(makespan_, e.time);
       deltas_.push_back({e.time, e.machine, -1});
       break;
@@ -180,6 +181,9 @@ std::string MetricsCollector::to_json() const {
   out += ",\"makespan\":" + json_num(makespan_);
   out += ",\"fmax\":" + json_num(max_flow_);
   out += ",\"mean_flow\":" + json_num(mean_flow());
+  out += ",\"flow_p50\":" + json_num(flow_p50());
+  out += ",\"flow_p99\":" + json_num(flow_p99());
+  out += ",\"flow_p999\":" + json_num(flow_p999());
   out += ",\"max_backlog\":" + std::to_string(max_backlog());
   out += ",\"utilization\":[";
   for (int j = 0; j < info_.m; ++j) {

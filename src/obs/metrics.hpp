@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/observer.hpp"
+#include "obs/sketch.hpp"
 #include "util/rational.hpp"
 
 namespace flowsched {
@@ -104,6 +105,18 @@ class MetricsCollector final : public SchedObserver {
   double mean_flow() const;
   const FlowHistogram& flow_histogram() const { return flow_hist_; }
 
+  /// \brief Streaming flow-time quantile estimates (P² sketches).
+  ///
+  /// Fed one sample per completion, O(1) memory — the collector's only
+  /// quantile source that never retains per-request records, which is what
+  /// the streaming pipeline reports p50/p99/p999 from (obs/sketch.hpp for
+  /// the error guarantees; max is exact).
+  double flow_p50() const { return flow_sketch_.p50(); }
+  double flow_p90() const { return flow_sketch_.p90(); }
+  double flow_p99() const { return flow_sketch_.p99(); }
+  double flow_p999() const { return flow_sketch_.p999(); }
+  const StreamingQuantiles& flow_sketch() const { return flow_sketch_; }
+
   /// Peak of the global backlog (released and not yet completed) over time.
   int max_backlog() const;
   /// Piecewise-constant global backlog: value from point.time until the
@@ -138,6 +151,7 @@ class MetricsCollector final : public SchedObserver {
   double max_flow_ = 0;
   double flow_sum_ = 0;
   FlowHistogram flow_hist_;
+  StreamingQuantiles flow_sketch_;
   std::vector<double> busy_;
   // Backlog deltas: (release, -1, +1) and (completion, machine, -1); the
   // completion delta serves both the global backlog and machine j's queue.

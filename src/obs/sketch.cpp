@@ -1,0 +1,115 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flowsched {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  want_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  dwant_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    h_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(h_.begin(), h_.end());
+      for (std::size_t i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+
+  // Locate the cell and bump the end markers.
+  std::size_t k;
+  if (x < h_[0]) {
+    h_[0] = x;
+    k = 0;
+  } else if (x < h_[1]) {
+    k = 0;
+  } else if (x < h_[2]) {
+    k = 1;
+  } else if (x < h_[3]) {
+    k = 2;
+  } else if (x <= h_[4]) {
+    k = 3;
+  } else {
+    h_[4] = x;
+    k = 3;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) want_[i] += dwant_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) height update, falling back to linear
+  // interpolation when the parabola would cross a neighbor.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      const double hp = h_[i] +
+                        s / (pos_[i + 1] - pos_[i - 1]) *
+                            ((pos_[i] - pos_[i - 1] + s) *
+                                 (h_[i + 1] - h_[i]) / (pos_[i + 1] - pos_[i]) +
+                             (pos_[i + 1] - pos_[i] - s) *
+                                 (h_[i] - h_[i - 1]) / (pos_[i] - pos_[i - 1]));
+      if (h_[i - 1] < hp && hp < h_[i + 1]) {
+        h_[i] = hp;
+      } else {
+        // Linear step toward the neighbor in the direction of travel.
+        const std::size_t j = d >= 0 ? i + 1 : i - 1;
+        h_[i] += s * (h_[j] - h_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample quantile: ceil(q * n)-th smallest.
+    std::array<double, 5> sorted = h_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n_));
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q_ * static_cast<double>(n_)));
+    return sorted[std::min(n_ - 1, static_cast<std::uint64_t>(
+                                       rank > 0 ? rank - 1 : 0))];
+  }
+  return h_[2];
+}
+
+StreamingQuantiles::StreamingQuantiles()
+    : p50_(0.50), p90_(0.90), p99_(0.99), p999_(0.999) {}
+
+void StreamingQuantiles::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+  p999_.add(x);
+}
+
+double StreamingQuantiles::mean() const {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+double StreamingQuantiles::min() const { return n_ == 0 ? 0.0 : min_; }
+
+}  // namespace flowsched

@@ -1,0 +1,79 @@
+// Streaming quantile estimation: the P² algorithm (Jain & Chlamtac 1985).
+//
+// P² tracks one quantile with five markers — heights and positions — that
+// are nudged toward the ideal marker positions by a piecewise-parabolic
+// interpolation at every observation. O(1) memory and O(1) update, no
+// buffers, no merging: exactly the footprint contract of the streaming
+// simulation (docs/streaming.md).
+//
+// Error guarantees: P² is exact until the 5th observation (it sorts the
+// first five). Beyond that it is a heuristic estimator; for smooth
+// unimodal distributions the relative error is well under a percent at
+// n >= 10^4, degrading toward the extreme tails (p999 needs ~10^5
+// observations to stabilize — the regime the streaming engine runs in).
+// tests/test_streaming.cpp pins the error against exact quantiles on
+// seeded exponential/uniform workloads. Every update is deterministic, so
+// sketch outputs inherit the engine's byte-identical replay contract.
+//
+// StreamingQuantiles bundles the sketch battery the serving reports need —
+// p50/p90/p99/p999 plus exact running min/max/mean — behind one add().
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flowsched {
+
+class P2Quantile {
+ public:
+  /// Tracks the q-quantile, q in (0, 1).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate: exact for n <= 5, P² marker height beyond.
+  double value() const;
+
+  std::uint64_t count() const { return n_; }
+
+ private:
+  double q_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> h_{};   // marker heights
+  std::array<double, 5> pos_{};  // actual marker positions (1-based)
+  std::array<double, 5> want_{};  // desired marker positions
+  std::array<double, 5> dwant_{};  // desired-position increments
+};
+
+/// The latency battery of the streaming report: four P² sketches plus the
+/// exact extremes and the running mean (summed in arrival order, so the
+/// mean is bit-identical to a batch mean over the same stream).
+class StreamingQuantiles {
+ public:
+  StreamingQuantiles();
+
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const { return max_; }
+  double p50() const { return p50_.value(); }
+  double p90() const { return p90_.value(); }
+  double p99() const { return p99_.value(); }
+  double p999() const { return p999_.value(); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  P2Quantile p50_;
+  P2Quantile p90_;
+  P2Quantile p99_;
+  P2Quantile p999_;
+};
+
+}  // namespace flowsched

@@ -1,0 +1,228 @@
+// Calendar (bucket) event queue on a dyadic time grid.
+//
+// The streaming engine and the fault-retry path both need a monotone event
+// queue: pop the earliest (time, insertion-seq) entry, where pops never go
+// back in time. A binary heap (std::priority_queue) costs O(log n) per
+// operation and a pointer-chasing sift through cold cache lines; a calendar
+// queue (Brown 1988) exploits the monotone access pattern by hashing events
+// into fixed-width time buckets — O(1) amortized push/pop for the
+// short-horizon distributions a serving simulation produces (an event lands
+// within a few service times of "now").
+//
+// Determinism contract: pop order is EXACTLY ascending (time, seq) with seq
+// assigned at push — bit-identical to
+// std::priority_queue<Entry, ..., std::greater> over the same push/pop
+// interleaving (asserted by tests/test_calendar.cpp against the heap).
+// Within a bucket, entries are sorted lazily the first time the cursor
+// enters the bucket; a push into the already-open current bucket does an
+// ordered insert. Entries farther than the ring horizon go to an overflow
+// heap (the cold path) and migrate into the ring as the cursor advances.
+//
+// The bucket width defaults to the dyadic 2^-3 grid: service times in the
+// simulator are O(1), so a bucket holds O(lambda / 8) events and the ring
+// spans the whole in-flight horizon in a few hundred buckets.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace flowsched {
+
+template <typename T>
+class CalendarQueue {
+ public:
+  /// `bucket_width` must be positive; `buckets` (power of two) is the
+  /// initial ring size — the ring grows by doubling up to `max_buckets`
+  /// before spilling to the overflow heap.
+  explicit CalendarQueue(double bucket_width = 0.125,
+                         std::size_t buckets = 1024,
+                         std::size_t max_buckets = std::size_t{1} << 16)
+      : width_(bucket_width), max_buckets_(max_buckets) {
+    if (!(bucket_width > 0)) {
+      throw std::invalid_argument("CalendarQueue: bucket_width <= 0");
+    }
+    std::size_t nb = 1;
+    while (nb < buckets) nb <<= 1;
+    ring_.resize(std::min(nb, max_buckets_));
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Earliest entry's time. Requires !empty().
+  double top_time() {
+    locate();
+    return head_entry().time;
+  }
+
+  void push(double time, T payload) {
+    if (!std::isfinite(time)) {
+      throw std::invalid_argument("CalendarQueue::push: non-finite time");
+    }
+    Entry e{time, seq_++, std::move(payload)};
+    ++size_;
+    std::int64_t b = bucket_of(time);
+    if (b < cursor_) b = cursor_;  // past-due entries pop from the open bucket
+    if (b >= cursor_ + static_cast<std::int64_t>(ring_.size())) {
+      if (!grow_to(b)) {
+        overflow_.push(std::move(e));
+        return;
+      }
+      // The widened horizon may cover queued overflow entries; migrate them
+      // now so the cursor never sweeps past a bucket they belong to.
+      drain_overflow();
+    }
+    Bucket& bucket = ring_[ring_index(b)];
+    if (!bucket.sorted) {
+      bucket.entries.push_back(std::move(e));
+      return;
+    }
+    // The cursor already opened this bucket: keep it ordered past the head.
+    auto it = std::lower_bound(bucket.entries.begin() +
+                                   static_cast<std::ptrdiff_t>(bucket.head),
+                               bucket.entries.end(), e);
+    bucket.entries.insert(it, std::move(e));
+  }
+
+  /// Removes and returns the earliest (time, seq) entry. Requires !empty().
+  T pop() {
+    locate();
+    Bucket& bucket = ring_[ring_index(cursor_)];
+    T payload = std::move(bucket.entries[bucket.head].payload);
+    ++bucket.head;
+    --size_;
+    if (bucket.head == bucket.entries.size()) {
+      bucket.entries.clear();
+      bucket.head = 0;
+      bucket.sorted = false;
+    }
+    return payload;
+  }
+
+  /// Live footprint estimate (ring headers + entries + overflow).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = ring_.size() * sizeof(Bucket);
+    for (const Bucket& b : ring_) bytes += b.entries.capacity() * sizeof(Entry);
+    bytes += overflow_.size() * sizeof(Entry);
+    return bytes;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    T payload;
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
+    }
+    bool operator>(const Entry& o) const { return o < *this; }
+  };
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::size_t head = 0;  // consumed prefix once sorted
+    bool sorted = false;
+  };
+
+  std::int64_t bucket_of(double time) const {
+    return static_cast<std::int64_t>(std::floor(time / width_));
+  }
+  std::size_t ring_index(std::int64_t b) const {
+    return static_cast<std::size_t>(b) & (ring_.size() - 1);
+  }
+
+  const Entry& head_entry() const {
+    const Bucket& bucket = ring_[ring_index(cursor_)];
+    return bucket.entries[bucket.head];
+  }
+
+  // Doubles the ring until bucket b fits (rebucketing live entries), or
+  // returns false once max_buckets_ is reached — the caller spills to the
+  // overflow heap.
+  bool grow_to(std::int64_t b) {
+    std::size_t nb = ring_.size();
+    while (b >= cursor_ + static_cast<std::int64_t>(nb)) {
+      if (nb >= max_buckets_) return false;
+      nb <<= 1;
+    }
+    std::vector<Bucket> grown(nb);
+    for (Bucket& old : ring_) {
+      for (std::size_t i = old.head; i < old.entries.size(); ++i) {
+        Entry& e = old.entries[i];
+        std::int64_t eb = bucket_of(e.time);
+        if (eb < cursor_) eb = cursor_;
+        grown[static_cast<std::size_t>(eb) & (nb - 1)].entries.push_back(
+            std::move(e));
+      }
+    }
+    ring_ = std::move(grown);
+    return true;
+  }
+
+  // Positions cursor_ on the bucket holding the global minimum and sorts it.
+  // Requires size_ > 0.
+  void locate() {
+    if (size_ == 0) {
+      throw std::logic_error("CalendarQueue: top/pop on empty queue");
+    }
+    if (size_ == overflow_.size()) {
+      // Ring drained: jump the cursor to the overflow frontier and migrate
+      // everything now within the ring horizon.
+      cursor_ = std::max(cursor_, bucket_of(overflow_.top().time));
+      drain_overflow();
+    }
+    for (;;) {
+      Bucket& bucket = ring_[ring_index(cursor_)];
+      if (bucket.head < bucket.entries.size()) break;
+      ++cursor_;
+      if (ring_index(cursor_) == 0) {
+        // Wrapped a full ring period: overflow entries may now be in range.
+        drain_overflow();
+      }
+      if (size_ == overflow_.size()) {
+        cursor_ = std::max(cursor_, bucket_of(overflow_.top().time));
+        drain_overflow();
+      }
+    }
+    Bucket& bucket = ring_[ring_index(cursor_)];
+    if (!bucket.sorted) {
+      std::sort(bucket.entries.begin(), bucket.entries.end());
+      bucket.sorted = true;
+      bucket.head = 0;
+    }
+  }
+
+  void drain_overflow() {
+    const std::int64_t horizon = cursor_ + static_cast<std::int64_t>(ring_.size());
+    while (!overflow_.empty() && bucket_of(overflow_.top().time) < horizon) {
+      Entry e = overflow_.top();
+      overflow_.pop();
+      std::int64_t b = bucket_of(e.time);
+      if (b < cursor_) b = cursor_;
+      Bucket& bucket = ring_[ring_index(b)];
+      if (!bucket.sorted) {
+        bucket.entries.push_back(std::move(e));
+      } else {
+        auto it = std::lower_bound(bucket.entries.begin() +
+                                       static_cast<std::ptrdiff_t>(bucket.head),
+                                   bucket.entries.end(), e);
+        bucket.entries.insert(it, std::move(e));
+      }
+    }
+  }
+
+  double width_;
+  std::size_t max_buckets_;
+  std::vector<Bucket> ring_;
+  std::int64_t cursor_ = 0;  // absolute bucket index of the open bucket
+  std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> overflow_;
+};
+
+}  // namespace flowsched

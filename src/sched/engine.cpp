@@ -193,10 +193,10 @@ Assignment OnlineEngine::release_faulty(Task task) {
 }
 
 void OnlineEngine::process_pending(double until) {
-  while (!pending_.empty() && pending_.top().time <= until) {
-    const PendingRetry p = pending_.top();
-    pending_.pop();
-    dispatch_attempt(p.task, p.attempt, p.time, p.remaining);
+  while (!pending_.empty() && pending_.top_time() <= until) {
+    const double now = pending_.top_time();
+    const PendingRetry p = pending_.pop();
+    dispatch_attempt(p.task, p.attempt, now, p.remaining);
   }
 }
 
@@ -226,7 +226,7 @@ void OnlineEngine::dispatch_attempt(int id, int attempt, double now,
         // No eligible machine ever recovers: reported drop, never a hang.
         fault_log_->settle(id, TaskFate::kDropped, -1.0);
       } else {
-        pending_.push(PendingRetry{wake, pending_seq_++, id, attempt, remaining});
+        pending_.push(wake, PendingRetry{id, attempt, remaining});
       }
       return;
     }
@@ -306,8 +306,8 @@ void OnlineEngine::dispatch_attempt(int id, int attempt, double now,
   const double next_remaining = recovery_.kind == RecoveryKind::kCheckpoint
                                     ? remaining - (crash - start)
                                     : remaining;
-  pending_.push(PendingRetry{recovery_.retry_time(id, attempt, crash),
-                             pending_seq_++, id, attempt + 1, next_remaining});
+  pending_.push(recovery_.retry_time(id, attempt, crash),
+                PendingRetry{id, attempt + 1, next_remaining});
 }
 
 void OnlineEngine::drain_faults() {

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "fault/plan.hpp"
@@ -21,6 +20,7 @@
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
 #include "obs/observer.hpp"
+#include "sched/calendar.hpp"
 #include "sched/dispatchers.hpp"
 
 namespace flowsched {
@@ -147,28 +147,21 @@ class OnlineEngine {
   // Machines whose busy interval is still open (for finish_observation).
   std::vector<bool> observed_busy_;
 
-  // Fault state. A queued retry (kill) or wake-up (park) of one task;
-  // ordered by (time, insertion seq) so equal-time retries dispatch in
-  // creation order — deterministic at any thread count because the engine
-  // itself is single-threaded per replicate.
+  // Fault state. A queued retry (kill) or wake-up (park) of one task; the
+  // calendar queue (sched/calendar.hpp) pops in ascending (time, insertion
+  // seq), so equal-time retries dispatch in creation order — the exact
+  // ordering the previous std::priority_queue implemented, deterministic at
+  // any thread count because the engine itself is single-threaded per
+  // replicate.
   struct PendingRetry {
-    double time = 0;
-    std::uint64_t seq = 0;
     int task = -1;
     int attempt = 0;
     double remaining = 0;
-    bool operator>(const PendingRetry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
   };
   const FaultPlan* fault_plan_ = nullptr;  // borrowed; null = faults off
   RecoveryPolicy recovery_;
   std::unique_ptr<FaultLog> fault_log_;
-  std::priority_queue<PendingRetry, std::vector<PendingRetry>,
-                      std::greater<PendingRetry>>
-      pending_;
-  std::uint64_t pending_seq_ = 0;
+  CalendarQueue<PendingRetry> pending_;
   std::vector<int> up_buffer_;  // reused degraded-set scratch
   bool ignore_downtime_ = false;
 };

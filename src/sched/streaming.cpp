@@ -1,0 +1,149 @@
+#include "sched/streaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowsched {
+
+StreamingEngine::StreamingEngine(int m, Dispatcher& dispatcher)
+    : m_(m),
+      dispatcher_(&dispatcher),
+      all_(ProcSet::all(m > 0 ? m : 1)),
+      completion_(static_cast<std::size_t>(m > 0 ? m : 1), 0.0),
+      load_(static_cast<std::size_t>(m > 0 ? m : 1), 0.0),
+      count_(static_cast<std::size_t>(m > 0 ? m : 1), 0),
+      queued_(static_cast<std::size_t>(m > 0 ? m : 1), 0) {
+  if (m <= 0) throw std::invalid_argument("StreamingEngine: m <= 0");
+  needs_depths_ = dispatcher_->needs_queue_depths();
+  dispatcher_->reset(m);
+}
+
+void StreamingEngine::settle_until(double time) {
+  // Completion events at exactly `time` settle: the batch engine's lazy
+  // cursor counts finish <= release as finished, and matching it bit-for-bit
+  // is the [diff-streaming] contract.
+  while (!events_.empty() && events_.top_time() <= time) {
+    const std::uint32_t slot = events_.pop();
+    --queued_[static_cast<std::size_t>(
+        slot_machine_[static_cast<std::size_t>(slot)])];
+    --in_flight_;
+    free_slots_.push_back(slot);
+  }
+}
+
+Assignment StreamingEngine::release(double time, double proc,
+                                    const ProcSet& eligible) {
+  if (time < last_release_) {
+    throw std::invalid_argument(
+        "StreamingEngine::release: releases must be non-decreasing");
+  }
+  last_release_ = time;
+  const ProcSet& set = eligible.empty() ? all_ : eligible;
+  if (!set.within(m_)) {
+    throw std::invalid_argument(
+        "StreamingEngine::release: processing set outside [0,m)");
+  }
+  if (!(proc > 0)) {
+    throw std::invalid_argument("StreamingEngine::release: proc <= 0");
+  }
+
+  settle_until(time);
+
+  // The probe Task is a member-shaped temporary: ProcSet copy-assignment
+  // reuses the vector's capacity, so the steady-state release does not
+  // allocate.
+  Task probe;
+  probe.release = time;
+  probe.proc = proc;
+  probe.eligible = set;
+
+  if (observer_ != nullptr) {
+    ObsEvent e;
+    e.kind = ObsEventKind::kTaskReleased;
+    e.time = time;
+    e.task = static_cast<int>(released_);
+    e.release = time;
+    e.proc = proc;
+    e.eligible = &probe.eligible;
+    observer_->on_event(e);
+  }
+
+  const MachineState state{completion_, load_, count_, queued_};
+  const int u = dispatcher_->dispatch(probe, state);
+  if (u < 0 || u >= m_ || !probe.eligible.contains(u)) {
+    throw std::logic_error(
+        "StreamingEngine: dispatcher chose ineligible machine " +
+        std::to_string(u) + " for set " + probe.eligible.str());
+  }
+
+  const std::size_t uj = static_cast<std::size_t>(u);
+  const double start = std::max(time, completion_[uj]);
+  const double finish = start + proc;
+  if (observer_ != nullptr) {
+    ObsEvent e;
+    e.task = static_cast<int>(released_);
+    e.machine = u;
+    e.release = time;
+    e.proc = proc;
+    e.kind = ObsEventKind::kTaskDispatched;
+    e.time = time;
+    observer_->on_event(e);
+    e.kind = ObsEventKind::kTaskStarted;
+    e.time = start;
+    observer_->on_event(e);
+    e.kind = ObsEventKind::kTaskCompleted;
+    e.time = finish;
+    observer_->on_event(e);
+  }
+  completion_[uj] = finish;
+  load_[uj] += proc;
+  ++count_[uj];
+  ++queued_[uj];
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_machine_.size());
+    slot_machine_.push_back(0);
+    slot_finish_.push_back(0);
+    slot_task_.push_back(0);
+  }
+  slot_machine_[static_cast<std::size_t>(slot)] = u;
+  slot_finish_[static_cast<std::size_t>(slot)] = finish;
+  slot_task_[static_cast<std::size_t>(slot)] = released_;
+  events_.push(finish, slot);
+  ++in_flight_;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+
+  ++released_;
+  return Assignment{u, start};
+}
+
+void StreamingEngine::drain() {
+  while (!events_.empty()) {
+    const std::uint32_t slot = events_.pop();
+    --queued_[static_cast<std::size_t>(
+        slot_machine_[static_cast<std::size_t>(slot)])];
+    --in_flight_;
+    free_slots_.push_back(slot);
+  }
+}
+
+std::size_t StreamingEngine::memory_bytes() const {
+  std::size_t bytes = 0;
+  bytes += completion_.capacity() * sizeof(double);
+  bytes += load_.capacity() * sizeof(double);
+  bytes += count_.capacity() * sizeof(int);
+  bytes += queued_.capacity() * sizeof(int);
+  bytes += slot_machine_.capacity() * sizeof(int);
+  bytes += slot_finish_.capacity() * sizeof(double);
+  bytes += slot_task_.capacity() * sizeof(long long);
+  bytes += free_slots_.capacity() * sizeof(std::uint32_t);
+  bytes += all_.machines().capacity() * sizeof(int);
+  bytes += events_.memory_bytes();
+  return bytes;
+}
+
+}  // namespace flowsched

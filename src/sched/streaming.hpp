@@ -1,0 +1,123 @@
+// StreamingEngine: the OnlineEngine hot path with O(backlog) memory.
+//
+// OnlineEngine records every task, assignment, and per-machine finish time
+// for the lifetime of the run — the right contract for schedules that get
+// audited, snapshotted, and compared against offline oracles, and a
+// non-starter for the 10^8-request serving simulations the kvstore layer
+// targets (docs/streaming.md). StreamingEngine keeps the *decision* path
+// bit-identical — same validation, same lazy queue-depth values handed to
+// the dispatcher, same start = max(release, C_j) commitment — while
+// retiring a task's storage the moment the simulated clock passes its
+// completion:
+//
+//  * task state lives in a recycled SoA slot arena (machine / finish /
+//    task id per slot, free-list reuse), so live slots == in-flight tasks,
+//    not released tasks;
+//  * completions are a CalendarQueue (sched/calendar.hpp) of
+//    (completion time, slot) events on the dyadic 2^-3 grid, popped at each
+//    release to decrement queue depths and recycle slots — replacing both
+//    the per-machine finish_times_ logs and any general-purpose heap;
+//  * per-machine aggregates (completion frontier, load, count, queue depth)
+//    are plain arrays, exactly the spans OnlineEngine hands to dispatchers.
+//
+// Equivalence contract (asserted by tests/test_streaming.cpp and the
+// fuzzer's [diff-streaming] check): for any non-decreasing release
+// sequence and any Dispatcher, release() returns the same Assignment
+// sequence as OnlineEngine::release, including depth-reading dispatchers —
+// the popped-events queue depth equals the lazy finished-cursor count
+// because both count assignments with finish > release instant.
+//
+// Fault injection is out of scope here: faults need the full attempt log
+// (unbounded by design); use OnlineEngine for fault runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "obs/observer.hpp"
+#include "sched/calendar.hpp"
+#include "sched/dispatchers.hpp"
+
+namespace flowsched {
+
+class StreamingEngine {
+ public:
+  /// The dispatcher is borrowed (and reset); it must outlive the engine.
+  StreamingEngine(int m, Dispatcher& dispatcher);
+
+  int m() const { return m_; }
+  long long released() const { return released_; }
+
+  /// Releases one task; releases must be non-decreasing. Completion events
+  /// up to the release instant are settled first (slots recycled, queue
+  /// depths decremented). Returns the committed (machine, start).
+  Assignment release(double time, double proc, const ProcSet& eligible);
+
+  /// Task-shaped overload, for drivers that iterate an Instance.
+  Assignment release(const Task& task) {
+    return release(task.release, task.proc, task.eligible);
+  }
+
+  /// C_j: machine completion frontier (same as OnlineEngine::completions).
+  const std::vector<double>& completions() const { return completion_; }
+  /// Total work assigned to each machine so far.
+  const std::vector<double>& loads() const { return load_; }
+  /// Tasks assigned to each machine so far.
+  const std::vector<int>& counts() const { return count_; }
+
+  /// Settles every in-flight completion event (end of stream).
+  void drain();
+
+  /// Tasks released and not yet past their completion on the sim clock.
+  std::size_t in_flight() const { return in_flight_; }
+  /// High-water mark of in_flight() — the backlog peak of the run.
+  std::size_t peak_in_flight() const { return peak_in_flight_; }
+
+  /// Live footprint estimate: slot arena + event queue + per-machine
+  /// arrays. Independent of released() by construction.
+  std::size_t memory_bytes() const;
+
+  /// \brief Attaches a borrowed event sink (nullptr detaches).
+  ///
+  /// Emits the four task milestones per release with OnlineEngine's exact
+  /// timestamp semantics (all four at the release instant, started /
+  /// completed carrying future model times). Machine busy/idle transitions
+  /// are NOT emitted — they exist for full-schedule occupancy analysis;
+  /// streaming consumers (check/stream_audit.hpp, obs sketches) key off
+  /// task events only.
+  void set_observer(SchedObserver* observer) { observer_ = observer; }
+
+ private:
+  void settle_until(double time);
+
+  int m_;
+  Dispatcher* dispatcher_;
+  bool needs_depths_;
+  long long released_ = 0;
+  double last_release_ = 0.0;
+  ProcSet all_;  // cached "empty means all machines" expansion
+
+  // Per-machine aggregates, span-compatible with MachineState.
+  std::vector<double> completion_;
+  std::vector<double> load_;
+  std::vector<int> count_;
+  std::vector<int> queued_;
+
+  // Slot arena (SoA) + free list. slot_task_ keeps the global task id for
+  // observer emission; everything else is the per-task state a completion
+  // event needs to settle.
+  std::vector<double> slot_finish_;
+  std::vector<int> slot_machine_;
+  std::vector<long long> slot_task_;
+  std::vector<std::uint32_t> free_slots_;
+
+  CalendarQueue<std::uint32_t> events_;  // (completion time, slot)
+
+  std::size_t in_flight_ = 0;
+  std::size_t peak_in_flight_ = 0;
+  SchedObserver* observer_ = nullptr;
+};
+
+}  // namespace flowsched

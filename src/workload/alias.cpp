@@ -1,0 +1,77 @@
+#include "workload/alias.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "workload/zipf.hpp"
+
+namespace flowsched {
+
+AliasSampler::AliasSampler(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("AliasSampler: empty weight vector");
+  }
+  if (weights_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("AliasSampler: too many weights");
+  }
+  double total = 0;
+  for (double w : weights_) {
+    if (!(w >= 0)) {
+      throw std::invalid_argument("AliasSampler: negative weight");
+    }
+    total += w;
+  }
+  if (!(total > 0)) throw std::invalid_argument("AliasSampler: zero total weight");
+  for (double& w : weights_) w /= total;
+  build();
+}
+
+AliasSampler::AliasSampler(int m, double s) : AliasSampler(zipf_weights(m, s)) {}
+
+void AliasSampler::build() {
+  const std::size_t n = weights_.size();
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  // Vose's stable construction: scale every probability by n, then pair each
+  // underfull column with an overfull one. Two index stacks, strictly
+  // deterministic (ascending index order in, LIFO out).
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights_[i] * static_cast<double>(n);
+    alias_[i] = static_cast<std::uint32_t>(i);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    // The large column donates the mass that fills column s to 1.
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are full columns up to rounding; pin them to 1 so the column
+  // never aliases (their alias_ already points to themselves).
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+double AliasSampler::table_probability(std::size_t i) const {
+  const double n = static_cast<double>(prob_.size());
+  double p = prob_[i] / n;
+  for (std::size_t j = 0; j < prob_.size(); ++j) {
+    if (alias_[j] == i && j != i) p += (1.0 - prob_[j]) / n;
+  }
+  return p;
+}
+
+}  // namespace flowsched

@@ -1,0 +1,72 @@
+// Walker/Vose alias-method sampler: O(1) draws from an arbitrary discrete
+// distribution (Walker 1977, Vose 1991).
+//
+// The inverse-CDF ZipfSampler (workload/zipf.hpp) costs O(log m) per draw
+// and, more importantly for the streaming engine, a cache-hostile binary
+// search over an m-entry table. The alias method precomputes, in O(m), a
+// pair of tables (prob, alias) such that one uniform deviate picks a column
+// i = floor(u * m) and a biased coin inside the column decides between i
+// and alias[i] — two array reads per sample, independent of m.
+//
+// Determinism contract: sample() consumes exactly ONE Rng::uniform() call,
+// the same RNG budget as ZipfSampler::sample and KeyValueStore::sample_key,
+// so swapping samplers never shifts the downstream deviate stream (the
+// arrival-time and service-time draws of cluster_sim stay untouched). The
+// construction itself is a deterministic function of the weights — no RNG.
+//
+// The sampled *values* differ from the inverse-CDF sampler for the same
+// uniform (the methods partition [0,1) differently), but the distribution
+// is exactly the same: tests/test_alias.cpp reconstructs the per-index
+// probability from the tables and asserts it equals the input weights to
+// ~1 ulp, and cross-checks the empirical stream against ZipfSampler with a
+// chi-square-style tolerance (the documented equivalence of the two
+// samplers; see docs/streaming.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace flowsched {
+
+class AliasSampler {
+ public:
+  /// Builds the tables from unnormalized non-negative weights (size >= 1,
+  /// positive total). O(n) time and space.
+  explicit AliasSampler(std::vector<double> weights);
+
+  /// Zipf(s) over ranks 0..m-1 — the drop-in for ZipfSampler(m, s).
+  AliasSampler(int m, double s);
+
+  /// One uniform draw, two array reads. Same Rng budget as
+  /// ZipfSampler::sample.
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform() * static_cast<double>(prob_.size());
+    std::size_t i = static_cast<std::size_t>(u);
+    if (i >= prob_.size()) i = prob_.size() - 1;  // u == n after rounding
+    return (u - static_cast<double>(i)) < prob_[i]
+               ? i
+               : static_cast<std::size_t>(alias_[i]);
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Normalized input weights (sums to 1), matching ZipfSampler::weights().
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Probability of drawing `i` as reconstructed from the alias tables:
+  /// prob[i]/n plus the overflow mass every column aliases back to i. Used
+  /// by tests to assert the tables encode exactly the input distribution.
+  double table_probability(std::size_t i) const;
+
+ private:
+  void build();
+
+  std::vector<double> weights_;        // normalized input
+  std::vector<double> prob_;           // column-local acceptance threshold
+  std::vector<std::uint32_t> alias_;   // column-overflow target
+};
+
+}  // namespace flowsched

@@ -1,0 +1,135 @@
+// Walker/Vose alias sampler (workload/alias.hpp): construction invariants,
+// the exact per-index acceptance probabilities, the one-uniform-per-draw
+// deviate budget, and distributional equivalence with the inverse-CDF
+// ZipfSampler it replaced. Equivalence is chi-square, not draw-for-draw:
+// the alias method maps the same uniforms to different (identically
+// distributed) indices, so downstream code sees the same *stream positions*
+// but not the same key values — docs/streaming.md spells this out.
+#include "workload/alias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace flowsched {
+namespace {
+
+TEST(Alias, RejectsDegenerateWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Alias, NormalizesWeights) {
+  const AliasSampler sampler(std::vector<double>{2.0, 6.0});
+  ASSERT_EQ(sampler.size(), 2u);
+  EXPECT_NEAR(sampler.weights()[0], 0.25, 1e-15);
+  EXPECT_NEAR(sampler.weights()[1], 0.75, 1e-15);
+}
+
+TEST(Alias, SingleColumnAlwaysSampled) {
+  const AliasSampler sampler(std::vector<double>{3.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+// The acceptance test: summing each column's retained mass plus the mass
+// aliased into it from other columns must reconstruct the input weights
+// exactly — this is the defining invariant of a correct Vose build.
+TEST(Alias, TableProbabilitiesReconstructWeights) {
+  for (double s : {0.0, 0.5, 1.0, 2.5}) {
+    const AliasSampler sampler(8, s);
+    const auto expected = zipf_weights(8, s);
+    for (std::size_t i = 0; i < sampler.size(); ++i) {
+      EXPECT_NEAR(sampler.table_probability(i), expected[i], 1e-12)
+          << "s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST(Alias, ZipfCtorMatchesZipfWeights) {
+  const AliasSampler sampler(11, 1.3);
+  const auto expected = zipf_weights(11, 1.3);
+  ASSERT_EQ(sampler.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sampler.weights()[i], expected[i]);
+  }
+}
+
+TEST(Alias, DeterministicDrawSequence) {
+  const AliasSampler sampler(16, 1.0);
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(a), sampler.sample(b));
+}
+
+// Exactly one Rng::uniform() per draw — the deviate budget that keeps the
+// arrival/service draws interleaved with key draws (kvstore/cluster_sim)
+// at the same stream positions as the inverse-CDF sampler.
+TEST(Alias, ConsumesExactlyOneUniformPerDraw) {
+  const AliasSampler sampler(9, 0.8);
+  Rng sampled(7), advanced(7);
+  for (int i = 0; i < 500; ++i) {
+    sampler.sample(sampled);
+    advanced.uniform();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(sampled.uniform(), advanced.uniform());
+  }
+}
+
+// Chi-square goodness of fit of alias draws against the Zipf pmf, and the
+// same statistic for the inverse-CDF ZipfSampler on the same budget: both
+// must sit below the 99.9th-percentile critical value, i.e. the two
+// samplers are statistically indistinguishable from the target law (and
+// hence from each other).
+TEST(Alias, ChiSquareEquivalenceWithZipfSampler) {
+  const int m = 12;
+  const double s = 1.0;
+  const int draws = 200000;
+  const auto expected = zipf_weights(m, s);
+
+  const AliasSampler alias(m, s);
+  const ZipfSampler inverse(m, s);
+  std::vector<int> alias_counts(static_cast<std::size_t>(m), 0);
+  std::vector<int> inverse_counts(static_cast<std::size_t>(m), 0);
+  Rng ra(2026), ri(2026);
+  for (int i = 0; i < draws; ++i) {
+    ++alias_counts[alias.sample(ra)];
+    ++inverse_counts[inverse.sample(ri)];
+  }
+
+  const auto chi2 = [&](const std::vector<int>& counts) {
+    double stat = 0;
+    for (int j = 0; j < m; ++j) {
+      const double e = expected[static_cast<std::size_t>(j)] * draws;
+      const double d = counts[static_cast<std::size_t>(j)] - e;
+      stat += d * d / e;
+    }
+    return stat;
+  };
+  // chi2_{0.999, df=11} = 31.26.
+  EXPECT_LT(chi2(alias_counts), 31.26);
+  EXPECT_LT(chi2(inverse_counts), 31.26);
+}
+
+TEST(Alias, EmpiricalFrequenciesMatchSkewedWeights) {
+  const AliasSampler sampler(std::vector<double>{8.0, 1.0, 1.0});
+  Rng rng(5);
+  const int draws = 100000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < draws; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / draws, 0.8, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / draws, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / draws, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -51,6 +51,15 @@ if "$FUZZ" run --seed 11 --runs 8 --threads 1 --inject-bug \
 fi
 "$FUZZ" replay --input tests/corpus/prop1-tiebreak.txt > /dev/null
 
+# Streaming pipeline under ASan: the alias tables, the calendar queue's
+# grow/drain churn, the slot arena recycling, and the P2 sketches, in both
+# quantile regimes (80k requests crosses the 2^16 exact cap), with the
+# stream auditor riding along inside the fuzz campaigns above.
+"$CLI" stream --requests 30000 --m 16 --lambda 12 --reps 2 --seed 7 \
+  > "$SMOKE_DIR/stream.out"
+"$CLI" stream --requests 80000 --m 64 --lambda 48 --seed 7 --json \
+  > "$SMOKE_DIR/stream.json"
+
 # Fault campaign under ASan: the fault battery on every run (plan
 # generation, kill/requeue/park bookkeeping, fault-mode audits) plus the
 # committed fault-case reproducers through the replay path.
@@ -60,5 +69,5 @@ fi
 "$CLI" faultsim --input tests/corpus/fault-disjoint.txt > /dev/null
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint'
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit'
 echo "asan_check: OK"

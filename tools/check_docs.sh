@@ -39,10 +39,11 @@ for doc in "${doc_files[@]}"; do
 done
 
 # --- 2. bench names in EXPERIMENTS.md --------------------------------------
-# ctest names (registered in bench/CMakeLists.txt, no .cpp of their own)
-# are exempt.
+# ctest names (registered in bench/ or tools/ CMakeLists, no .cpp of their
+# own) and the tools/ scripts are exempt.
 ctest_names="bench_determinism_fig11 bench_determinism_fig10 \
-bench_determinism_failures bench_failures_resume"
+bench_determinism_failures bench_failures_resume bench_determinism_streaming \
+bench_trajectory"
 for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sort -u); do
   case " $ctest_names " in *" $bench "*) continue ;; esac
   if [ ! -f "bench/$bench.cpp" ]; then

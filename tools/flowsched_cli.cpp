@@ -18,6 +18,12 @@
 //                          [--mtbf X] [--mean-down X] [--horizon X]
 //                          [--recovery immediate|backoff|checkpoint]
 //                          [--fates] [--no-audit]
+//   flowsched_cli stream [--requests N] [--lambda X] [--m N] [--keys N]
+//                        [--k N] [--zipf-s X]
+//                        [--strategy overlapping|disjoint|spread|none]
+//                        [--dist constant|exponential|uniform] [--service X]
+//                        [--algo <name>] [--seed N] [--reps N] [--threads N]
+//                        [--json] [--assert-rss-mb X]
 //
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
@@ -33,7 +39,13 @@
 // `faultsim` replays an instance under machine failures (a fault-case file
 // with `down`/`recovery` directives, or a plain instance plus a seeded
 // --mtbf crash/repair plan), reports attempts / kills / parks / drops, and
-// audits the run with the [fault-*] checks (docs/faults.md).
+// audits the run with the [fault-*] checks (docs/faults.md);
+// `stream` runs the O(backlog)-memory serving pipeline
+// (simulate_cluster_streaming, docs/streaming.md) for --reps seeded
+// replicate streams fanned across --threads workers — the per-rep reports
+// on stdout are byte-identical at any thread count (wall-clock throughput
+// and peak RSS go to stderr), and --assert-rss-mb turns the memory bound
+// into an exit status for the stream_soak ctest.
 // Instance format: see src/io/instance_io.hpp.
 #include <cmath>
 #include <cstdio>
@@ -45,11 +57,15 @@
 #include <sstream>
 #include <string>
 
+#include <sys/resource.h>
+
 #include "check/audit.hpp"
 #include "fault/plan.hpp"
 #include "fault/plan_io.hpp"
 #include "fault/recovery.hpp"
 #include "io/instance_io.hpp"
+#include "kvstore/cluster_sim.hpp"
+#include "runner/experiment.hpp"
 #include "util/args.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -466,6 +482,138 @@ int cmd_faultsim(const ArgParser& args) {
   return 0;
 }
 
+int cmd_stream(const ArgParser& args) {
+  const auto requests = static_cast<long long>(args.num("requests", 100000));
+  const int m = args.integer("m", 16);
+  const int keys = args.integer("keys", 100 * (m > 0 ? m : 1));
+  int k = args.integer("k", 3);
+  const double zipf_s = args.num("zipf-s", 1.0);
+  const double lambda = args.num("lambda", 0.75 * m);
+  const double service = args.num("service", 1.0);
+  const std::string strategy_name = args.get("strategy", "overlapping");
+  const std::string dist_name = args.get("dist", "exponential");
+  const std::string algo = args.get("algo", "eft-min");
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const int reps = args.integer("reps", 1);
+  const int threads = args.integer("threads", 1);
+  const bool want_json = args.has("json");
+  const double assert_rss_mb = args.num("assert-rss-mb", 0.0);
+  args.reject_unknown();
+
+  if (m < 1 || k < 1 || k > m || keys < 1) {
+    std::fprintf(stderr, "need 1 <= k <= m, m >= 1, keys >= 1\n");
+    return 2;
+  }
+  if (reps < 1 || requests < 0 || lambda <= 0 || service <= 0) {
+    std::fprintf(stderr,
+                 "need reps >= 1, requests >= 0, lambda > 0, service > 0\n");
+    return 2;
+  }
+  StoreConfig store_config;
+  store_config.m = m;
+  store_config.keys = keys;
+  store_config.zipf_s = zipf_s;
+  store_config.k = k;
+  if (strategy_name == "overlapping") {
+    store_config.strategy = ReplicationStrategy::kOverlapping;
+  } else if (strategy_name == "disjoint") {
+    store_config.strategy = ReplicationStrategy::kDisjoint;
+  } else if (strategy_name == "spread") {
+    store_config.strategy = ReplicationStrategy::kSpread;
+  } else if (strategy_name == "none") {
+    store_config.strategy = ReplicationStrategy::kNone;
+    store_config.k = 1;
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy_name.c_str());
+    return 2;
+  }
+  StreamConfig stream_config;
+  stream_config.lambda = lambda;
+  stream_config.requests = requests;
+  stream_config.service_time = service;
+  if (dist_name == "constant") {
+    stream_config.dist = ServiceDist::kConstant;
+  } else if (dist_name == "exponential") {
+    stream_config.dist = ServiceDist::kExponential;
+  } else if (dist_name == "uniform") {
+    stream_config.dist = ServiceDist::kUniform;
+  } else {
+    std::fprintf(stderr, "unknown --dist '%s'\n", dist_name.c_str());
+    return 2;
+  }
+  // The FIFO simulators are batch-only (they sort the finished instance);
+  // probe the name once so a typo fails before any replicate runs.
+  if (make_dispatcher(algo, 0) == nullptr) {
+    std::fprintf(stderr,
+                 "stream drives a Dispatcher; --algo %s is batch-only\n",
+                 algo.c_str());
+    return 2;
+  }
+
+  // One cell (the user seed), --reps seeded replicate streams: the exact
+  // runner/experiment.hpp contract, so stdout is byte-identical at any
+  // --threads value (bench_determinism_streaming byte-compares it).
+  const std::uint64_t experiment = experiment_id("cli_stream");
+  const std::uint64_t cell = cell_id({seed});
+  ExperimentRunner runner(resolve_threads(threads));
+  const std::vector<StreamReport> reports = runner.map<StreamReport>(
+      reps, [&](int rep) {
+        Rng rng(replicate_seed(experiment, cell,
+                               static_cast<std::uint64_t>(rep)));
+        KeyValueStore store(store_config, rng);
+        auto dispatcher =
+            make_dispatcher(algo, replicate_seed(experiment, cell,
+                                                 static_cast<std::uint64_t>(rep)));
+        return simulate_cluster_streaming(store, stream_config, *dispatcher,
+                                          rng);
+      });
+
+  if (want_json) {
+    std::printf("[");
+    for (int rep = 0; rep < reps; ++rep) {
+      const StreamReport& r = reports[static_cast<std::size_t>(rep)];
+      std::printf(
+          "%s\n  {\"rep\": %d, \"requests\": %d, \"mean_latency\": %.17g, "
+          "\"p50\": %.17g, \"p90\": %.17g, \"p99\": %.17g, \"p999\": %.17g, "
+          "\"max_latency\": %.17g, \"makespan\": %.17g, "
+          "\"quantiles\": \"%s\", \"peak_backlog\": %zu}",
+          rep == 0 ? "" : ",", rep, r.sim.requests, r.sim.mean_latency,
+          r.sim.p50, r.sim.p90, r.sim.p99, r.p999, r.sim.max_latency,
+          r.sim.makespan, r.exact_quantiles ? "exact" : "p2", r.peak_backlog);
+    }
+    std::printf("\n]\n");
+  } else {
+    std::printf("stream algo=%s m=%d keys=%d k=%d strategy=%s zipf-s=%g "
+                "dist=%s lambda=%g service=%g requests=%lld reps=%d\n",
+                algo.c_str(), m, keys, store_config.k, strategy_name.c_str(),
+                zipf_s, dist_name.c_str(), lambda, service, requests, reps);
+    for (int rep = 0; rep < reps; ++rep) {
+      std::printf("rep=%d %s\n", rep,
+                  reports[static_cast<std::size_t>(rep)].str().c_str());
+    }
+  }
+
+  // Wall-clock facts go to stderr: stdout stays byte-comparable.
+  for (int rep = 0; rep < reps; ++rep) {
+    const StreamReport& r = reports[static_cast<std::size_t>(rep)];
+    std::fprintf(stderr, "rep=%d throughput=%.6g req/s engine-memory=%zu B\n",
+                 rep, r.requests_per_sec, r.memory_bytes);
+  }
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const double rss_mb =
+      static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB here
+  std::fprintf(stderr, "peak_rss_mb=%.1f\n", rss_mb);
+  if (assert_rss_mb > 0 && rss_mb > assert_rss_mb) {
+    std::fprintf(stderr,
+                 "RSS BOUND VIOLATED: peak %.1f MB > asserted %.1f MB — the "
+                 "streaming pipeline is retaining per-request state\n",
+                 rss_mb, assert_rss_mb);
+    return 4;
+  }
+  return 0;
+}
+
 int cmd_bounds(const ArgParser& args) {
   const std::string input = args.get("input", "");
   args.reject_unknown();
@@ -490,13 +638,14 @@ int main(int argc, char** argv) {
     if (args.command() == "check-trace") return cmd_check_trace(args);
     if (args.command() == "maxload") return cmd_maxload(args);
     if (args.command() == "faultsim") return cmd_faultsim(args);
+    if (args.command() == "stream") return cmd_stream(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
   }
   std::fprintf(stderr,
                "usage: flowsched_cli run|opt|gen|bounds|trace|check-trace"
-               "|maxload|faultsim [--options]\n"
+               "|maxload|faultsim|stream [--options]\n"
                "see the header of tools/flowsched_cli.cpp\n");
   return 2;
 }

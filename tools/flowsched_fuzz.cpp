@@ -5,7 +5,7 @@
 //       [--structure inclusive|nested|ksize|interval|adversary|all]
 //       [--corpus-dir DIR] [--inject-bug] [--no-shrink] [--no-oracles]
 //       [--lp-every N] [--fault-every N] [--no-faults] [--inject-fault-bug]
-//       [--max-n N] [--max-m N] [--unit]
+//       [--stream-every N] [--no-stream] [--max-n N] [--max-m N] [--unit]
 //   flowsched_fuzz replay --input FILE [--no-oracles]
 //
 // `run` executes a fuzz campaign: each run draws a random structured
@@ -58,6 +58,8 @@ int run_command(const ArgParser& args) {
   config.lp_every = args.integer("lp-every", config.lp_every);
   config.fault_every = args.integer("fault-every", config.fault_every);
   if (args.has("no-faults")) config.fault_every = 0;
+  config.stream_every = args.integer("stream-every", config.stream_every);
+  if (args.has("no-stream")) config.stream_every = 0;
   config.inject_fault_bug = args.has("inject-fault-bug");
   config.sizes.max_n = args.integer("max-n", config.sizes.max_n);
   config.sizes.max_m = args.integer("max-m", config.sizes.max_m);

@@ -8,7 +8,10 @@
 #      and every reproducer shrinks to at most 6 tasks;
 #   4. with --inject-fault-bug the planted downtime-ignoring dispatcher is
 #      caught by a [fault-*] check and shrinks to at most 3 tasks;
-#   5. every committed reproducer in tests/corpus replays clean (fault
+#   5. the clean campaign ran the batch-vs-streaming differential
+#      ([diff-streaming] + windowed [stream-*] audit) on every run —
+#      asserted via the report's stream-checks counter;
+#   6. every committed reproducer in tests/corpus replays clean (fault
 #      cases route through the fault battery automatically).
 #
 # Usable standalone:
@@ -121,7 +124,35 @@ if(fault_reproducers STREQUAL "")
       "fuzz_smoke: --inject-fault-bug produced no reproducer files")
 endif()
 
-# --- 5. committed corpus replays clean -------------------------------------
+# --- 5. the streaming differential actually ran ----------------------------
+# stream_every defaults to 1, so the clean campaign above must have executed
+# the batch-vs-streaming check on all 40 runs. A zero (or absent) counter
+# means the differential silently stopped running.
+file(READ ${dir}/t1.txt clean_report)
+if(NOT clean_report MATCHES "stream-checks=([0-9]+)")
+  message(FATAL_ERROR
+      "fuzz_smoke: report lacks the stream-checks counter:\n${clean_report}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: streaming differential never ran (stream-checks=0):\n"
+      "${clean_report}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 8 --threads 1 --no-stream
+  OUTPUT_FILE ${dir}/nostream.txt RESULT_VARIABLE nostream_rc)
+if(NOT nostream_rc EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-stream campaign failed (rc=${nostream_rc})")
+endif()
+file(READ ${dir}/nostream.txt nostream_report)
+if(NOT nostream_report MATCHES "stream-checks=0")
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-stream did not disable the streaming differential:\n"
+      "${nostream_report}")
+endif()
+
+# --- 6. committed corpus replays clean -------------------------------------
 if(DEFINED CORPUS_DIR)
   file(GLOB corpus ${CORPUS_DIR}/*.txt)
   foreach(f IN LISTS corpus)

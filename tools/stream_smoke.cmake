@@ -1,0 +1,83 @@
+# Streaming-pipeline smoke, registered as the cli_stream_smoke ctest by
+# tools/CMakeLists.txt:
+#
+#   1. a short exact-regime stream (requests below the exact-quantile cap)
+#      reports quantiles=exact and a sane per-rep line;
+#   2. a stream past the cap engages the P2 sketch path (quantiles=p2)
+#      while keeping the RSS bound (--assert-rss-mb turns it into the exit
+#      status);
+#   3. --json emits the machine-readable report with the p999 field;
+#   4. a typo'd flag fails fast instead of running.
+#
+# Usable standalone:
+#
+#   cmake -DCLI=build/tools/flowsched_cli -DWORK_DIR=/tmp \
+#         -P tools/stream_smoke.cmake
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "stream_smoke.cmake: -DCLI= is required")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/stream_smoke)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# --- 1. exact regime ---------------------------------------------------------
+execute_process(
+  COMMAND ${CLI} stream --requests 20000 --m 16 --lambda 12 --reps 2 --seed 7
+  OUTPUT_FILE ${dir}/exact.txt RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: exact-regime stream failed (rc=${rc})")
+endif()
+file(READ ${dir}/exact.txt exact_out)
+if(NOT exact_out MATCHES "quantiles=exact")
+  message(FATAL_ERROR
+      "stream_smoke: exact-regime report lacks quantiles=exact:\n${exact_out}")
+endif()
+if(NOT exact_out MATCHES "rep=1 ")
+  message(FATAL_ERROR "stream_smoke: missing rep=1 line:\n${exact_out}")
+endif()
+
+# --- 2. sketch regime under an RSS bound ------------------------------------
+# 200k requests exceeds the 2^16 exact-quantile cap; the whole run must fit
+# comfortably under 256 MB (it retains O(backlog) state, not O(requests)).
+execute_process(
+  COMMAND ${CLI} stream --requests 200000 --m 16 --lambda 12 --seed 7
+          --assert-rss-mb 256
+  OUTPUT_FILE ${dir}/sketch.txt RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "stream_smoke: sketch-regime stream failed or broke the RSS bound "
+      "(rc=${rc})")
+endif()
+file(READ ${dir}/sketch.txt sketch_out)
+if(NOT sketch_out MATCHES "quantiles=p2")
+  message(FATAL_ERROR
+      "stream_smoke: past-cap stream did not engage the sketches:\n"
+      "${sketch_out}")
+endif()
+
+# --- 3. JSON report ---------------------------------------------------------
+execute_process(
+  COMMAND ${CLI} stream --requests 5000 --m 8 --lambda 6 --seed 7 --json
+  OUTPUT_FILE ${dir}/report.json RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: --json stream failed (rc=${rc})")
+endif()
+file(READ ${dir}/report.json json_out)
+if(NOT json_out MATCHES "\"p999\"" OR NOT json_out MATCHES "\"peak_backlog\"")
+  message(FATAL_ERROR
+      "stream_smoke: JSON report lacks p999/peak_backlog:\n${json_out}")
+endif()
+
+# --- 4. typos fail fast -----------------------------------------------------
+execute_process(
+  COMMAND ${CLI} stream --requets 10
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: misspelled flag was accepted")
+endif()
+
+message(STATUS "stream_smoke: exact + sketch regimes, JSON, RSS bound OK")

@@ -18,13 +18,19 @@ cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target flowsched_tests flowsched_fuzz \
-  bench_fig10_maxload -j "$(nproc)"
+  flowsched_cli bench_fig10_maxload -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine|Fuzz\.|RunnerHardening'
 "$BUILD_DIR/bench/bench_fig10_maxload" --m 10 --permutations 2 --threads 4 \
   > /dev/null
 "$BUILD_DIR/tools/flowsched_fuzz" run --seed 11 --runs 60 --threads 4 \
   > /dev/null
+
+# Streaming replicates fan across the pool; each worker owns its store,
+# dispatcher, engine and sketches — TSan proves the only sharing is the
+# result collection in rep order.
+"$BUILD_DIR/tools/flowsched_cli" stream --requests 20000 --m 16 --lambda 12 \
+  --reps 8 --threads 4 --seed 7 > /dev/null
 
 # Fault campaign under TSan: fuzz workers running the fault battery own
 # their plans, fault logs and auditors privately, and the checkpointed

@@ -27,7 +27,7 @@ FUZZ="$BUILD_DIR/tools/flowsched_fuzz"
 
 # Fault unit suites plus the runner/checkpoint hardening tests.
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint'
+  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit'
 
 # faultsim CLI on the committed corpus cases (scripted plans, both
 # replication schemes) and on a seeded random plan per recovery policy.
@@ -54,6 +54,13 @@ if "$FUZZ" run --seed 42 --runs 8 --threads 1 --inject-fault-bug \
 fi
 "$FUZZ" replay --input tests/corpus/fault-overlapping.txt > /dev/null
 "$FUZZ" replay --input tests/corpus/fault-disjoint.txt > /dev/null
+
+# Streaming pipeline under UBSan: bucket-index arithmetic in the calendar
+# queue (floor/int64 casts at the ring boundaries), the alias table's
+# uniform-to-index mapping, and the P2 parabolic marker updates, across
+# both quantile regimes.
+"$CLI" stream --requests 30000 --m 16 --lambda 12 --reps 2 --seed 7 > /dev/null
+"$CLI" stream --requests 80000 --m 64 --lambda 48 --seed 7 --json > /dev/null
 
 # Failure sweep: checkpointed, parallel, with the watchdog armed — the
 # whole hardened-runner surface in one run.
