@@ -16,6 +16,12 @@ struct AdversaryResult {
   double opt_fmax = 0.0;  ///< Offline optimum per the paper's argument.
   double achieved_fmax = 0.0;
   double lower_bound = 0.0;  ///< The theorem's guaranteed ratio, for reports.
+  /// Fmax the construction's closed form predicts for THIS run (finite p),
+  /// e.g. (L+1)p - L for Theorem 3. The bounds library reproduces the same
+  /// value simulation-free (bounds/bounds.hpp theoremN_predicted_fmax);
+  /// tests/test_bounds.cpp asserts formula == predicted == achieved where
+  /// the proof is exact.
+  double predicted_fmax = 0.0;
 
   double ratio() const;
 };

@@ -47,6 +47,9 @@ AdversaryResult run_th3_inclusive(Dispatcher& dispatcher, int m_prime,
 
   AdversaryResult result{engine.snapshot(), p, 0.0,
                          std::floor(std::log2(m_prime) + 1)};
+  // The final singleton waits behind L levels of length-(p-1) residue and
+  // then runs for p: Fmax = (L+1)p - L exactly.
+  result.predicted_fmax = (levels + 1) * p - levels;
   result.achieved_fmax = result.schedule.max_flow();
   return result;
 }

@@ -26,6 +26,9 @@ AdversaryResult run_th7_interval(OnlineOracle& oracle, double p) {
   oracle.release(Task{.release = t, .proc = p, .eligible = follow_up});
 
   AdversaryResult result{oracle.snapshot(), p, 0.0, 2.0};
+  // One follow-up queues behind the probe on the blocked side: it starts at
+  // start + p, finishing p later, released at start + 1: Fmax = 2p - 1.
+  result.predicted_fmax = 2 * p - 1;
   result.achieved_fmax = result.schedule.max_flow();
   return result;
 }

@@ -47,6 +47,9 @@ AdversaryResult run_th4_ksize(Dispatcher& dispatcher, int m_prime, int k,
   // floating log ratio is off by one for e.g. m' = 243, k = 3.
   AdversaryResult result{engine.snapshot(), p, 0.0,
                          static_cast<double>(levels)};
+  // Level l's survivor carries l stacked tasks less the (l-1) elapsed unit
+  // gaps: Fmax = Lp - (L-1) exactly.
+  result.predicted_fmax = levels * p - (levels - 1);
   result.achieved_fmax = result.schedule.max_flow();
   return result;
 }

@@ -68,6 +68,9 @@ AdversaryResult run_th5_nested(OnlineOracle& oracle, int m_prime) {
 
   AdversaryResult result{oracle.snapshot(), 3.0, 0.0,
                          std::floor(std::log2(m_prime) + 2) / 3.0};
+  // Some singleton of the last interval is forced to flow F = L + 2 (unit
+  // tasks; no p parameter).
+  result.predicted_fmax = F;
   result.achieved_fmax = result.schedule.max_flow();
   return result;
 }

@@ -82,6 +82,9 @@ AdversaryResult run_th8(Dispatcher& dispatcher, int m, int k, int steps) {
   }
   AdversaryResult result{engine.snapshot(), 1.0, 0.0,
                          static_cast<double>(m - k + 1)};
+  // Steady state: machine M_1 accumulates a backlog of m - k type-1 tasks,
+  // so the last one flows m - k + 1 while OPT stays at 1.
+  result.predicted_fmax = static_cast<double>(m - k + 1);
   result.achieved_fmax = result.schedule.max_flow();
   return result;
 }

@@ -110,13 +110,18 @@ struct AuditConfig {
 /// across runs, each prefixed with "run#<index> <algo>:".
 class InvariantAuditor final : public SchedObserver {
  public:
+  /// \param config which checks to arm (see AuditConfig field docs).
   explicit InvariantAuditor(AuditConfig config = {});
 
+  // SchedObserver hooks — the engine drives these; the end-of-run oracles
+  // fire from on_run_end.
   void on_run_begin(const RunInfo& info) override;
   void on_event(const ObsEvent& event) override;
   void on_run_end(double makespan) override;
 
+  /// \return true when no check has failed in any observed run so far.
   bool ok() const { return violations_.empty(); }
+  /// Violation lines in detection order, "run#<i> <algo>: [tag] ...".
   const std::vector<std::string>& violations() const { return violations_; }
   /// Completed runs observed so far.
   int runs() const { return runs_; }

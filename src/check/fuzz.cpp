@@ -15,6 +15,7 @@
 #include "check/stream_audit.hpp"
 #include "io/instance_io.hpp"
 #include "lp/maxload.hpp"
+#include "model/structure.hpp"
 #include "offline/bruteforce.hpp"
 #include "offline/preemptive_optimal.hpp"
 #include "runner/experiment.hpp"
@@ -109,6 +110,7 @@ struct CheckOpts {
   bool bound_oracles = true;
   bool differential = true;
   bool inject_bug = false;
+  bool bounds_diff = true;
 };
 
 // Runs one policy on one instance under the auditor and the differential
@@ -153,6 +155,51 @@ std::vector<std::string> check_policy(const Instance& inst,
     if (fmax > ratio * oracles.bruteforce + 1e-6) {
       out.push_back(policy + ": [diff-th1-exact] Fmax " + fmt(fmax) +
                     " > (3 - 2/m) * OPT = " + fmt(ratio * oracles.bruteforce));
+    }
+  }
+  // Bound-landscape differential (src/bounds semantics, docs/bounds.md).
+  // Only sound checks run here — an upper-bound theorem may be checked
+  // against the exact optimum or a ceiling that dominates it, never against
+  // a lower bound (which would be stricter than the theorem):
+  //   (a) universal work ceiling — releases are non-decreasing ([protocol]),
+  //       so an immediate-dispatch schedule has Fmax <= W and a FIFO-family
+  //       schedule Fmax <= W + pmax (a waiting task's eligible machines are
+  //       all busy, and one machine carries at most W of work);
+  //   (b) Theorem 6 / Corollary 1 against the exact optimum on disjoint
+  //       families: EFT (and the FIFO simulators, group-wise via Prop. 1)
+  //       obeys Fmax <= (3 - 2/kmax) * OPT with kmax the largest group
+  //       size. Subsumes [diff-th1-exact] (an unrestricted instance is one
+  //       group with kmax = m); both stay on so either can bisect a
+  //       regression.
+  if (opts.bounds_diff) {
+    double work = 0.0;
+    double pmax = 0.0;
+    for (const Task& t : inst.tasks()) {
+      work += t.proc;
+      pmax = std::max(pmax, t.proc);
+    }
+    if (fmax > work + pmax + 1e-6) {
+      out.push_back(policy + ": [diff-bounds] Fmax " + fmt(fmax) +
+                    " exceeds the work ceiling W + pmax = " + fmt(work + pmax));
+    }
+    const bool fifo_family = eft_like || policy == "FIFO-eligible";
+    if (oracles.bruteforce > 0 && fifo_family) {
+      std::vector<ProcSet> sets;
+      sets.reserve(static_cast<std::size_t>(inst.n()));
+      for (const Task& t : inst.tasks()) sets.push_back(t.eligible);
+      if (is_disjoint_family(sets)) {
+        int kmax = 1;
+        for (const ProcSet& s : sets) {
+          kmax = std::max(kmax, static_cast<int>(s.machines().size()));
+        }
+        const double ceiling =
+            (3.0 - 2.0 / static_cast<double>(kmax)) * oracles.bruteforce;
+        if (fmax > ceiling + 1e-6) {
+          out.push_back(policy + ": [diff-bounds] Fmax " + fmt(fmax) +
+                        " > (3 - 2/kmax) * OPT = " + fmt(ceiling) +
+                        " on a disjoint family (Cor. 1)");
+        }
+      }
     }
   }
   return out;
@@ -283,6 +330,7 @@ struct RunOutcome {
   int lp_checks = 0;
   int fault_checks = 0;
   int stream_checks = 0;
+  int bounds_checks = 0;
   std::vector<RawFinding> findings;
 };
 
@@ -308,7 +356,8 @@ RunOutcome fuzz_one(const FuzzConfig& config,
   }
 
   const CheckOpts opts{config.bound_oracles, config.differential,
-                       config.inject_bug};
+                       config.inject_bug, config.bounds_diff};
+  if (config.differential && config.bounds_diff) out.bounds_checks = 1;
   for (const std::string& policy : policies_for(inst)) {
     const std::vector<std::string> violations =
         check_policy(inst, policy, opts, oracles);
@@ -497,8 +546,8 @@ std::string FuzzReport::summary() const {
   std::ostringstream os;
   os << "flowsched_fuzz: runs=" << runs << " schedules=" << schedules
      << " lp-checks=" << lp_checks << " fault-checks=" << fault_checks
-     << " stream-checks=" << stream_checks << " findings=" << findings.size()
-     << "\n";
+     << " stream-checks=" << stream_checks << " bounds-checks=" << bounds_checks
+     << " findings=" << findings.size() << "\n";
   int i = 0;
   for (const FuzzFinding& f : findings) {
     os << "  finding " << ++i << ": run=" << f.run
@@ -549,6 +598,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     report.lp_checks += outcome.lp_checks;
     report.fault_checks += outcome.fault_checks;
     report.stream_checks += outcome.stream_checks;
+    report.bounds_checks += outcome.bounds_checks;
     for (RawFinding& raw : outcome.findings) {
       FuzzFinding f;
       f.run = r;
@@ -560,7 +610,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
         if (config.shrink) {
           const std::string tag = tag_of(raw.check);
           const CheckOpts opts{config.bound_oracles, config.differential,
-                               config.inject_bug};
+                               config.inject_bug, config.bounds_diff};
           const FailurePredicate pred = [&](const Instance& cand) {
             if (raw.fault.has_value()) {
               // Regenerate the plan for the candidate's machine count; the

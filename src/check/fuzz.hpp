@@ -12,6 +12,13 @@
 //                      unrestricted instances (Theorem 1 against the exact
 //                      denominator, not a lower bound — sound and tight)
 //   [diff-preemptive]  Fmax >= preemptive OPT (relaxation bound, Section 2)
+//   [diff-bounds]      the bound landscape (src/bounds, docs/bounds.md):
+//                      every schedule obeys the universal work ceiling
+//                      Fmax <= W + pmax, and FIFO/EFT on disjoint families
+//                      obeys the Theorem 6 / Corollary 1 ceiling
+//                      Fmax <= (3 - 2/kmax) * OPT against the exact
+//                      optimum (generalizing [diff-th1-exact]; an
+//                      unrestricted instance is one group with kmax = m)
 //   [diff-lp]          LP max-load optimum == Dinic max-flow optimum
 //                      (lp/maxload.hpp's two independent solvers), run on
 //                      a fresh random replica system every lp_every runs
@@ -81,6 +88,11 @@ struct FuzzConfig {
   /// runs (0 disables it). Cheap — two engine replays per policy — so it
   /// defaults to every run.
   int stream_every = 1;
+  /// Run the bound-landscape differential ([diff-bounds]: work ceiling on
+  /// every policy, Cor. 1 vs the exact optimum on disjoint families) with
+  /// the other differential checks. Pure arithmetic over an
+  /// already-computed schedule, so it defaults to every run.
+  bool bounds_diff = true;
 
   /// Replace EFT-Min with FaultyEftDispatcher (still reporting the
   /// "EFT-Min" name) — the harness's own smoke test: the injected bug must
@@ -123,6 +135,7 @@ struct FuzzReport {
   int lp_checks = 0;
   int fault_checks = 0;  ///< Fault batteries executed.
   int stream_checks = 0;  ///< Batch-vs-streaming differentials executed.
+  int bounds_checks = 0;  ///< Runs with the [diff-bounds] landscape armed.
   std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
 
   bool ok() const { return findings.empty(); }

@@ -33,12 +33,20 @@
 
 namespace flowsched {
 
+/// \brief Monotone O(1)-amortized event queue: pops in exact ascending
+/// (time, insertion-seq) order, bit-identical to a binary heap (see the
+/// file comment for the determinism contract and design rationale).
+/// \tparam T payload type carried with each event; moved in and out.
 template <typename T>
 class CalendarQueue {
  public:
-  /// `bucket_width` must be positive; `buckets` (power of two) is the
-  /// initial ring size — the ring grows by doubling up to `max_buckets`
-  /// before spilling to the overflow heap.
+  /// \param bucket_width bucket span in time units; must be positive
+  ///        (defaults to the simulator's dyadic 2^-3 grid).
+  /// \param buckets initial ring size, rounded up to a power of two — the
+  ///        ring grows by doubling up to `max_buckets` before spilling to
+  ///        the overflow heap.
+  /// \param max_buckets hard ring-size cap; entries beyond the capped
+  ///        horizon wait in the overflow heap (the cold path).
   explicit CalendarQueue(double bucket_width = 0.125,
                          std::size_t buckets = 1024,
                          std::size_t max_buckets = std::size_t{1} << 16)
@@ -54,12 +62,16 @@ class CalendarQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
-  /// Earliest entry's time. Requires !empty().
+  /// \return the earliest entry's time. Requires !empty().
   double top_time() {
     locate();
     return head_entry().time;
   }
 
+  /// \brief Enqueues `payload` at `time`.
+  /// \param time event time; must be finite. Times before the open bucket
+  ///        are legal and pop with it (pops never go back in time).
+  /// \param payload value returned by the matching pop().
   void push(double time, T payload) {
     if (!std::isfinite(time)) {
       throw std::invalid_argument("CalendarQueue::push: non-finite time");
@@ -89,7 +101,8 @@ class CalendarQueue {
     bucket.entries.insert(it, std::move(e));
   }
 
-  /// Removes and returns the earliest (time, seq) entry. Requires !empty().
+  /// \brief Removes the earliest (time, seq) entry. Requires !empty().
+  /// \return the removed entry's payload.
   T pop() {
     locate();
     Bucket& bucket = ring_[ring_index(cursor_)];
@@ -104,7 +117,8 @@ class CalendarQueue {
     return payload;
   }
 
-  /// Live footprint estimate (ring headers + entries + overflow).
+  /// \return live footprint estimate in bytes (ring headers + entries +
+  /// overflow), the quantity the streaming memory contract is stated in.
   std::size_t memory_bytes() const {
     std::size_t bytes = ring_.size() * sizeof(Bucket);
     for (const Bucket& b : ring_) bytes += b.entries.capacity() * sizeof(Entry);

@@ -17,7 +17,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_fuzz \
-  flowsched_tests bench_fig10_maxload -j "$(nproc)"
+  flowsched_tests bench_fig10_maxload bench_ext_bounds -j "$(nproc)"
 
 # CLI smoke under ASan: a leak or OOB anywhere in the recorder/validator
 # path aborts with a non-zero exit.
@@ -67,6 +67,17 @@ fi
   > "$SMOKE_DIR/fuzz-fault.out"
 "$FUZZ" replay --input tests/corpus/fault-overlapping.txt > /dev/null
 "$CLI" faultsim --input tests/corpus/fault-disjoint.txt > /dev/null
+
+# Bound landscape under ASan: the closed-form evaluator and planner via
+# the CLI, and the analytic-vs-simulated overlay (exact unit-task optimum,
+# adversary constructions, Rational arithmetic) via bench_ext_bounds —
+# which must still report zero bound violations.
+"$CLI" bounds --m 16 --k 3 > "$SMOKE_DIR/bounds.out"
+"$CLI" bounds --m 256 --structure interval --target-fmax 20 \
+  > "$SMOKE_DIR/bounds-plan.out"
+"$BUILD_DIR/bench/bench_ext_bounds" --reps 2 --slots 15 --threads 4 \
+  > "$SMOKE_DIR/bounds-bench.out"
+grep -q 'bound-violations=0' "$SMOKE_DIR/bounds-bench.out"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit'

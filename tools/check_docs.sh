@@ -7,7 +7,10 @@
 #      matching source file under bench/;
 #   3. handbook cross-links hold in BOTH directions: every docs/*.md page is
 #      referenced from the README's docs table AND links back to the README;
-#      the README links EXPERIMENTS.md and EXPERIMENTS.md links back.
+#      the README links EXPERIMENTS.md and EXPERIMENTS.md links back;
+#   4. every theorem cited in the documentation ("Th. 8", "Theorem 3",
+#      "Theorems 3, 4", "Cor. 1", "Prop. 1") names a result PAPER.md
+#      actually states — a renumbered or misremembered theorem fails here.
 #
 # Usage: tools/check_docs.sh   (from anywhere; cds to the repo root)
 set -euo pipefail
@@ -43,7 +46,7 @@ done
 # own) and the tools/ scripts are exempt.
 ctest_names="bench_determinism_fig11 bench_determinism_fig10 \
 bench_determinism_failures bench_failures_resume bench_determinism_streaming \
-bench_trajectory"
+bench_determinism_bounds bench_trajectory"
 for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sort -u); do
   case " $ctest_names " in *" $bench "*) continue ;; esac
   if [ ! -f "bench/$bench.cpp" ]; then
@@ -78,6 +81,39 @@ if ! grep -q '](README\.md' EXPERIMENTS.md; then
   say "check_docs: EXPERIMENTS.md has no backlink to README.md"
   fail=1
 fi
+
+# --- 4. theorem citations resolve against PAPER.md -------------------------
+# The valid numbers are discovered from PAPER.md, not hardcoded: every
+# "Theorem N" / "Theorems N, M, ..." the abstract states contributes its
+# numbers. Citations are collected in all their local spellings — "Th. 8",
+# "Th. 8/9/10", "Theorem 10's", "Theorems 3, 4" — and each cited number
+# must be one PAPER.md states. Same audit for corollaries and propositions.
+audit_citations() {
+  # $1 long form ("Theorem"), $2 short form ("Th"), $3 valid numbers.
+  local long=$1 short=$2 valid=" $3 " doc num
+  for doc in "${doc_files[@]}"; do
+    [ -f "$doc" ] || continue
+    for num in $(grep -o "\\(${long}s\\?\\|${short}\\.\\) \\{0,1\\}[0-9][0-9, /]*" "$doc" \
+                   | grep -o '[0-9]\+' | sort -un); do
+      case "$valid" in
+        *" $num "*) ;;
+        *)
+          say "check_docs: $doc cites $long $num, which PAPER.md does not state"
+          fail=1 ;;
+      esac
+    done
+  done
+}
+paper_theorems=$(grep -o 'Theorems\? [0-9][0-9, ]*' PAPER.md | grep -o '[0-9]\+' | sort -un | tr '\n' ' ')
+paper_corollaries=$(grep -o 'Corollar\(y\|ies\) [0-9][0-9, ]*' PAPER.md | grep -o '[0-9]\+' | sort -un | tr '\n' ' ')
+paper_propositions=$(grep -o 'Propositions\? [0-9][0-9, ]*' PAPER.md | grep -o '[0-9]\+' | sort -un | tr '\n' ' ')
+if [ -z "$paper_theorems" ]; then
+  say "check_docs: could not extract any theorem numbers from PAPER.md"
+  fail=1
+fi
+audit_citations Theorem Th "$paper_theorems"
+audit_citations Corollary Cor "$paper_corollaries"
+audit_citations Proposition Prop "$paper_propositions"
 
 if [ "$fail" -ne 0 ]; then
   say "check_docs: FAILED"

@@ -8,6 +8,10 @@
 //                      [--strategy overlapping|disjoint|spread|none]
 //                      [--seed N]
 //   flowsched_cli bounds [--input FILE]
+//   flowsched_cli bounds --m N [--k N] [--structure <class>|all]
+//                        [--alg eft-min|eft|immediate|online] [--p X]
+//   flowsched_cli bounds --m N --structure interval|disjoint|ksize
+//                        --target-fmax F [--opt-lb X] [--load X] [--s X]
 //   flowsched_cli trace  --instance FILE [--algo <name>] [--out FILE]
 //                        [--metrics FILE] [--ndjson] [--seed N]
 //   flowsched_cli check-trace --input FILE
@@ -28,8 +32,14 @@
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
 // matching, or the preemptive optimum for arbitrary tasks); `gen` emits a
-// key-value-store workload in the instance format; `bounds` prints the
-// certified lower bounds; `trace` schedules the instance with the observer
+// key-value-store workload in the instance format; `bounds` evaluates the
+// paper's bound landscape without simulating (docs/bounds.md): with --input
+// it prints the certified lower bounds for a concrete instance, with --m it
+// prints the applicable theorem ratios per structure class, and with
+// --target-fmax it answers the capacity-planning question "minimum
+// replication factor k for a target p100 flow time" from the closed forms
+// plus the LP (15) saturation frontier (exit 3 when infeasible); `trace`
+// schedules the instance with the observer
 // attached and writes a Chrome trace_event JSON (or NDJSON) file plus an
 // optional one-line metrics summary (docs/observability.md); `check-trace`
 // validates a trace file against docs/trace-format.md; `maxload` solves
@@ -59,6 +69,8 @@
 
 #include <sys/resource.h>
 
+#include "bounds/bounds.hpp"
+#include "bounds/planner.hpp"
 #include "check/audit.hpp"
 #include "fault/plan.hpp"
 #include "fault/plan_io.hpp"
@@ -78,6 +90,7 @@
 #include "sched/engine.hpp"
 #include "sched/composition.hpp"
 #include "sched/fifo.hpp"
+#include "util/rational.hpp"
 #include "workload/generator.hpp"
 
 using namespace flowsched;
@@ -615,6 +628,81 @@ int cmd_stream(const ArgParser& args) {
 }
 
 int cmd_bounds(const ArgParser& args) {
+  // Analytic mode (--m given): evaluate the theorem landscape or answer a
+  // min-k capacity question from closed forms + LP (15) — no simulation.
+  // Legacy mode (no --m): certified lower bounds for a concrete instance.
+  const int m = args.integer("m", 0);
+  if (m > 0) {
+    const int k = args.integer("k", 2);
+    const std::string structure_name = args.get("structure", "all");
+    const std::string algo_name = args.get("alg", "eft-min");
+    const double p = args.num("p", 1000.0);
+    const double target = args.num("target-fmax", -1.0);
+    const double opt_lb = args.num("opt-lb", 1.0);
+    const double load = args.num("load", -1.0);
+    const double zipf_s = args.num("s", 0.0);
+    args.reject_unknown();
+
+    const auto alg = bounds::parse_algo_class(algo_name);
+    if (!alg) {
+      throw std::invalid_argument("unknown --alg '" + algo_name +
+                                  "' (eft-min|eft|immediate|online)");
+    }
+
+    if (target > 0) {
+      // Capacity planning: minimum replication factor for a target p100.
+      const auto structure = bounds::parse_structure_class(structure_name);
+      if (!structure) {
+        throw std::invalid_argument(
+            "planner needs --structure interval|disjoint|ksize");
+      }
+      bounds::PlannerQuery q;
+      q.m = m;
+      q.structure = *structure;
+      q.target_fmax = target;
+      q.opt_estimate = opt_lb;
+      q.load = load;
+      q.zipf_s = zipf_s;
+      const bounds::PlannerResult r = bounds::min_feasible_k(q);
+      std::printf("feasible:          %s\n", r.feasible ? "yes" : "no");
+      if (r.feasible) {
+        std::printf("min feasible k:    %d\n", r.min_k);
+        if (r.min_replicated_k > 0) {
+          std::printf("min replicated k:  %d\n", r.min_replicated_k);
+        }
+      }
+      if (r.saturation_k > 0) std::printf("saturation k:      %d\n", r.saturation_k);
+      if (r.max_guaranteed_k > 0) {
+        std::printf("Cor. 1 guarantee:  k <= %d\n", r.max_guaranteed_k);
+      }
+      std::printf("binding:           %s\n", r.binding.c_str());
+      std::printf("detail:            %s\n", r.detail.c_str());
+      return r.feasible ? 0 : 3;
+    }
+
+    // Landscape query: one cell, or every structure when --structure all.
+    std::vector<bounds::StructureClass> structures;
+    if (structure_name == "all") {
+      structures = {bounds::StructureClass::kUnrestricted,
+                    bounds::StructureClass::kInclusive,
+                    bounds::StructureClass::kNested,
+                    bounds::StructureClass::kKSize,
+                    bounds::StructureClass::kInterval,
+                    bounds::StructureClass::kDisjoint};
+    } else {
+      const auto structure = bounds::parse_structure_class(structure_name);
+      if (!structure) {
+        throw std::invalid_argument("unknown --structure '" + structure_name + "'");
+      }
+      structures = {*structure};
+    }
+    const auto rat = rational_from_double(p);
+    const bounds::BoundReport report = bounds::evaluate_grid(
+        {m}, {k}, structures, *alg, rat ? *rat : Rational(1000));
+    std::fputs(report.render().c_str(), stdout);
+    return 0;
+  }
+
   const std::string input = args.get("input", "");
   args.reject_unknown();
   const auto inst = read_input(input);

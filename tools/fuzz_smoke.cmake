@@ -11,7 +11,10 @@
 #   5. the clean campaign ran the batch-vs-streaming differential
 #      ([diff-streaming] + windowed [stream-*] audit) on every run —
 #      asserted via the report's stream-checks counter;
-#   6. every committed reproducer in tests/corpus replays clean (fault
+#   6. the clean campaign armed the bound-landscape differential
+#      ([diff-bounds], docs/bounds.md) on every run — asserted via the
+#      report's bounds-checks counter — and --no-bounds disarms it;
+#   7. every committed reproducer in tests/corpus replays clean (fault
 #      cases route through the fault battery automatically).
 #
 # Usable standalone:
@@ -152,7 +155,33 @@ if(NOT nostream_report MATCHES "stream-checks=0")
       "${nostream_report}")
 endif()
 
-# --- 6. committed corpus replays clean -------------------------------------
+# --- 6. the bound-landscape differential actually ran ----------------------
+# bounds_diff defaults to on, so the clean campaign must have armed
+# [diff-bounds] (work ceiling + Cor. 1 on disjoint families) on all runs.
+if(NOT clean_report MATCHES "bounds-checks=([0-9]+)")
+  message(FATAL_ERROR
+      "fuzz_smoke: report lacks the bounds-checks counter:\n${clean_report}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: bound-landscape differential never ran (bounds-checks=0):\n"
+      "${clean_report}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 8 --threads 1 --no-bounds
+  OUTPUT_FILE ${dir}/nobounds.txt RESULT_VARIABLE nobounds_rc)
+if(NOT nobounds_rc EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-bounds campaign failed (rc=${nobounds_rc})")
+endif()
+file(READ ${dir}/nobounds.txt nobounds_report)
+if(NOT nobounds_report MATCHES "bounds-checks=0")
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-bounds did not disable the bound differential:\n"
+      "${nobounds_report}")
+endif()
+
+# --- 7. committed corpus replays clean -------------------------------------
 if(DEFINED CORPUS_DIR)
   file(GLOB corpus ${CORPUS_DIR}/*.txt)
   foreach(f IN LISTS corpus)

@@ -18,7 +18,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_fuzz \
-  flowsched_tests bench_ext_failures -j "$(nproc)"
+  flowsched_tests bench_ext_failures bench_ext_bounds -j "$(nproc)"
 
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -61,6 +61,15 @@ fi
 # both quantile regimes.
 "$CLI" stream --requests 30000 --m 16 --lambda 12 --reps 2 --seed 7 > /dev/null
 "$CLI" stream --requests 80000 --m 64 --lambda 48 --seed 7 --json > /dev/null
+
+# Bound landscape under UBSan: Rational arithmetic (128-bit intermediate
+# products, shift-built powers of two), the integer level loops, and the
+# overlay's exact-optimum matching — zero violations required.
+"$CLI" bounds --m 243 --k 3 --structure ksize > /dev/null
+"$CLI" bounds --m 256 --structure interval --target-fmax 20 > /dev/null
+"$BUILD_DIR/bench/bench_ext_bounds" --reps 2 --slots 15 --threads 4 \
+  > "$SMOKE_DIR/bounds-bench.out"
+grep -q 'bound-violations=0' "$SMOKE_DIR/bounds-bench.out"
 
 # Failure sweep: checkpointed, parallel, with the watchdog armed — the
 # whole hardened-runner surface in one run.
