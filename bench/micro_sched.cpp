@@ -15,6 +15,7 @@
 
 #include "kvstore/cluster_sim.hpp"
 #include "obs/trace.hpp"
+#include "sched/calendar.hpp"
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
 #include "workload/generator.hpp"
@@ -169,6 +170,27 @@ void BM_StreamingThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * config.requests);
 }
 BENCHMARK(BM_StreamingThroughput)->Arg(16)->Arg(256)->Arg(4096);
+
+// Guard for the overflow-heap drain (sched/calendar.hpp): a tiny capped
+// ring with far-future pushes forces every entry through the overflow heap
+// and back into the ring via drain_overflow. The drain sizes each bucket
+// with one count pass + geometric reserve floor before moving entries; a
+// regression to per-entry push_back growth (or to entry-count reserve calls
+// on every drain) shows up here as a step in ns/op.
+void BM_CalendarOverflowDrain(benchmark::State& state) {
+  const int n = 20000;
+  for (auto _ : state) {
+    CalendarQueue<int> queue(0.125, 8, 64);  // 8-unit horizon, capped
+    for (int i = 0; i < n; ++i) {
+      queue.push(static_cast<double>((i * 37) % 4096), i);  // mostly overflow
+    }
+    long long sum = 0;
+    while (!queue.empty()) sum += queue.pop();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CalendarOverflowDrain);
 
 void BM_KvInstanceGeneration(benchmark::State& state) {
   const auto pop = zipf_weights(15, 1.0);

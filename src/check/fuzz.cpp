@@ -20,8 +20,10 @@
 #include "offline/preemptive_optimal.hpp"
 #include "runner/experiment.hpp"
 #include "runner/thread_pool.hpp"
+#include "check/audit.hpp"
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
+#include "sched/sharded/sharded.hpp"
 #include "sched/streaming.hpp"
 #include "util/rng.hpp"
 
@@ -262,6 +264,87 @@ std::vector<std::string> check_streaming(const Instance& inst,
   return out;
 }
 
+// Policies whose sharded run must be BIT-equal to the single-queue engine
+// on shard-local instances: the deterministic dispatchers. Randomized
+// policies draw from independent per-shard RNG streams, so their sharded
+// decisions are valid but legitimately different — they are covered by the
+// structural audit, not the equality check.
+const std::vector<std::string>& shard_equiv_policies() {
+  static const std::vector<std::string> kPolicies = {
+      "EFT-Min", "EFT-Max", "LeastLoaded-Min", "JSQ-Min", "RoundRobin"};
+  return kPolicies;
+}
+
+// Sharded-vs-single-queue differential: ShardedEngine at S in {2, 4} with
+// deliberately tiny epochs and steal threshold (forcing multi-epoch routing
+// and the deterministic steal path) against OnlineEngine. On instances
+// where every M_i is shard-local the assignment sequences must be bit-equal
+// ([shard-equiv] — the structure-theory guarantee the sharded engine rests
+// on); on EVERY instance the merged schedule must pass the structural audit
+// ([shard-valid], behavioural inference disabled via the "Sharded(...)"
+// name: boundary tasks dispatch on restricted sets, so single-queue
+// work-conservation does not apply). Shared by the fuzz loop, the shrink
+// predicate, and corpus replay.
+std::vector<std::string> check_sharded(const Instance& inst,
+                                       const std::string& policy) {
+  std::vector<std::string> out;
+  if (inst.m() < 2) return out;
+  auto batch_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  OnlineEngine batch(inst.m(), *batch_dispatcher);
+  std::vector<Assignment> reference;
+  reference.reserve(static_cast<std::size_t>(inst.n()));
+  for (int i = 0; i < inst.n(); ++i) {
+    reference.push_back(batch.release(inst.task(i)));
+  }
+  const auto factory = [&policy](int) {
+    return make_dispatcher(policy, /*inject_bug=*/false);
+  };
+  for (int S : {2, 4}) {
+    if (S > inst.m()) break;
+    ShardedEngine::Options opts;
+    opts.shards = S;
+    opts.shard_workers = 1;
+    opts.epoch_tasks = 7;
+    opts.steal_threshold = 2;
+    const ShardMap map = ShardMap::build(inst.m(), S);
+    bool all_local = true;
+    for (const Task& t : inst.tasks()) {
+      if (t.eligible.empty() || !map.shard_local(t.eligible)) {
+        all_local = false;
+        break;
+      }
+    }
+    const std::vector<Assignment> sharded = run_sharded(inst, factory, opts);
+    if (all_local) {
+      for (int i = 0; i < inst.n(); ++i) {
+        const Assignment& a = reference[static_cast<std::size_t>(i)];
+        const Assignment& s = sharded[static_cast<std::size_t>(i)];
+        if (s.machine != a.machine || s.start != a.start) {
+          out.push_back(policy + ": [shard-equiv] S=" + std::to_string(S) +
+                        " task " + std::to_string(i) +
+                        " diverges on a shard-local instance: single-queue "
+                        "(machine " + std::to_string(a.machine) + ", start " +
+                        fmt(a.start) + ") vs sharded (machine " +
+                        std::to_string(s.machine) + ", start " + fmt(s.start) +
+                        ")");
+          break;  // later tasks inherit the divergence
+        }
+      }
+    }
+    Schedule sched(inst);
+    for (int i = 0; i < inst.n(); ++i) {
+      const Assignment& s = sharded[static_cast<std::size_t>(i)];
+      sched.assign(i, s.machine, s.start);
+    }
+    for (const std::string& v :
+         audit_schedule(sched, "Sharded(" + policy + ")")) {
+      out.push_back(policy + ": [shard-valid] S=" + std::to_string(S) + " " +
+                    v);
+    }
+  }
+  return out;
+}
+
 // The battery's plan is a pure function of (plan_seed, m): the shrinker
 // regenerates it for each candidate's machine count, so dropping machines
 // keeps the predicate deterministic.
@@ -331,6 +414,7 @@ struct RunOutcome {
   int fault_checks = 0;
   int stream_checks = 0;
   int bounds_checks = 0;
+  int shard_checks = 0;
   std::vector<RawFinding> findings;
 };
 
@@ -379,6 +463,18 @@ RunOutcome fuzz_one(const FuzzConfig& config,
     for (const std::string& policy : fault_fuzz_policies()) {
       const std::vector<std::string> violations =
           check_streaming(inst, policy);
+      ++out.schedules;
+      if (!violations.empty()) {
+        out.findings.push_back({policy, violations.front(), inst, std::nullopt});
+      }
+    }
+  }
+
+  if (config.shard_every > 0 && run % config.shard_every == 0 &&
+      inst.m() >= 2) {
+    out.shard_checks = 1;
+    for (const std::string& policy : shard_equiv_policies()) {
+      const std::vector<std::string> violations = check_sharded(inst, policy);
       ++out.schedules;
       if (!violations.empty()) {
         out.findings.push_back({policy, violations.front(), inst, std::nullopt});
@@ -521,6 +617,13 @@ std::vector<std::string> replay_corpus_instance(const Instance& inst,
         out.push_back(policy + ": " + v);
       }
     }
+    // ... and the sharded-vs-single-queue equivalence ([shard-equiv] is
+    // clean over the whole committed corpus, not just fresh fuzz runs).
+    for (const std::string& policy : shard_equiv_policies()) {
+      for (const std::string& v : check_sharded(inst, policy)) {
+        out.push_back(policy + ": " + v);
+      }
+    }
   }
   return out;
 }
@@ -547,6 +650,7 @@ std::string FuzzReport::summary() const {
   os << "flowsched_fuzz: runs=" << runs << " schedules=" << schedules
      << " lp-checks=" << lp_checks << " fault-checks=" << fault_checks
      << " stream-checks=" << stream_checks << " bounds-checks=" << bounds_checks
+     << " shard-checks=" << shard_checks
      << " findings=" << findings.size() << "\n";
   int i = 0;
   for (const FuzzFinding& f : findings) {
@@ -599,6 +703,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     report.fault_checks += outcome.fault_checks;
     report.stream_checks += outcome.stream_checks;
     report.bounds_checks += outcome.bounds_checks;
+    report.shard_checks += outcome.shard_checks;
     for (RawFinding& raw : outcome.findings) {
       FuzzFinding f;
       f.run = r;
@@ -629,6 +734,15 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
                 if (fault_family ? t.rfind("[fault-", 0) == 0 : t == tag) {
                   return true;
                 }
+              }
+              return false;
+            }
+            // Sharded findings replay through the sharded differential;
+            // any [shard-*] tag counts (one equivalence contract — see the
+            // fault-family rationale above).
+            if (tag.rfind("[shard-", 0) == 0) {
+              for (const std::string& v : check_sharded(cand, raw.policy)) {
+                if (tag_of(v).rfind("[shard-", 0) == 0) return true;
               }
               return false;
             }

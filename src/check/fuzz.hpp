@@ -93,6 +93,15 @@ struct FuzzConfig {
   /// the other differential checks. Pure arithmetic over an
   /// already-computed schedule, so it defaults to every run.
   bool bounds_diff = true;
+  /// Run the sharded-engine differential ([shard-equiv] /
+  /// [shard-valid]) every `shard_every` runs (0 disables it): the sharded
+  /// engine at S in {2, 4} — small epochs and a tiny steal threshold to
+  /// force multi-epoch routing and steals — against the single-queue
+  /// engine. When every M_i is shard-local the assignments must be
+  /// bit-equal; in every case the merged schedule must pass the structural
+  /// audit. Deterministic policies only (per-shard RNG streams legitimately
+  /// diverge for randomized ones).
+  int shard_every = 1;
 
   /// Replace EFT-Min with FaultyEftDispatcher (still reporting the
   /// "EFT-Min" name) — the harness's own smoke test: the injected bug must
@@ -136,6 +145,7 @@ struct FuzzReport {
   int fault_checks = 0;  ///< Fault batteries executed.
   int stream_checks = 0;  ///< Batch-vs-streaming differentials executed.
   int bounds_checks = 0;  ///< Runs with the [diff-bounds] landscape armed.
+  int shard_checks = 0;   ///< Sharded-vs-single-queue differentials executed.
   std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
 
   bool ok() const { return findings.empty(); }

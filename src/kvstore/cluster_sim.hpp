@@ -12,6 +12,7 @@
 #include "kvstore/store.hpp"
 #include "obs/observer.hpp"
 #include "sched/dispatchers.hpp"
+#include "sched/sharded/sharded.hpp"
 
 namespace flowsched {
 
@@ -115,5 +116,23 @@ StreamReport simulate_cluster_streaming(const KeyValueStore& store,
                                         const StreamConfig& config,
                                         Dispatcher& dispatcher, Rng& rng,
                                         SchedObserver* observer = nullptr);
+
+/// \brief simulate_cluster_streaming through a ShardedEngine
+/// (sched/sharded/sharded.hpp): S dispatcher shards with deterministic
+/// cross-shard routing and an optional parallel worker team.
+///
+/// Consumes `rng` draw-for-draw like the single-queue path and aggregates
+/// flow statistics in merged global task order, so at shards=1 — and on
+/// workloads whose replica sets are shard-local at any S (aligned disjoint
+/// blocks) — the deterministic report fields are byte-identical to
+/// simulate_cluster_streaming on the same seed (asserted by
+/// tests/test_sharded.cpp and cli_stream_smoke's --shards equality check).
+/// The report never depends on `opts.shard_workers` (the engine's
+/// determinism contract). A non-null observer receives run brackets plus
+/// the merged task-milestone stream.
+StreamReport simulate_cluster_streaming_sharded(
+    const KeyValueStore& store, const StreamConfig& config,
+    const ShardedEngine::DispatcherFactory& factory,
+    ShardedEngine::Options opts, Rng& rng, SchedObserver* observer = nullptr);
 
 }  // namespace flowsched

@@ -1,0 +1,60 @@
+#include "obs/shard_merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace flowsched {
+
+std::string ShardMetricsSummary::str() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "shards=%d released=%lld completed=%lld makespan=%.6f "
+                "Fmax=%.6f mean_flow=%.6f busy=%.6f",
+                shards, released, completed, makespan, max_flow, mean_flow,
+                busy_total);
+  return buf;
+}
+
+ShardMetricsSummary merge_shard_metrics(
+    const std::vector<const MetricsCollector*>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge_shard_metrics: no collectors");
+  }
+  ShardMetricsSummary out;
+  out.shards = static_cast<int>(shards.size());
+  double flow_weighted = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const MetricsCollector* c = shards[s];
+    if (c == nullptr) {
+      throw std::invalid_argument("merge_shard_metrics: null collector");
+    }
+    out.released += c->released();
+    out.dispatched += c->dispatched();
+    out.completed += c->completed();
+    out.makespan = std::max(out.makespan, c->makespan());
+    out.max_flow = std::max(out.max_flow, c->max_flow());
+    flow_weighted += c->mean_flow() * static_cast<double>(c->completed());
+    const FlowHistogram& hist = c->flow_histogram();
+    if (s == 0) {
+      out.flow_bins.assign(hist.bins(), 0);
+    } else if (hist.bins() != out.flow_bins.size()) {
+      throw std::invalid_argument(
+          "merge_shard_metrics: histogram shapes differ");
+    }
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+      out.flow_bins[b] += hist.bin_count(b);
+    }
+  }
+  out.mean_flow = out.completed > 0
+                      ? flow_weighted / static_cast<double>(out.completed)
+                      : 0.0;
+  // Busy time sums across lanes because lanes own disjoint machine ranges;
+  // a lane's non-owned machines contribute 0.
+  for (const MetricsCollector* c : shards) {
+    for (int j = 0; j < c->m(); ++j) out.busy_total += c->busy_time(j);
+  }
+  return out;
+}
+
+}  // namespace flowsched

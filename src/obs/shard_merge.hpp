@@ -1,0 +1,50 @@
+// Deterministic merge of per-shard MetricsCollectors.
+//
+// The sharded engine (sched/sharded/sharded.hpp) can attach one
+// MetricsCollector per shard lane; each then sees only the lane's
+// subsequence of the global task stream, with global task ids. This helper
+// folds S such collectors into one summary whose aggregate fields equal
+// what a single collector attached to the single-queue engine would have
+// reported on the same workload — asserted by tests/test_sharded.cpp on
+// shard-local workloads:
+//
+//  * counts (released / dispatched / completed) and busy time are sums —
+//    lanes partition the task stream and own disjoint machine ranges;
+//  * makespan and Fmax are maxima;
+//  * mean flow is the completed-count-weighted mean of lane means;
+//  * histogram bins add up because every collector uses the same fixed
+//    bin edges (obs/metrics.hpp FlowHistogram).
+//
+// Everything is folded in shard-index order, so the merge is byte-stable
+// at any worker count — same discipline as the runner's job-order result
+// collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace flowsched {
+
+struct ShardMetricsSummary {
+  int shards = 0;
+  long long released = 0;
+  long long dispatched = 0;
+  long long completed = 0;
+  double makespan = 0;
+  double max_flow = 0;
+  double mean_flow = 0;
+  double busy_total = 0;
+  std::vector<std::size_t> flow_bins;  ///< summed fixed-edge histogram
+
+  /// Deterministic one-line rendering (fixed precision; table-friendly).
+  std::string str() const;
+};
+
+/// Folds per-shard collectors (shard-index order). Throws when `shards` is
+/// empty, contains a null, or the collectors' histogram shapes differ.
+ShardMetricsSummary merge_shard_metrics(
+    const std::vector<const MetricsCollector*>& shards);
+
+}  // namespace flowsched

@@ -81,10 +81,18 @@ int resolve_threads(int requested) {
 
 ExperimentRunner::ExperimentRunner(int threads)
     : threads_(resolve_threads(threads)) {
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+    // Outer claim in the process-wide ledger: nested shard engines
+    // (sched/sharded) auto-size their worker teams from what is left.
+    budget_reserved_ = threads_;
+    CoreBudget::instance().reserve(budget_reserved_);
+  }
 }
 
-ExperimentRunner::~ExperimentRunner() = default;
+ExperimentRunner::~ExperimentRunner() {
+  if (budget_reserved_ > 0) CoreBudget::instance().release(budget_reserved_);
+}
 
 std::vector<double> ExperimentRunner::replicates(
     std::uint64_t experiment, std::uint64_t cell, int reps,

@@ -229,6 +229,7 @@ class ExperimentRunner {
   void record_hung(int index, double elapsed_seconds);
 
   int threads_;
+  int budget_reserved_ = 0;  // cores claimed in the CoreBudget ledger
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   double watchdog_seconds_ = 0;
   std::string watch_label_;

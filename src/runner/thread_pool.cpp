@@ -47,4 +47,56 @@ void ThreadPool::worker_loop() {
   }
 }
 
+CoreBudget::CoreBudget() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  total_ = hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+CoreBudget& CoreBudget::instance() {
+  static CoreBudget budget;
+  return budget;
+}
+
+void CoreBudget::set_total(int total) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total > 0) {
+    total_ = total;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    total_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+int CoreBudget::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+int CoreBudget::claimed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return claimed_;
+}
+
+void CoreBudget::reserve(int n) {
+  if (n < 0) throw std::invalid_argument("CoreBudget::reserve: n < 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  claimed_ += n;
+}
+
+int CoreBudget::try_acquire(int n) {
+  if (n < 0) throw std::invalid_argument("CoreBudget::try_acquire: n < 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int remaining = total_ - claimed_;
+  const int granted = remaining > 0 ? (n < remaining ? n : remaining) : 0;
+  claimed_ += granted;
+  return granted;
+}
+
+void CoreBudget::release(int n) {
+  if (n < 0) throw std::invalid_argument("CoreBudget::release: n < 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  claimed_ -= n;
+  if (claimed_ < 0) claimed_ = 0;
+}
+
 }  // namespace flowsched

@@ -82,4 +82,47 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief Process-wide core ledger coordinating NESTED parallelism: sweep
+/// workers (ExperimentRunner's pool) and per-simulation shard workers
+/// (sched/sharded) draw threads from the same physical machine, and without
+/// a shared ledger a 16-thread sweep of 8-shard simulations would spawn 128
+/// runnable threads on 16 cores.
+///
+/// Two claim flavours:
+///  * reserve(n): an OUTER claim, never capped — the sweep pool states what
+///    it owns (its workers exist regardless), so inner layers can see it.
+///  * try_acquire(n): an INNER claim, granted only from the uncommitted
+///    remainder (possibly 0) — shard engines auto-sizing their worker count
+///    use this and fall back to fewer (or zero extra) workers when the
+///    sweep already owns the machine. Callers pinning an explicit
+///    --shard-workers count bypass this and reserve() instead.
+///
+/// Determinism note: the grant only sizes the thread team executing an
+/// epoch; the sharded engine's OUTPUT is invariant to its worker count by
+/// construction, so budget pressure changes wall-clock, never results.
+class CoreBudget {
+ public:
+  /// The process-wide instance (function-local static, thread-safe init).
+  static CoreBudget& instance();
+
+  /// Overrides the budget total; `total <= 0` restores the hardware default.
+  void set_total(int total);
+  int total() const;
+  /// Cores currently claimed (reserved + granted).
+  int claimed() const;
+
+  /// Records an outer claim of `n` cores (n >= 0; never capped).
+  void reserve(int n);
+  /// Grants min(n, uncommitted remainder) cores and records the grant.
+  int try_acquire(int n);
+  /// Returns `n` previously reserved/granted cores to the ledger.
+  void release(int n);
+
+ private:
+  CoreBudget();
+  mutable std::mutex mutex_;
+  int total_ = 0;
+  int claimed_ = 0;
+};
+
 }  // namespace flowsched

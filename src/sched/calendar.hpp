@@ -123,6 +123,7 @@ class CalendarQueue {
     std::size_t bytes = ring_.size() * sizeof(Bucket);
     for (const Bucket& b : ring_) bytes += b.entries.capacity() * sizeof(Entry);
     bytes += overflow_.size() * sizeof(Entry);
+    bytes += drain_scratch_.capacity() * sizeof(Entry);
     return bytes;
   }
 
@@ -165,6 +166,22 @@ class CalendarQueue {
       nb <<= 1;
     }
     std::vector<Bucket> grown(nb);
+    // Count-then-reserve: the migration loop push_back()s into cold target
+    // buckets, and with tens of thousands of live entries per grow the
+    // incremental reallocation churn dominated the rebucketing. Fresh
+    // buckets have head == 0, so head doubles as the per-target counter
+    // for the sizing pass (reset before the move pass).
+    for (const Bucket& old : ring_) {
+      for (std::size_t i = old.head; i < old.entries.size(); ++i) {
+        std::int64_t eb = bucket_of(old.entries[i].time);
+        if (eb < cursor_) eb = cursor_;
+        ++grown[static_cast<std::size_t>(eb) & (nb - 1)].head;
+      }
+    }
+    for (Bucket& g : grown) {
+      g.entries.reserve(g.head);
+      g.head = 0;
+    }
     for (Bucket& old : ring_) {
       for (std::size_t i = old.head; i < old.entries.size(); ++i) {
         Entry& e = old.entries[i];
@@ -213,19 +230,46 @@ class CalendarQueue {
 
   void drain_overflow() {
     const std::int64_t horizon = cursor_ + static_cast<std::int64_t>(ring_.size());
+    if (overflow_.empty() || bucket_of(overflow_.top().time) >= horizon) return;
+    // Pop the in-horizon prefix into scratch first, then insert it one
+    // bucket-run at a time with the target reserved up front: inserting
+    // straight off the heap grew cold buckets one push_back at a time, and
+    // that reallocation churn dominated the drain at high backlog (guarded
+    // by micro_sched's BM_CalendarOverflowDrain). The heap pops in ascending
+    // (time, seq) and bucket_of is monotone in time, so scratch arrives
+    // grouped by target bucket (cursor-clamped entries sort first).
+    drain_scratch_.clear();
     while (!overflow_.empty() && bucket_of(overflow_.top().time) < horizon) {
-      Entry e = overflow_.top();
+      drain_scratch_.push_back(overflow_.top());
       overflow_.pop();
-      std::int64_t b = bucket_of(e.time);
+    }
+    std::size_t i = 0;
+    while (i < drain_scratch_.size()) {
+      std::int64_t b = bucket_of(drain_scratch_[i].time);
       if (b < cursor_) b = cursor_;
+      std::size_t j = i + 1;
+      for (; j < drain_scratch_.size(); ++j) {
+        std::int64_t bj = bucket_of(drain_scratch_[j].time);
+        if (bj < cursor_) bj = cursor_;
+        if (bj != b) break;
+      }
       Bucket& bucket = ring_[ring_index(b)];
-      if (!bucket.sorted) {
-        bucket.entries.push_back(std::move(e));
-      } else {
-        auto it = std::lower_bound(bucket.entries.begin() +
-                                       static_cast<std::ptrdiff_t>(bucket.head),
-                                   bucket.entries.end(), e);
-        bucket.entries.insert(it, std::move(e));
+      const std::size_t need = bucket.entries.size() + (j - i);
+      if (need > bucket.entries.capacity()) {
+        // Geometric floor keeps repeated exact-size reserves across drains
+        // from degrading push_back back to linear copying.
+        bucket.entries.reserve(std::max(need, bucket.entries.capacity() * 2));
+      }
+      for (; i < j; ++i) {
+        Entry& e = drain_scratch_[i];
+        if (!bucket.sorted) {
+          bucket.entries.push_back(std::move(e));
+        } else {
+          auto it = std::lower_bound(
+              bucket.entries.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+              bucket.entries.end(), e);
+          bucket.entries.insert(it, std::move(e));
+        }
       }
     }
   }
@@ -237,6 +281,7 @@ class CalendarQueue {
   std::uint64_t seq_ = 0;
   std::size_t size_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> overflow_;
+  std::vector<Entry> drain_scratch_;  // reused by drain_overflow()
 };
 
 }  // namespace flowsched

@@ -1,0 +1,135 @@
+// Bounded lock-free work-stealing deque (Chase–Lev without resizing).
+//
+// This is the thread-scheduling half of the sharded engine: each worker owns
+// one deque of *shard-job ids* for the current epoch. The owner pushes and
+// pops at the bottom (LIFO); idle workers steal from the top (FIFO). Which
+// worker EXECUTES a shard job is a runtime race — which is fine, because the
+// scheduling DECISIONS a job produces are a pure function of the routed
+// batch, not of the thread that ran it (see sharded.hpp's determinism
+// contract). Task-level "stealing" — rebinding a boundary task to a
+// less-loaded co-owning shard — is the deterministic router's job and never
+// touches this structure.
+//
+// Bounded by design: an epoch routes at most `epoch_tasks` jobs across at
+// most `shards` deques, so capacity is known up front and the resize
+// machinery of the full Chase–Lev algorithm (the only part needing hazard
+// management) is dropped. push_bottom() reports overflow instead of growing.
+//
+// Memory-ordering notes (the TSAN-audited core):
+//   * push_bottom publishes the cell with a release store of bottom_; a
+//     thief's acquire load of bottom_ in steal_top() therefore sees the cell.
+//   * pop_bottom decrements bottom_ FIRST, then issues a seq_cst fence before
+//     reading top_ — the Chase–Lev handshake that makes the owner and a
+//     racing thief agree on who takes the last entry (the loser's CAS on
+//     top_ fails).
+//   * cells are std::atomic<T> so the unsynchronized payload reads on the
+//     steal path are data-race-free; T must be trivially copyable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace flowsched {
+
+/// \brief Fixed-capacity Chase–Lev work-stealing deque. Single owner thread
+/// calls push_bottom/pop_bottom; any number of thieves call steal_top.
+/// \tparam T trivially copyable payload (job ids in the sharded engine).
+template <typename T>
+class BoundedStealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "BoundedStealDeque payload must be trivially copyable");
+
+ public:
+  /// \param capacity maximum simultaneous entries, rounded up to a power of
+  ///        two; must be positive.
+  explicit BoundedStealDeque(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("BoundedStealDeque: capacity == 0");
+    }
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<std::atomic<T>>(cap);
+    mask_ = static_cast<std::int64_t>(cap) - 1;
+  }
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  /// \brief Owner-side push. \return false when the deque is full.
+  bool push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > mask_) return false;  // full
+    cells_[static_cast<std::size_t>(b & mask_)].store(
+        value, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Owner-side pop (LIFO). \return nullopt when empty or when a
+  /// racing thief won the last entry.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t < b) {
+      // More than one entry: the bottom one is ours uncontested.
+      return cells_[static_cast<std::size_t>(b & mask_)].load(
+          std::memory_order_relaxed);
+    }
+    std::optional<T> out;
+    if (t == b) {
+      // Last entry: race the thieves for it via the CAS on top_.
+      T value =
+          cells_[static_cast<std::size_t>(b & mask_)].load(std::memory_order_relaxed);
+      if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        out = value;
+      }
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return out;
+  }
+
+  /// \brief Thief-side steal (FIFO). \return nullopt when empty; retries
+  /// internally when it loses a race to another thief or the owner.
+  std::optional<T> steal_top() {
+    for (;;) {
+      std::int64_t t = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::int64_t b = bottom_.load(std::memory_order_acquire);
+      if (t >= b) return std::nullopt;
+      T value =
+          cells_[static_cast<std::size_t>(t & mask_)].load(std::memory_order_relaxed);
+      if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        return value;
+      }
+      // Lost the entry to another thief (or the owner's pop); try the next.
+    }
+  }
+
+  /// \return approximate entry count (exact when no operation is in flight).
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  std::size_t memory_bytes() const {
+    return cells_.size() * sizeof(std::atomic<T>) + sizeof(*this);
+  }
+
+ private:
+  std::vector<std::atomic<T>> cells_;
+  std::int64_t mask_ = 0;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace flowsched

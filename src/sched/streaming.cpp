@@ -32,7 +32,8 @@ void StreamingEngine::settle_until(double time) {
 }
 
 Assignment StreamingEngine::release(double time, double proc,
-                                    const ProcSet& eligible) {
+                                    const ProcSet& eligible,
+                                    long long task_id) {
   if (time < last_release_) {
     throw std::invalid_argument(
         "StreamingEngine::release: releases must be non-decreasing");
@@ -61,7 +62,7 @@ Assignment StreamingEngine::release(double time, double proc,
     ObsEvent e;
     e.kind = ObsEventKind::kTaskReleased;
     e.time = time;
-    e.task = static_cast<int>(released_);
+    e.task = static_cast<int>(task_id);
     e.release = time;
     e.proc = proc;
     e.eligible = &probe.eligible;
@@ -81,7 +82,7 @@ Assignment StreamingEngine::release(double time, double proc,
   const double finish = start + proc;
   if (observer_ != nullptr) {
     ObsEvent e;
-    e.task = static_cast<int>(released_);
+    e.task = static_cast<int>(task_id);
     e.machine = u;
     e.release = time;
     e.proc = proc;
@@ -112,7 +113,7 @@ Assignment StreamingEngine::release(double time, double proc,
   }
   slot_machine_[static_cast<std::size_t>(slot)] = u;
   slot_finish_[static_cast<std::size_t>(slot)] = finish;
-  slot_task_[static_cast<std::size_t>(slot)] = released_;
+  slot_task_[static_cast<std::size_t>(slot)] = task_id;
   events_.push(finish, slot);
   ++in_flight_;
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);

@@ -53,7 +53,17 @@ class StreamingEngine {
   /// Releases one task; releases must be non-decreasing. Completion events
   /// up to the release instant are settled first (slots recycled, queue
   /// depths decremented). Returns the committed (machine, start).
-  Assignment release(double time, double proc, const ProcSet& eligible);
+  Assignment release(double time, double proc, const ProcSet& eligible) {
+    return release(time, proc, eligible, released_);
+  }
+
+  /// As above, with a caller-supplied task id stamped on observer events and
+  /// slot bookkeeping in place of the engine-local release counter. The
+  /// sharded engine's lanes each see a subsequence of the global stream and
+  /// emit the *global* task id this way (sched/sharded/sharded.hpp); the
+  /// decision path is identical to the default overload.
+  Assignment release(double time, double proc, const ProcSet& eligible,
+                     long long task_id);
 
   /// Task-shaped overload, for drivers that iterate an Instance.
   Assignment release(const Task& task) {

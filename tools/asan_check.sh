@@ -80,5 +80,5 @@ fi
 grep -q 'bound-violations=0' "$SMOKE_DIR/bounds-bench.out"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit'
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit|StealDeque|CoreBudget|Sharded'
 echo "asan_check: OK"

@@ -6,6 +6,8 @@
 #                             requests/sec (BM_StreamingThroughput)
 #   BENCH_micro_lp.json     — LP (15) solver series (cold/warm revised,
 #                             tableau baseline, flow bisection)
+#   BENCH_micro_stream.json — streaming-engine hot loop + sharded epoch
+#                             pipeline across shard counts (docs/sharding.md)
 #
 # Provenance gate: trajectory numbers from unoptimized binaries are noise
 # that poisons every later diff, so this script configures and builds its
@@ -36,9 +38,9 @@ if [ "$build_type" != "Release" ]; then
   echo "Pass a fresh directory (default: build-release) instead." >&2
   exit 1
 fi
-cmake --build "$BUILD_DIR" --target micro_sched micro_lp -j "$(nproc)" >/dev/null
+cmake --build "$BUILD_DIR" --target micro_sched micro_lp micro_stream -j "$(nproc)" >/dev/null
 
-for bench in micro_sched micro_lp; do
+for bench in micro_sched micro_lp micro_stream; do
   bin="$BUILD_DIR/bench/$bench"
   echo "== $bench =="
   "$bin" --json "BENCH_$bench.json" --benchmark_min_time="$MIN_TIME"
@@ -53,4 +55,13 @@ for bench in micro_sched micro_lp; do
     echo "build (timer overhead only; flowsched code itself is Release)." >&2
   fi
 done
-echo "bench_trajectory: wrote BENCH_micro_sched.json BENCH_micro_lp.json (Release)"
+# Loud completeness gate: one partial run must never masquerade as a full
+# trajectory snapshot.
+for bench in micro_sched micro_lp micro_stream; do
+  if [ ! -s "BENCH_$bench.json" ]; then
+    echo "bench_trajectory: BENCH_$bench.json is missing or empty — the" >&2
+    echo "snapshot is incomplete; discard and re-run." >&2
+    exit 1
+  fi
+done
+echo "bench_trajectory: wrote BENCH_micro_sched.json BENCH_micro_lp.json BENCH_micro_stream.json (Release)"

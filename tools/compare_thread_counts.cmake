@@ -1,6 +1,8 @@
-# Runs ${BENCH} ${BENCH_ARGS} twice — --threads 1 and --threads 4 — and
-# fails unless the outputs are byte-identical. Registered as the
-# bench_determinism ctest by bench/CMakeLists.txt; usable standalone:
+# Runs ${BENCH} ${BENCH_ARGS} twice — <flag> 1 and <flag> 4, where <flag>
+# defaults to --threads and is overridable with -DTHREAD_FLAG (the sharded
+# ctests pass --shard-workers) — and fails unless the outputs are
+# byte-identical. Registered as the bench_determinism ctests by
+# bench/CMakeLists.txt; usable standalone:
 #
 #   cmake -DBENCH=build/bench/bench_fig11_simulation \
 #         "-DBENCH_ARGS=--reps;2;--requests;300" \
@@ -11,25 +13,28 @@ endif()
 if(NOT DEFINED WORK_DIR)
   set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
+if(NOT DEFINED THREAD_FLAG)
+  set(THREAD_FLAG --threads)
+endif()
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 set(serial_out ${WORK_DIR}/determinism_t1.out)
 set(parallel_out ${WORK_DIR}/determinism_t4.out)
 
 execute_process(
-  COMMAND ${BENCH} ${BENCH_ARGS} --threads 1
+  COMMAND ${BENCH} ${BENCH_ARGS} ${THREAD_FLAG} 1
   OUTPUT_FILE ${serial_out}
   RESULT_VARIABLE serial_rc)
 if(NOT serial_rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --threads 1 failed (rc=${serial_rc})")
+  message(FATAL_ERROR "${BENCH} ${THREAD_FLAG} 1 failed (rc=${serial_rc})")
 endif()
 
 execute_process(
-  COMMAND ${BENCH} ${BENCH_ARGS} --threads 4
+  COMMAND ${BENCH} ${BENCH_ARGS} ${THREAD_FLAG} 4
   OUTPUT_FILE ${parallel_out}
   RESULT_VARIABLE parallel_rc)
 if(NOT parallel_rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --threads 4 failed (rc=${parallel_rc})")
+  message(FATAL_ERROR "${BENCH} ${THREAD_FLAG} 4 failed (rc=${parallel_rc})")
 endif()
 
 execute_process(
@@ -37,7 +42,7 @@ execute_process(
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
-      "output differs between --threads 1 and --threads 4; the parallel "
-      "runner broke determinism (diff ${serial_out} ${parallel_out})")
+      "output differs between ${THREAD_FLAG} 1 and ${THREAD_FLAG} 4; the "
+      "parallel runner broke determinism (diff ${serial_out} ${parallel_out})")
 endif()
-message(STATUS "byte-identical output at --threads 1 and --threads 4")
+message(STATUS "byte-identical output at ${THREAD_FLAG} 1 and ${THREAD_FLAG} 4")

@@ -27,7 +27,8 @@
 //                        [--strategy overlapping|disjoint|spread|none]
 //                        [--dist constant|exponential|uniform] [--service X]
 //                        [--algo <name>] [--seed N] [--reps N] [--threads N]
-//                        [--json] [--assert-rss-mb X]
+//                        [--json] [--assert-rss-mb X] [--shards N]
+//                        [--shard-workers N]
 //
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
@@ -55,7 +56,10 @@
 // replicate streams fanned across --threads workers — the per-rep reports
 // on stdout are byte-identical at any thread count (wall-clock throughput
 // and peak RSS go to stderr), and --assert-rss-mb turns the memory bound
-// into an exit status for the stream_soak ctest.
+// into an exit status for the stream_soak ctest; --shards N routes the
+// stream through the sharded multi-dispatcher engine (docs/sharding.md)
+// with --shard-workers worker threads — stdout never mentions the shard
+// or worker count, so cli_stream_smoke can byte-compare it across both.
 // Instance format: see src/io/instance_io.hpp.
 #include <cmath>
 #include <cstdio>
@@ -511,10 +515,16 @@ int cmd_stream(const ArgParser& args) {
   const int threads = args.integer("threads", 1);
   const bool want_json = args.has("json");
   const double assert_rss_mb = args.num("assert-rss-mb", 0.0);
+  const int shards = args.integer("shards", 0);  // 0 = single-queue path
+  const int shard_workers = args.integer("shard-workers", 0);
   args.reject_unknown();
 
   if (m < 1 || k < 1 || k > m || keys < 1) {
     std::fprintf(stderr, "need 1 <= k <= m, m >= 1, keys >= 1\n");
+    return 2;
+  }
+  if (shards < 0 || shards > m || shard_workers < 0) {
+    std::fprintf(stderr, "need 0 <= shards <= m, shard-workers >= 0\n");
     return 2;
   }
   if (reps < 1 || requests < 0 || lambda <= 0 || service <= 0) {
@@ -574,6 +584,23 @@ int cmd_stream(const ArgParser& args) {
         Rng rng(replicate_seed(experiment, cell,
                                static_cast<std::uint64_t>(rep)));
         KeyValueStore store(store_config, rng);
+        if (shards >= 1) {
+          // Per-shard dispatcher seeds extend the replicate chain with the
+          // shard index, so every (rep, shard) stream is independent while
+          // the whole run stays a pure function of --seed.
+          ShardedEngine::Options opts;
+          opts.shards = shards;
+          opts.shard_workers = shard_workers;
+          const ShardedEngine::DispatcherFactory factory = [&](int shard) {
+            return make_dispatcher(
+                algo,
+                replicate_seed(experiment,
+                               cell_id({seed, static_cast<std::uint64_t>(shard)}),
+                               static_cast<std::uint64_t>(rep)));
+          };
+          return simulate_cluster_streaming_sharded(store, stream_config,
+                                                    factory, opts, rng);
+        }
         auto dispatcher =
             make_dispatcher(algo, replicate_seed(experiment, cell,
                                                  static_cast<std::uint64_t>(rep)));

@@ -5,8 +5,8 @@
 //       [--structure inclusive|nested|ksize|interval|adversary|all]
 //       [--corpus-dir DIR] [--inject-bug] [--no-shrink] [--no-oracles]
 //       [--lp-every N] [--fault-every N] [--no-faults] [--inject-fault-bug]
-//       [--stream-every N] [--no-stream] [--no-bounds] [--max-n N]
-//       [--max-m N] [--unit]
+//       [--stream-every N] [--no-stream] [--no-bounds] [--shard-every N]
+//       [--no-shard] [--max-n N] [--max-m N] [--unit]
 //   flowsched_fuzz replay --input FILE [--no-oracles]
 //
 // `run` executes a fuzz campaign: each run draws a random structured
@@ -62,6 +62,8 @@ int run_command(const ArgParser& args) {
   config.stream_every = args.integer("stream-every", config.stream_every);
   if (args.has("no-stream")) config.stream_every = 0;
   if (args.has("no-bounds")) config.bounds_diff = false;
+  config.shard_every = args.integer("shard-every", config.shard_every);
+  if (args.has("no-shard")) config.shard_every = 0;
   config.inject_fault_bug = args.has("inject-fault-bug");
   config.sizes.max_n = args.integer("max-n", config.sizes.max_n);
   config.sizes.max_m = args.integer("max-m", config.sizes.max_m);

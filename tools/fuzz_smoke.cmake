@@ -14,7 +14,11 @@
 #   6. the clean campaign armed the bound-landscape differential
 #      ([diff-bounds], docs/bounds.md) on every run — asserted via the
 #      report's bounds-checks counter — and --no-bounds disarms it;
-#   7. every committed reproducer in tests/corpus replays clean (fault
+#   7. the clean campaign ran the sharded-engine differential
+#      ([shard-equiv] bit-equality + [shard-valid] structural audit,
+#      docs/sharding.md) on every run — asserted via the report's
+#      shard-checks counter — and --no-shard disarms it;
+#   8. every committed reproducer in tests/corpus replays clean (fault
 #      cases route through the fault battery automatically).
 #
 # Usable standalone:
@@ -181,7 +185,34 @@ if(NOT nobounds_report MATCHES "bounds-checks=0")
       "${nobounds_report}")
 endif()
 
-# --- 7. committed corpus replays clean -------------------------------------
+# --- 7. the sharded differential actually ran -------------------------------
+# shard_every defaults to 1, so the clean campaign must have run the
+# sharded-vs-single-queue check (S in {2, 4}, forced multi-epoch routing and
+# steals) on every multi-machine run.
+if(NOT clean_report MATCHES "shard-checks=([0-9]+)")
+  message(FATAL_ERROR
+      "fuzz_smoke: report lacks the shard-checks counter:\n${clean_report}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: sharded differential never ran (shard-checks=0):\n"
+      "${clean_report}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 8 --threads 1 --no-shard
+  OUTPUT_FILE ${dir}/noshard.txt RESULT_VARIABLE noshard_rc)
+if(NOT noshard_rc EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-shard campaign failed (rc=${noshard_rc})")
+endif()
+file(READ ${dir}/noshard.txt noshard_report)
+if(NOT noshard_report MATCHES "shard-checks=0")
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-shard did not disable the sharded differential:\n"
+      "${noshard_report}")
+endif()
+
+# --- 8. committed corpus replays clean -------------------------------------
 if(DEFINED CORPUS_DIR)
   file(GLOB corpus ${CORPUS_DIR}/*.txt)
   foreach(f IN LISTS corpus)

@@ -7,7 +7,11 @@
 #      while keeping the RSS bound (--assert-rss-mb turns it into the exit
 #      status);
 #   3. --json emits the machine-readable report with the p999 field;
-#   4. a typo'd flag fails fast instead of running.
+#   4. a typo'd flag fails fast instead of running;
+#   5. the sharded path (docs/sharding.md): on an aligned-disjoint store,
+#      stdout at --shards 1 and --shards 4 (with a 4-worker team) is
+#      byte-identical to the legacy single-queue path;
+#   6. an out-of-range shard count fails fast.
 #
 # Usable standalone:
 #
@@ -80,4 +84,53 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "stream_smoke: misspelled flag was accepted")
 endif()
 
-message(STATUS "stream_smoke: exact + sketch regimes, JSON, RSS bound OK")
+# --- 5. sharded path: byte-equal to the single queue ------------------------
+# Aligned disjoint blocks (m=16, k=4) keep every replica set shard-local at
+# S=4, so legacy, --shards 1, and --shards 4 --shard-workers 4 must print
+# the identical report (stdout carries no shard/worker info by design).
+set(shard_args stream --requests 8000 --m 16 --k 4 --strategy disjoint --seed 7)
+execute_process(
+  COMMAND ${CLI} ${shard_args}
+  OUTPUT_FILE ${dir}/shard_legacy.txt RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: legacy disjoint stream failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${CLI} ${shard_args} --shards 1
+  OUTPUT_FILE ${dir}/shard_s1.txt RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: --shards 1 stream failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${CLI} ${shard_args} --shards 4 --shard-workers 4
+  OUTPUT_FILE ${dir}/shard_s4.txt RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: --shards 4 stream failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/shard_legacy.txt ${dir}/shard_s1.txt
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "stream_smoke: --shards 1 diverged from the single-queue path "
+      "(diff ${dir}/shard_legacy.txt ${dir}/shard_s1.txt)")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/shard_s1.txt ${dir}/shard_s4.txt
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "stream_smoke: --shards 4 diverged on a shard-local workload "
+      "(diff ${dir}/shard_s1.txt ${dir}/shard_s4.txt)")
+endif()
+
+# --- 6. invalid shard counts fail fast --------------------------------------
+execute_process(
+  COMMAND ${CLI} stream --requests 10 --m 4 --shards 8
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "stream_smoke: --shards > m was accepted")
+endif()
+
+message(STATUS
+    "stream_smoke: exact + sketch regimes, JSON, RSS bound, sharded path OK")

@@ -6,7 +6,10 @@
 # sweep — the per-job MaxLoadSolver chains must not share mutable state
 # across threads — plus a parallel fuzz campaign (the fuzz workers each
 # own dispatchers, auditors and oracle solvers; TSan proves they share
-# nothing mutable).
+# nothing mutable). The sharded engine's steal path is audited twice: the
+# StealDeque/Sharded suites hammer the Chase-Lev deque and the worker
+# team directly, and bench_ext_shard + the CLI --shards run drive whole
+# epochs through a multi-worker team (docs/sharding.md).
 #
 # Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -20,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" --target flowsched_tests flowsched_fuzz \
   flowsched_cli bench_fig10_maxload -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine|Fuzz\.|RunnerHardening'
+  -R 'ThreadPool|ExperimentRunner|ReplicateSeed|CellId|ResolveThreads|OnlineEngine|Fuzz\.|RunnerHardening|StealDeque|CoreBudget|Sharded'
 "$BUILD_DIR/bench/bench_fig10_maxload" --m 10 --permutations 2 --threads 4 \
   > /dev/null
 "$BUILD_DIR/tools/flowsched_fuzz" run --seed 11 --runs 60 --threads 4 \
@@ -31,6 +34,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure \
 # result collection in rep order.
 "$BUILD_DIR/tools/flowsched_cli" stream --requests 20000 --m 16 --lambda 12 \
   --reps 8 --threads 4 --seed 7 > /dev/null
+
+# Sharded engine under TSan: a small grid with pinned multi-worker teams
+# (bench_ext_shard pins shard_workers = S) and the CLI stream routed
+# through 4 shards with a 4-worker team — the full
+# route -> steal -> execute -> merge pipeline under the race detector.
+# The suites repeat: the epoch-boundary straggler races only interleave
+# once in a few runs, and a single pass has missed them before.
+"$BUILD_DIR/tests/flowsched_tests" \
+  --gtest_filter='StealDeque.*:Sharded.*' --gtest_repeat=5 > /dev/null
+cmake --build "$BUILD_DIR" --target bench_ext_shard -j "$(nproc)"
+"$BUILD_DIR/bench/bench_ext_shard" --requests 20000 --m 64 --reps 1 \
+  > /dev/null 2>&1
+"$BUILD_DIR/tools/flowsched_cli" stream --requests 10000 --m 16 --k 4 \
+  --strategy overlapping --shards 4 --shard-workers 4 --seed 7 > /dev/null
 
 # Fault campaign under TSan: fuzz workers running the fault battery own
 # their plans, fault logs and auditors privately, and the checkpointed

@@ -27,7 +27,7 @@ FUZZ="$BUILD_DIR/tools/flowsched_fuzz"
 
 # Fault unit suites plus the runner/checkpoint hardening tests.
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit'
+  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit|StealDeque|CoreBudget|Sharded'
 
 # faultsim CLI on the committed corpus cases (scripted plans, both
 # replication schemes) and on a seeded random plan per recovery policy.
