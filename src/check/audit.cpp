@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -124,9 +125,14 @@ void InvariantAuditor::on_event(const ObsEvent& e) {
         violation("protocol",
                   "task " + std::to_string(e.task) + " has proc <= 0");
       }
+      if (!(e.weight > 0)) {
+        violation("protocol",
+                  "task " + std::to_string(e.task) + " has weight <= 0");
+      }
       TaskRecord rec;
       rec.release = e.release;
       rec.proc = e.proc;
+      rec.weight = e.weight;
       if (e.eligible == nullptr || e.eligible->empty()) {
         violation("protocol", "task " + std::to_string(e.task) +
                                   " released with no processing set");
@@ -163,13 +169,16 @@ void InvariantAuditor::on_event(const ObsEvent& e) {
         return;
       }
       rec.phase = expected_phase + 1;
-      if (e.release != rec.release || e.proc != rec.proc) {
+      if (e.release != rec.release || e.proc != rec.proc ||
+          e.weight != rec.weight) {
         violation("accounting", "task " + std::to_string(e.task) +
-                                    " release/proc drifted across events");
+                                    " release/proc/weight drifted across "
+                                    "events");
       }
       if (e.kind == ObsEventKind::kTaskDispatched) {
         rec.machine = e.machine;
         rec.dispatch_time = e.time;
+        rec.setup = e.setup;
         if (e.machine < 0 || e.machine >= info_.m) {
           violation("eligibility", "task " + std::to_string(e.task) +
                                        " dispatched to machine " +
@@ -205,26 +214,31 @@ void InvariantAuditor::on_event(const ObsEvent& e) {
                                     " completed on a machine it was not "
                                     "dispatched to");
         }
-        // C_i = S_i + p_i. Every engine computes the completion as the IEEE
-        // double sum, so demand bitwise equality with start + proc; on the
-        // dyadic theory grid that sum is exactly representable, making this
-        // exact arithmetic. Accept exact Rational equality too, for sinks
-        // that compute C_i by other (exact) means and round differently.
-        // Under faults the final segment may be shorter than p_i
-        // (checkpoint recovery); check_fault_run does the exact
-        // segment-sum accounting instead.
-        bool exact_ok = config_.fault_mode || e.time == rec.start + rec.proc;
+        // C_i = S_i + setup_i + p_i (setup_i = 0 outside nc mode). Every
+        // engine computes the completion as the left-to-right IEEE double
+        // sum, so demand bitwise equality; on the dyadic theory grid that
+        // sum is exactly representable, making this exact arithmetic.
+        // Accept exact Rational equality too, for sinks that compute C_i by
+        // other (exact) means and round differently. Under faults the final
+        // segment may be shorter than p_i (checkpoint recovery);
+        // check_fault_run does the exact segment-sum accounting instead.
+        const double expected = config_.nc_mode
+                                    ? (rec.start + rec.setup) + rec.proc
+                                    : rec.start + rec.proc;
+        bool exact_ok = config_.fault_mode || e.time == expected;
         if (!exact_ok) {
           const auto s = rational_from_double(rec.start);
+          const auto u = rational_from_double(rec.setup);
           const auto p = rational_from_double(rec.proc);
           const auto c = rational_from_double(e.time);
-          exact_ok = s && p && c && *s + *p == *c;
+          exact_ok = s && u && p && c && *s + *u + *p == *c;
         }
         if (!exact_ok) {
-          violation("accounting", "task " + std::to_string(e.task) +
-                                      ": C_i != S_i + p_i (" + fmt(e.time) +
-                                      " != " + fmt(rec.start) + " + " +
-                                      fmt(rec.proc) + ")");
+          violation(config_.nc_mode ? "setup-accounting" : "accounting",
+                    "task " + std::to_string(e.task) +
+                        ": C_i != S_i + setup_i + p_i (" + fmt(e.time) +
+                        " != " + fmt(rec.start) + " + " + fmt(rec.setup) +
+                        " + " + fmt(rec.proc) + ")");
         }
       }
       break;
@@ -287,8 +301,43 @@ void InvariantAuditor::on_run_end(double makespan) {
     // check_fault_run.
     check_overlap();
     check_machine_events(max_completion);
-    if (expect_fifo_order_ && unrestricted_) check_fifo_order();
-    if (expect_work_conservation_) check_work_conservation();
+    if (config_.nc_mode) {
+      // Behavioural checks are proved against true processing times; a
+      // censored run gets the setup recomputation sweep instead.
+      check_setup_accounting();
+    } else {
+      if (expect_fifo_order_ && unrestricted_) check_fifo_order();
+      if (expect_work_conservation_) check_work_conservation();
+    }
+  }
+
+  // Weighted aggregates, the shared weighted_flow_term / exact-sum recipe
+  // (model/schedule.cpp) over the narrated completions — [weighted-
+  // accounting] compares these against MetricsCollector and Schedule.
+  last_fmax_w_ = 0;
+  last_total_flow_w_ = 0;
+  {
+    std::optional<Rational> exact(Rational(0));
+    double approx = 0;
+    for (const TaskRecord& rec : tasks_) {
+      if (rec.phase != 3) continue;
+      const double wterm =
+          weighted_flow_term(rec.weight, rec.completion - rec.release);
+      last_fmax_w_ = std::max(last_fmax_w_, wterm);
+      approx += wterm;
+      if (exact) {
+        if (const auto rt = rational_from_double(wterm)) {
+          try {
+            exact = *exact + *rt;
+          } catch (const std::overflow_error&) {
+            exact.reset();
+          }
+        } else {
+          exact.reset();
+        }
+      }
+    }
+    last_total_flow_w_ = exact ? exact->to_double() : approx;
   }
 
   // Reconstruct the instance for the oracles and for callers. Events were
@@ -300,14 +349,18 @@ void InvariantAuditor::on_run_end(double makespan) {
     if (!(rec.proc > 0) || rec.release < 0 || !rec.eligible.within(info_.m)) {
       rebuildable = false;
     }
-    rebuilt_.push_back(
-        Task{.release = rec.release, .proc = rec.proc, .eligible = rec.eligible});
+    if (!(rec.weight > 0)) rebuildable = false;
+    rebuilt_.push_back(Task{.release = rec.release,
+                            .proc = rec.proc,
+                            .eligible = rec.eligible,
+                            .weight = rec.weight});
   }
   if (rebuildable && !tasks_.empty()) {
     last_instance_ = std::make_unique<Instance>(info_.m, rebuilt_);
-    // The oracles reason about uninterrupted schedules; they do not apply
-    // to fault runs.
-    if (config_.bound_oracles && !config_.fault_mode) {
+    // The oracles reason about uninterrupted, clairvoyant schedules; they
+    // apply to neither fault nor nc runs (the fuzzer's [nc-*] oracles cover
+    // the latter).
+    if (config_.bound_oracles && !config_.fault_mode && !config_.nc_mode) {
       run_bound_oracles(*last_instance_);
     }
   }
@@ -325,8 +378,11 @@ void InvariantAuditor::check_overlap() {
         rec.machine >= static_cast<int>(intervals.size())) {
       continue;
     }
+    // The narrated completion, not start + proc: in nc mode the machine is
+    // additionally occupied by the setup charge ([setup-accounting] pins
+    // completion == start + setup + proc, so this stays exact).
     intervals[static_cast<std::size_t>(rec.machine)].emplace_back(
-        rec.start, rec.start + rec.proc);
+        rec.start, rec.completion);
   }
   for (std::size_t j = 0; j < intervals.size(); ++j) {
     auto& iv = intervals[j];
@@ -350,7 +406,7 @@ void InvariantAuditor::check_machine_events(double makespan) {
     std::vector<std::pair<double, double>> merged;
     for (const TaskRecord& rec : tasks_) {
       if (rec.phase == 3 && rec.machine == static_cast<int>(j)) {
-        merged.emplace_back(rec.start, rec.start + rec.proc);
+        merged.emplace_back(rec.start, rec.completion);
       }
     }
     std::sort(merged.begin(), merged.end());
@@ -465,6 +521,38 @@ void InvariantAuditor::check_work_conservation() {
           return;  // one witness is enough
         }
       }
+    }
+  }
+}
+
+void InvariantAuditor::check_setup_accounting() {
+  // Recompute every machine's setup charges from the narrated dispatch
+  // order: exactly nc_setup when the previous task on that machine had a
+  // different processing set, the first task free. Tasks dispatch in
+  // release (= index) order, so a single scan reproduces the engine's
+  // bookkeeping; comparisons are bitwise (dyadic grid).
+  const std::size_t m = static_cast<std::size_t>(std::max(info_.m, 0));
+  std::vector<ProcSet> last_set(m);
+  std::vector<bool> has_last(m, false);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskRecord& rec = tasks_[i];
+    if (rec.phase < 1 || rec.machine < 0 ||
+        rec.machine >= static_cast<int>(m)) {
+      continue;
+    }
+    const auto uj = static_cast<std::size_t>(rec.machine);
+    double expected = 0;
+    if (has_last[uj] && !(last_set[uj] == rec.eligible)) {
+      expected = config_.nc_setup;
+    }
+    last_set[uj] = rec.eligible;
+    has_last[uj] = true;
+    if (rec.setup != expected) {
+      violation("setup-accounting",
+                "task " + std::to_string(i) + " on M" +
+                    std::to_string(rec.machine + 1) + " charged setup " +
+                    fmt(rec.setup) + ", dispatch-order recomputation says " +
+                    fmt(expected));
     }
   }
 }

@@ -23,6 +23,12 @@
 //     [busy-idle]    machine busy/idle transitions alternate and equal the
 //                    merged task intervals
 //
+//   non-clairvoyant mode (AuditConfig::nc_mode; docs/scenarios.md)
+//     [setup-accounting]  C_i = S_i + setup_i + p_i bitwise, with setup_i
+//                    recomputed from the narrated dispatch order (charged
+//                    exactly when the machine's previous processing set
+//                    differs, first task free)
+//
 //   behavioural (inferred from RunInfo::algo, or forced via AuditConfig)
 //     [fifo-order]   r_i <= r_j => S_i <= S_j on unrestricted instances
 //                    (FIFO's queue discipline; EFT inherits it via Prop. 1)
@@ -103,6 +109,21 @@ struct AuditConfig {
   /// check_fault_run(), which validates the engine's FaultLog against the
   /// plan and the recovery policy after the run ends.
   bool fault_mode = false;
+
+  /// \brief Audit a non-clairvoyant run (Clairvoyance::kNonClairvoyant).
+  ///
+  /// In nc mode a machine pays `nc_setup` before any task whose processing
+  /// set differs from the previous task's on that machine, so
+  /// C_i = S_i + setup_i + p_i. [accounting]'s exact completion check
+  /// becomes the setup-aware [setup-accounting] (bitwise, with the setup
+  /// recomputed from the narrated dispatch order at end of run), the
+  /// occupancy sweeps ([overlap], [busy-idle]) use the narrated completion
+  /// instead of S_i + p_i, and the behavioural checks and bound oracles —
+  /// all proved for clairvoyant, setup-free schedules — are disabled (the
+  /// fuzzer's [nc-*] oracles replace them; check/fuzz.hpp).
+  bool nc_mode = false;
+  /// Per-machine setup time charged in nc mode (exact dyadic-grid value).
+  double nc_setup = 0.0;
 };
 
 /// \brief SchedObserver that validates runs online and via end-of-run
@@ -131,8 +152,16 @@ class InvariantAuditor final : public SchedObserver {
   void throw_if_violated() const;
 
   /// The instance reconstructed from the last completed run's event
-  /// stream. Throws std::logic_error before the first on_run_end().
+  /// stream (weights included). Throws std::logic_error before the first
+  /// on_run_end().
   const Instance& last_instance() const;
+
+  /// Weighted aggregates of the last completed run, recomputed from the
+  /// event stream with the shared weighted_flow_term / exact-sum recipe —
+  /// the [weighted-accounting] differential compares these bitwise against
+  /// MetricsCollector and Schedule. Zero before the first on_run_end().
+  double last_max_weighted_flow() const { return last_fmax_w_; }
+  double last_total_weighted_flow() const { return last_total_flow_w_; }
 
   /// \brief Validates the last completed run's FaultLog against its plan
   /// and recovery policy (AuditConfig::fault_mode runs only).
@@ -163,6 +192,8 @@ class InvariantAuditor final : public SchedObserver {
   struct TaskRecord {
     double release = 0;
     double proc = 0;
+    double weight = 1.0;
+    double setup = 0;  // narrated nc setup charge (0 outside nc mode)
     ProcSet eligible;
     int machine = -1;
     double dispatch_time = 0;
@@ -180,6 +211,7 @@ class InvariantAuditor final : public SchedObserver {
   void check_overlap();
   void check_fifo_order();
   void check_work_conservation();
+  void check_setup_accounting();
   void run_bound_oracles(const Instance& inst);
 
   AuditConfig config_;
@@ -198,6 +230,8 @@ class InvariantAuditor final : public SchedObserver {
   double last_release_ = 0;
   std::vector<Task> rebuilt_;  // instance reconstruction, release order
   std::unique_ptr<Instance> last_instance_;
+  double last_fmax_w_ = 0;
+  double last_total_flow_w_ = 0;
 };
 
 /// \brief One-shot audit of a completed schedule: replays it through an

@@ -8,6 +8,7 @@
 #include <future>
 #include <iterator>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -21,8 +22,10 @@
 #include "runner/experiment.hpp"
 #include "runner/thread_pool.hpp"
 #include "check/audit.hpp"
+#include "obs/metrics.hpp"
 #include "sched/engine.hpp"
 #include "sched/fifo.hpp"
+#include "sched/nonclairvoyant.hpp"
 #include "sched/sharded/sharded.hpp"
 #include "sched/streaming.hpp"
 #include "util/rng.hpp"
@@ -32,7 +35,12 @@ namespace {
 
 // Fixed seed for the randomized tie-breaks/policies: the schedule is then a
 // pure function of the instance, so a shrunk reproducer replays identically
-// under `flowsched_fuzz replay` with no extra state to carry.
+// under `flowsched_fuzz replay` with no extra state to carry. The randomized
+// dispatchers additionally run in counter-RNG mode (per-task streams keyed
+// on the global task id, sched/tiebreak.hpp), which makes every draw a pure
+// function of (kPolicySeed, task id) — independent of how tasks are split
+// across shard lanes — so the sharded differential's bit-equality extends
+// to them.
 constexpr std::uint64_t kPolicySeed = 0x5eedULL;
 
 // Size gates for the exponential / polynomial oracles. Branch-and-bound is
@@ -61,16 +69,19 @@ std::unique_ptr<Dispatcher> make_dispatcher(const std::string& policy,
   if (policy == "EFT-Max")
     return std::make_unique<EftDispatcher>(TieBreakKind::kMax);
   if (policy == "EFT-Rand")
-    return std::make_unique<EftDispatcher>(TieBreakKind::kRand, kPolicySeed);
+    return std::make_unique<EftDispatcher>(TieBreakKind::kRand, kPolicySeed,
+                                           /*counter_rng=*/true);
   if (policy == "LeastLoaded-Min")
     return std::make_unique<LeastLoadedDispatcher>(TieBreakKind::kMin);
   if (policy == "JSQ-Min")
     return std::make_unique<JsqDispatcher>(TieBreakKind::kMin);
   if (policy == "RoundRobin") return std::make_unique<RoundRobinDispatcher>();
   if (policy == "RandomEligible")
-    return std::make_unique<RandomEligibleDispatcher>(kPolicySeed);
+    return std::make_unique<RandomEligibleDispatcher>(kPolicySeed,
+                                                      /*counter_rng=*/true);
   if (policy == "Pow2")
-    return std::make_unique<PowerOfDChoicesDispatcher>(2, kPolicySeed);
+    return std::make_unique<PowerOfDChoicesDispatcher>(2, kPolicySeed,
+                                                       /*counter_rng=*/true);
   throw std::invalid_argument("unknown fuzz policy: " + policy);
 }
 
@@ -265,13 +276,16 @@ std::vector<std::string> check_streaming(const Instance& inst,
 }
 
 // Policies whose sharded run must be BIT-equal to the single-queue engine
-// on shard-local instances: the deterministic dispatchers. Randomized
-// policies draw from independent per-shard RNG streams, so their sharded
-// decisions are valid but legitimately different — they are covered by the
-// structural audit, not the equality check.
+// on shard-local instances. The deterministic dispatchers qualify outright;
+// the randomized ones (EFT-Rand, RandomEligible, Pow2) qualify because
+// make_dispatcher builds them in counter-RNG mode — every draw is keyed on
+// the global task id the lanes forward, not on a per-shard stream position
+// — so [shard-equiv] asserts that the randomized policies take the
+// equivalence path rather than falling back to the structural audit alone.
 const std::vector<std::string>& shard_equiv_policies() {
   static const std::vector<std::string> kPolicies = {
-      "EFT-Min", "EFT-Max", "LeastLoaded-Min", "JSQ-Min", "RoundRobin"};
+      "EFT-Min",    "EFT-Max",        "LeastLoaded-Min", "JSQ-Min",
+      "RoundRobin", "EFT-Rand",       "RandomEligible",  "Pow2"};
   return kPolicies;
 }
 
@@ -345,6 +359,304 @@ std::vector<std::string> check_sharded(const Instance& inst,
   return out;
 }
 
+// Policies whose dispatch decisions never read the fields censoring
+// touches: they consult queue depths, a round-robin cursor, or per-task RNG
+// draws — never the completion frontier, the load vector, or p_i. At
+// setup = 0 the clairvoyant engine is therefore a valid bit-equal reference
+// for their nc run ([diff-nc]).
+bool clairvoyance_oblivious(const std::string& policy) {
+  return policy == "JSQ-Min" || policy == "RoundRobin" ||
+         policy == "RandomEligible";
+}
+
+// Policies whose decisions ignore engine state entirely: the nc run picks
+// the same machine sequence at ANY setup, so paying setups and losing
+// clairvoyance can only delay completions — the clairvoyant Fmax is a true
+// lower bound ([nc-clair-lb]). JSQ is deliberately NOT here: a nonzero
+// setup shifts completion times and hence the queue-depth evolution, so its
+// nc decisions legitimately diverge from the clairvoyant run and no
+// domination holds.
+bool nc_state_oblivious(const std::string& policy) {
+  return policy == "RoundRobin" || policy == "RandomEligible";
+}
+
+// Non-clairvoyant battery for one policy: the censored engine run under the
+// nc-mode auditor ([setup-accounting] et al.), the [nc-no-peek]
+// counterfactual replay, the [diff-nc-stream] engine differential, the
+// [nc-lb]/[nc-ceiling] bound oracles, and the clairvoyant differentials for
+// the oblivious policies. Shared by the fuzz loop, the nc shrink predicate,
+// and nc-case replay.
+std::vector<std::string> check_nc(const Instance& inst,
+                                  const std::string& policy, double setup,
+                                  const Oracles& oracles, bool inject_nc_bug) {
+  AuditConfig acfg;
+  acfg.nc_mode = true;
+  acfg.nc_setup = setup;
+  InvariantAuditor auditor(acfg);
+  auto inner = make_dispatcher(policy, /*inject_bug=*/false);
+  NcDispatcher ncd(*inner);
+  const OnlineEngine engine =
+      run_dispatcher_nc(inst, ncd, setup, &auditor, RunTag{}, inject_nc_bug);
+  std::vector<std::string> out = auditor.violations();
+
+  const int n = inst.n();
+  const double fmax = nc_max_flow(engine);
+  double work = 0.0;
+  double pmax = 0.0;
+  for (const Task& t : inst.tasks()) {
+    work += t.proc;
+    pmax = std::max(pmax, t.proc);
+  }
+
+  // [nc-lb] Fmax >= pmax for any schedule, and >= the clairvoyant optimum
+  // when the bruteforce oracle ran: deleting the setups from an nc schedule
+  // leaves a feasible clairvoyant schedule with no larger flows, so the
+  // clairvoyant OPT lower-bounds every nc run.
+  if (fmax + 1e-6 < pmax) {
+    out.push_back(policy + ": [nc-lb] nc Fmax " + fmt(fmax) + " below pmax " +
+                  fmt(pmax));
+  }
+  if (oracles.bruteforce >= 0 && fmax < oracles.bruteforce - 1e-6) {
+    out.push_back(policy + ": [nc-lb] nc Fmax " + fmt(fmax) +
+                  " beats the clairvoyant optimum " + fmt(oracles.bruteforce));
+  }
+
+  // [nc-ceiling] Immediate dispatch delays a task by at most the total
+  // outstanding work plus every setup the machine can be charged (n others
+  // plus its own): Fmax <= W + (n+1)*setup + pmax.
+  const double ceiling = work + (n + 1) * setup + pmax;
+  if (fmax > ceiling + 1e-6) {
+    out.push_back(policy + ": [nc-ceiling] nc Fmax " + fmt(fmax) +
+                  " exceeds W + (n+1)*setup + pmax = " + fmt(ceiling));
+  }
+
+  // [nc-no-peek] Counterfactual replay: rotate the hidden p_i among the
+  // tasks still in flight at the last release T and pad each with the
+  // integer floor(T)+1. The pad keeps every permuted task in flight through
+  // T in both worlds, and settled work is untouched, so every censored
+  // observable at every dispatch instant — queue depths, busy flags,
+  // finished work, the censored frontier — is bitwise unchanged. A policy
+  // that sees only the censored view must therefore pick the same machines;
+  // starts may legitimately move (the true frontiers change), so machines
+  // are the whole comparison.
+  if (n > 0) {
+    const double T = inst.task(n - 1).release;
+    std::vector<int> late;
+    for (int i = 0; i < n; ++i) {
+      if (engine.completion_of(i) > T) late.push_back(i);
+    }
+    if (!late.empty()) {
+      const double pad = std::floor(T) + 1.0;
+      const std::span<const Task> task_view = inst.tasks();
+      std::vector<Task> tasks(task_view.begin(), task_view.end());
+      std::vector<double> procs;
+      procs.reserve(late.size());
+      for (int i : late) {
+        procs.push_back(tasks[static_cast<std::size_t>(i)].proc);
+      }
+      std::rotate(procs.begin(), procs.begin() + 1, procs.end());
+      for (std::size_t k = 0; k < late.size(); ++k) {
+        tasks[static_cast<std::size_t>(late[k])].proc = procs[k] + pad;
+      }
+      const Instance permuted(inst.m(), std::move(tasks));
+      auto inner2 = make_dispatcher(policy, /*inject_bug=*/false);
+      NcDispatcher ncd2(*inner2);
+      const OnlineEngine replay = run_dispatcher_nc(
+          permuted, ncd2, setup, nullptr, RunTag{}, inject_nc_bug);
+      for (int i = 0; i < n; ++i) {
+        if (replay.machine_of(i) != engine.machine_of(i)) {
+          out.push_back(policy + ": [nc-no-peek] task " + std::to_string(i) +
+                        " moves from machine " +
+                        std::to_string(engine.machine_of(i)) + " to machine " +
+                        std::to_string(replay.machine_of(i)) +
+                        " when the hidden processing times are permuted — "
+                        "the policy is peeking at p_i");
+          break;  // later tasks inherit the divergence
+        }
+      }
+    }
+  }
+
+  // [diff-nc-stream] The StreamingEngine nc mirror commits the
+  // bit-identical (machine, start) sequence. Skipped while the planted
+  // leak is armed: the backdoor exists only in OnlineEngine, so the
+  // engines WOULD diverge and the finding must attribute to [nc-no-peek],
+  // not to the engine differential.
+  if (!inject_nc_bug) {
+    auto inner3 = make_dispatcher(policy, /*inject_bug=*/false);
+    NcDispatcher ncd3(*inner3);
+    StreamingEngine stream(inst.m(), ncd3);
+    stream.set_clairvoyance(Clairvoyance::kNonClairvoyant, setup);
+    for (int i = 0; i < n; ++i) {
+      const Assignment s = stream.release(inst.task(i));
+      if (s.machine != engine.machine_of(i) || s.start != engine.start_of(i)) {
+        out.push_back(policy + ": [diff-nc-stream] task " + std::to_string(i) +
+                      " diverges: batch (machine " +
+                      std::to_string(engine.machine_of(i)) + ", start " +
+                      fmt(engine.start_of(i)) + ") vs stream (machine " +
+                      std::to_string(s.machine) + ", start " + fmt(s.start) +
+                      ")");
+        break;  // later tasks inherit the divergence
+      }
+    }
+  }
+
+  if (clairvoyance_oblivious(policy)) {
+    auto plain = make_dispatcher(policy, /*inject_bug=*/false);
+    OnlineEngine clair(inst.m(), *plain);
+    std::vector<Assignment> ref;
+    ref.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ref.push_back(clair.release(inst.task(i)));
+
+    // [diff-nc] At setup 0 the censored run must be bit-equal to the
+    // clairvoyant engine: these policies read only fields censoring leaves
+    // untouched, so withholding p_i cannot change a single decision.
+    auto inner0 = make_dispatcher(policy, /*inject_bug=*/false);
+    NcDispatcher ncd0(*inner0);
+    const OnlineEngine nc0 = run_dispatcher_nc(inst, ncd0, /*setup=*/0.0,
+                                               nullptr, RunTag{},
+                                               inject_nc_bug);
+    for (int i = 0; i < n; ++i) {
+      const Assignment& a = ref[static_cast<std::size_t>(i)];
+      if (nc0.machine_of(i) != a.machine || nc0.start_of(i) != a.start) {
+        out.push_back(policy + ": [diff-nc] task " + std::to_string(i) +
+                      " diverges at setup 0: clairvoyant (machine " +
+                      std::to_string(a.machine) + ", start " + fmt(a.start) +
+                      ") vs nc (machine " + std::to_string(nc0.machine_of(i)) +
+                      ", start " + fmt(nc0.start_of(i)) + ")");
+        break;  // later tasks inherit the divergence
+      }
+    }
+
+    // [nc-clair-lb] State-oblivious policies pick the same machine sequence
+    // at any setup, so the nc run is the clairvoyant schedule with setups
+    // inserted: Fmax_nc >= Fmax_clairvoyant.
+    if (setup > 0 && nc_state_oblivious(policy)) {
+      double clair_fmax = 0.0;
+      for (int i = 0; i < n; ++i) {
+        clair_fmax = std::max(clair_fmax,
+                              ref[static_cast<std::size_t>(i)].start +
+                                  inst.task(i).proc - inst.task(i).release);
+      }
+      if (fmax + 1e-6 < clair_fmax) {
+        out.push_back(policy + ": [nc-clair-lb] nc Fmax " + fmt(fmax) +
+                      " below the clairvoyant Fmax " + fmt(clair_fmax));
+      }
+    }
+  }
+  return out;
+}
+
+// Weighted battery for one policy: the weighted instance through the
+// auditor + MetricsCollector fan-out, then
+//   [weighted-accounting] — Schedule, MetricsCollector, and the auditor
+//     aggregate w_i * F_i by three independent code paths over the shared
+//     weighted_flow_term / exact-Rational-sum recipe, so they must agree
+//     bitwise;
+//   [weighted-ceiling] — Fmax^w <= wmax * (W + pmax), the weighted form of
+//     the [diff-bounds] work ceiling;
+//   [diff-weighted] — weights must never affect decisions: the unit-weight
+//     copy reproduces the schedule assignment-for-assignment, every
+//     unweighted report field bit-for-bit, and its weighted aggregates
+//     collapse onto the unweighted ones.
+// Shared by the fuzz loop, the weighted shrink predicate, and corpus
+// replay.
+std::vector<std::string> check_weighted(const Instance& inst,
+                                        const std::string& policy) {
+  InvariantAuditor auditor;
+  MetricsCollector metrics;
+  MulticastObserver fan({&auditor, &metrics});
+  auto dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  const Schedule sched = run_dispatcher(inst, *dispatcher, fan);
+  std::vector<std::string> out = auditor.violations();
+
+  const double s_fmax = sched.max_weighted_flow();
+  const double s_total = sched.total_weighted_flow();
+  if (metrics.max_weighted_flow() != s_fmax ||
+      metrics.total_weighted_flow() != s_total) {
+    out.push_back(policy + ": [weighted-accounting] collector (Fmax^w " +
+                  fmt(metrics.max_weighted_flow()) + ", total " +
+                  fmt(metrics.total_weighted_flow()) +
+                  ") != schedule (Fmax^w " + fmt(s_fmax) + ", total " +
+                  fmt(s_total) + ")");
+  }
+  if (auditor.last_max_weighted_flow() != s_fmax ||
+      auditor.last_total_weighted_flow() != s_total) {
+    out.push_back(policy + ": [weighted-accounting] auditor (Fmax^w " +
+                  fmt(auditor.last_max_weighted_flow()) + ", total " +
+                  fmt(auditor.last_total_weighted_flow()) +
+                  ") != schedule (Fmax^w " + fmt(s_fmax) + ", total " +
+                  fmt(s_total) + ")");
+  }
+  if (!inst.unit_weights() && !metrics.any_weighted()) {
+    out.push_back(policy +
+                  ": [weighted-accounting] collector saw no non-unit weight "
+                  "on a weighted instance");
+  }
+
+  double work = 0.0;
+  double pmax = 0.0;
+  for (const Task& t : inst.tasks()) {
+    work += t.proc;
+    pmax = std::max(pmax, t.proc);
+  }
+  const double ceiling = inst.wmax() * (work + pmax);
+  if (s_fmax > ceiling + 1e-6) {
+    out.push_back(policy + ": [weighted-ceiling] Fmax^w " + fmt(s_fmax) +
+                  " exceeds wmax * (W + pmax) = " + fmt(ceiling));
+  }
+
+  const std::span<const Task> task_view = inst.tasks();
+  std::vector<Task> unit_tasks(task_view.begin(), task_view.end());
+  for (Task& t : unit_tasks) t.weight = 1.0;
+  const Instance unit_inst(inst.m(), std::move(unit_tasks));
+  MetricsCollector unit_metrics;
+  auto unit_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  const Schedule unit_sched =
+      run_dispatcher(unit_inst, *unit_dispatcher, unit_metrics);
+  for (int i = 0; i < inst.n(); ++i) {
+    if (unit_sched.machine(i) != sched.machine(i) ||
+        unit_sched.start(i) != sched.start(i)) {
+      out.push_back(policy + ": [diff-weighted] task " + std::to_string(i) +
+                    " assignment changes with weights: unit (machine " +
+                    std::to_string(unit_sched.machine(i)) + ", start " +
+                    fmt(unit_sched.start(i)) + ") vs weighted (machine " +
+                    std::to_string(sched.machine(i)) + ", start " +
+                    fmt(sched.start(i)) + ")");
+      break;  // later tasks inherit the divergence
+    }
+  }
+  if (unit_metrics.max_flow() != metrics.max_flow() ||
+      unit_metrics.mean_flow() != metrics.mean_flow() ||
+      unit_metrics.makespan() != metrics.makespan()) {
+    out.push_back(policy +
+                  ": [diff-weighted] an unweighted report field drifts when "
+                  "weights are attached (Fmax " + fmt(unit_metrics.max_flow()) +
+                  " vs " + fmt(metrics.max_flow()) + ", mean " +
+                  fmt(unit_metrics.mean_flow()) + " vs " +
+                  fmt(metrics.mean_flow()) + ", makespan " +
+                  fmt(unit_metrics.makespan()) + " vs " +
+                  fmt(metrics.makespan()) + ")");
+  }
+  if (unit_metrics.any_weighted()) {
+    out.push_back(policy +
+                  ": [diff-weighted] unit-weight run reports any_weighted");
+  }
+  // Collapse: at unit weights every weighted_flow_term(1, F_i) is bitwise
+  // F_i, so Fmax^w must equal Fmax, and the collector's and the schedule's
+  // exact total accumulations must still agree term-for-term.
+  if (unit_metrics.max_weighted_flow() != unit_metrics.max_flow() ||
+      unit_metrics.total_weighted_flow() != unit_sched.total_weighted_flow()) {
+    out.push_back(policy + ": [diff-weighted] unit weights: Fmax^w " +
+                  fmt(unit_metrics.max_weighted_flow()) + " != Fmax " +
+                  fmt(unit_metrics.max_flow()) + " or collector total^w " +
+                  fmt(unit_metrics.total_weighted_flow()) +
+                  " != schedule total^w " +
+                  fmt(unit_sched.total_weighted_flow()));
+  }
+  return out;
+}
+
 // The battery's plan is a pure function of (plan_seed, m): the shrinker
 // regenerates it for each candidate's machine count, so dropping machines
 // keeps the predicate deterministic.
@@ -400,11 +712,19 @@ struct FaultContext {
   RecoveryPolicy recovery;
 };
 
+// Non-clairvoyant-battery provenance of a finding: the setup time is all
+// the shrinker and the reproducer need (the policy seed is fixed and the
+// leak flag comes from the config).
+struct NcContext {
+  double setup = 0.0;
+};
+
 struct RawFinding {
   std::string policy;
   std::string check;
   std::optional<Instance> inst;   // absent for [diff-lp]
   std::optional<FaultContext> fault;  // present for [fault-*] findings
+  std::optional<NcContext> nc;    // present for nc-battery findings
 };
 
 struct RunOutcome {
@@ -415,6 +735,8 @@ struct RunOutcome {
   int stream_checks = 0;
   int bounds_checks = 0;
   int shard_checks = 0;
+  int nc_checks = 0;
+  int weighted_checks = 0;
   std::vector<RawFinding> findings;
 };
 
@@ -494,7 +816,44 @@ RunOutcome fuzz_one(const FuzzConfig& config,
           inst, plan, fc.recovery, policy, config.inject_fault_bug);
       ++out.schedules;
       if (!violations.empty()) {
-        out.findings.push_back({policy, violations.front(), inst, fc});
+        out.findings.push_back(
+            {policy, violations.front(), inst, fc, std::nullopt});
+      }
+    }
+  }
+
+  // Both new batteries draw AFTER every pre-existing draw above, so arming
+  // or disarming them never perturbs the instances, plans, or LP systems of
+  // a pinned seed.
+  if (config.nc_every > 0 && run % config.nc_every == 0) {
+    out.nc_checks = 1;
+    // Setup times on the dyadic grid, strictly positive so the setup
+    // accounting is always exercised; [diff-nc] runs at setup 0 inside the
+    // battery regardless.
+    const double setup = static_cast<double>(rng.uniform_int(1, 4)) / 8.0;
+    for (const std::string& policy : fault_fuzz_policies()) {
+      const std::vector<std::string> violations =
+          check_nc(inst, policy, setup, oracles, config.inject_nc_bug);
+      ++out.schedules;
+      if (!violations.empty()) {
+        out.findings.push_back({policy, violations.front(), inst,
+                                std::nullopt, NcContext{setup}});
+      }
+    }
+  }
+
+  if (config.weighted_every > 0 && run % config.weighted_every == 0) {
+    out.weighted_checks = 1;
+    const Instance winst = with_random_weights(inst, rng);
+    for (const std::string& policy : fault_fuzz_policies()) {
+      const std::vector<std::string> violations = check_weighted(winst, policy);
+      ++out.schedules;
+      if (!violations.empty()) {
+        // The weighted instance itself is the finding: its weights ride
+        // through the shrinker's task-drop moves and into the reproducer's
+        // 4th column.
+        out.findings.push_back(
+            {policy, violations.front(), winst, std::nullopt, std::nullopt});
       }
     }
   }
@@ -597,6 +956,18 @@ std::vector<std::string> replay_fault_case(const FaultCase& fc) {
   return out;
 }
 
+std::vector<std::string> replay_nc_case(const Instance& inst, double setup) {
+  std::vector<std::string> out;
+  const Oracles oracles = compute_oracles(inst, /*differential=*/true);
+  for (const std::string& policy : fault_fuzz_policies()) {
+    for (const std::string& v :
+         check_nc(inst, policy, setup, oracles, /*inject_nc_bug=*/false)) {
+      out.push_back(policy + ": " + v);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> replay_corpus_instance(const Instance& inst,
                                                 bool bound_oracles,
                                                 bool differential) {
@@ -624,6 +995,16 @@ std::vector<std::string> replay_corpus_instance(const Instance& inst,
         out.push_back(policy + ": " + v);
       }
     }
+    // Weighted corpus instances additionally pin the weighted battery: the
+    // committed heavy-tail reproducers keep witnessing the weighted
+    // aggregates and the weight-blindness of the dispatchers.
+    if (!inst.unit_weights()) {
+      for (const std::string& policy : fault_fuzz_policies()) {
+        for (const std::string& v : check_weighted(inst, policy)) {
+          out.push_back(policy + ": " + v);
+        }
+      }
+    }
   }
   return out;
 }
@@ -641,6 +1022,30 @@ std::vector<std::string> replay_corpus_file(const std::string& path,
   if (has_fault_directives(text)) {
     return replay_fault_case(parse_fault_case(text));
   }
+  // nc reproducers carry an "ncsetup <v>" directive ahead of the instance:
+  // strip it and route the remainder through the nc battery.
+  std::istringstream lines(text);
+  std::string line;
+  std::string rest;
+  std::optional<double> ncsetup;
+  while (std::getline(lines, line)) {
+    std::istringstream ls(line);
+    std::string directive;
+    if (ls >> directive && directive == "ncsetup") {
+      double v = 0;
+      if (!(ls >> v) || v < 0) {
+        throw std::runtime_error("replay_corpus_file: bad ncsetup line in " +
+                                 path);
+      }
+      ncsetup = v;
+      continue;
+    }
+    rest += line;
+    rest += '\n';
+  }
+  if (ncsetup.has_value()) {
+    return replay_nc_case(parse_instance_string(rest), *ncsetup);
+  }
   return replay_corpus_instance(parse_instance_string(text), bound_oracles,
                                 differential);
 }
@@ -650,7 +1055,8 @@ std::string FuzzReport::summary() const {
   os << "flowsched_fuzz: runs=" << runs << " schedules=" << schedules
      << " lp-checks=" << lp_checks << " fault-checks=" << fault_checks
      << " stream-checks=" << stream_checks << " bounds-checks=" << bounds_checks
-     << " shard-checks=" << shard_checks
+     << " shard-checks=" << shard_checks << " nc-checks=" << nc_checks
+     << " weighted-checks=" << weighted_checks
      << " findings=" << findings.size() << "\n";
   int i = 0;
   for (const FuzzFinding& f : findings) {
@@ -704,6 +1110,8 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     report.stream_checks += outcome.stream_checks;
     report.bounds_checks += outcome.bounds_checks;
     report.shard_checks += outcome.shard_checks;
+    report.nc_checks += outcome.nc_checks;
+    report.weighted_checks += outcome.weighted_checks;
     for (RawFinding& raw : outcome.findings) {
       FuzzFinding f;
       f.run = r;
@@ -732,6 +1140,42 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
                                       raw.policy, config.inject_fault_bug)) {
                 const std::string t = tag_of(v);
                 if (fault_family ? t.rfind("[fault-", 0) == 0 : t == tag) {
+                  return true;
+                }
+              }
+              return false;
+            }
+            // nc findings replay through the nc battery at the original
+            // setup; any nc-family tag counts (one censored-semantics
+            // contract — see the fault-family rationale above). The family
+            // includes [setup-accounting]: it is the nc-mode auditor's
+            // completion check, so it fires from the same battery.
+            if (raw.nc.has_value()) {
+              const bool nc_family = tag.rfind("[nc-", 0) == 0 ||
+                                     tag.rfind("[diff-nc", 0) == 0 ||
+                                     tag == "[setup-accounting]";
+              const Oracles cand_oracles =
+                  compute_oracles(cand, config.differential);
+              for (const std::string& v :
+                   check_nc(cand, raw.policy, raw.nc->setup, cand_oracles,
+                            config.inject_nc_bug)) {
+                const std::string t = tag_of(v);
+                const bool in_family = t.rfind("[nc-", 0) == 0 ||
+                                       t.rfind("[diff-nc", 0) == 0 ||
+                                       t == "[setup-accounting]";
+                if (nc_family ? in_family : t == tag) return true;
+              }
+              return false;
+            }
+            // Weighted findings replay through the weighted battery — the
+            // candidate carries its own weights through the shrinker's
+            // task-drop moves; any weighted-family tag counts.
+            const bool weighted_family =
+                tag == "[diff-weighted]" || tag.rfind("[weighted-", 0) == 0;
+            if (weighted_family) {
+              for (const std::string& v : check_weighted(cand, raw.policy)) {
+                const std::string t = tag_of(v);
+                if (t == "[diff-weighted]" || t.rfind("[weighted-", 0) == 0) {
                   return true;
                 }
               }
@@ -776,6 +1220,8 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
               shrink_instance(*raw.inst, pred, config.shrink_max_calls);
         }
         f.shrunk_n = minimized.n();
+        // nc reproducers carry the battery's setup time as an "ncsetup"
+        // directive ahead of the instance; replay_corpus_file routes on it.
         const std::string body =
             raw.fault.has_value()
                 ? fault_case_to_string(
@@ -783,7 +1229,10 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
                       plan_for(raw.fault->plan_seed, config.fault_model,
                                minimized.m()),
                       raw.fault->recovery)
-                : instance_to_string(minimized);
+                : (raw.nc.has_value()
+                       ? "ncsetup " + fmt(raw.nc->setup) + "\n" +
+                             instance_to_string(minimized)
+                       : instance_to_string(minimized));
         f.instance_text = reproducer_text(config, f, body);
         if (!config.corpus_dir.empty()) {
           const std::string name = "fuzz-s" + std::to_string(config.seed) +

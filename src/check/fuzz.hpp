@@ -39,6 +39,38 @@
 // the shrinker regenerates it per candidate — and their reproducers embed
 // the availability trace in the fault-case format (fault/plan_io.hpp).
 //
+// Every nc_every-th run additionally pushes the instance through the
+// non-clairvoyant battery (docs/scenarios.md): every dispatcher policy
+// wrapped in NcDispatcher (sched/nonclairvoyant.hpp) runs under the
+// nc-mode auditor with a drawn dyadic setup time ([setup-accounting] rides
+// along), then
+//
+//   [nc-no-peek]     counterfactual replay — the hidden p_i are permuted
+//                    among the tasks completing after the last release (and
+//                    integer-padded so every censored observable is
+//                    unchanged); the machine choices must not move
+//   [diff-nc-stream] the StreamingEngine nc mirror commits the
+//                    bit-identical (machine, start) sequence
+//   [nc-lb]          nc Fmax >= pmax, and >= the clairvoyant optimum when
+//                    the bruteforce oracle ran
+//   [nc-ceiling]     nc Fmax <= W + (n+1)*setup + pmax
+//   [diff-nc]        at setup 0, clairvoyance-oblivious policies (JSQ,
+//                    RoundRobin, RandomEligible) are bit-equal to the
+//                    clairvoyant engine
+//   [nc-clair-lb]    at setup > 0, state-oblivious policies dominate their
+//                    clairvoyant Fmax
+//
+// and every weighted_every-th run re-draws the instance with random dyadic
+// weights (check/gen.hpp) and pushes it through the weighted battery:
+//
+//   [weighted-accounting] Schedule, MetricsCollector, and the auditor
+//                    aggregate w_i * F_i independently and must agree
+//                    bitwise (shared weighted_flow_term / exact-sum recipe)
+//   [diff-weighted]  the unit-weight copy reproduces the schedule
+//                    assignment-for-assignment and every unweighted report
+//                    field bit-for-bit
+//   [weighted-ceiling] Fmax^w <= wmax * (W + pmax)
+//
 // A failing check yields a FuzzFinding; the delta-debugging shrinker
 // (check/shrink.hpp) minimizes the instance under "the same check still
 // fails for the same policy", and the minimized instance is emitted as a
@@ -122,6 +154,24 @@ struct FuzzConfig {
   /// [fault-eligibility] must catch it and the shrinker must minimize it.
   bool inject_fault_bug = false;
 
+  /// Run the non-clairvoyant battery every `nc_every` runs (0 disables it):
+  /// the [nc-*] / [diff-nc*] checks listed above, with the per-run setup
+  /// time drawn from {1/8, 2/8, 3/8, 4/8}. The setup-free [diff-nc]
+  /// clairvoyant differential runs inside the battery regardless of the
+  /// drawn setup, so every armed run exercises it.
+  int nc_every = 1;
+  /// Arm OnlineEngine::set_unsafe_nc_leak on the nc battery — the planted
+  /// peeking bug (true frontiers, loads, and p_i handed to a censored
+  /// policy). [nc-no-peek] must catch it on frontier-reading policies and
+  /// the shrinker must minimize it. The [diff-nc-stream] differential is
+  /// skipped while armed (the backdoor exists only in OnlineEngine, and a
+  /// divergence there would mis-attribute the planted bug).
+  bool inject_nc_bug = false;
+  /// Run the weighted battery every `weighted_every` runs (0 disables it):
+  /// the [weighted-*] / [diff-weighted] checks listed above on a
+  /// randomly-weighted copy of the run's instance.
+  int weighted_every = 1;
+
   bool shrink = true;
   int shrink_max_calls = 4000;
   /// Directory for reproducer files ("" = keep findings in memory only).
@@ -146,6 +196,8 @@ struct FuzzReport {
   int stream_checks = 0;  ///< Batch-vs-streaming differentials executed.
   int bounds_checks = 0;  ///< Runs with the [diff-bounds] landscape armed.
   int shard_checks = 0;   ///< Sharded-vs-single-queue differentials executed.
+  int nc_checks = 0;      ///< Non-clairvoyant batteries executed.
+  int weighted_checks = 0;  ///< Weighted batteries executed.
   std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
 
   bool ok() const { return findings.empty(); }
@@ -191,6 +243,12 @@ const std::vector<std::string>& fault_fuzz_policies();
 /// fault battery: every fault_fuzz_policies() policy under the fault-mode
 /// auditor and check_fault_run. Lines are prefixed "policy: [tag] ...".
 std::vector<std::string> replay_fault_case(const FaultCase& fc);
+
+/// \brief Re-checks one instance through the non-clairvoyant battery at the
+/// given setup time: every fault_fuzz_policies() policy through check_nc's
+/// full check set. Lines are prefixed "policy: ...". Reproducer files
+/// carrying an "ncsetup <v>" directive route here from replay_corpus_file.
+std::vector<std::string> replay_nc_case(const Instance& inst, double setup);
 
 /// \brief Re-checks one instance through the full policy battery.
 ///

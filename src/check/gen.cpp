@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <span>
 #include <vector>
 
 #include "adversary/th8_stream.hpp"
@@ -165,6 +166,17 @@ Instance random_structured_instance(FuzzStructure structure,
     tasks.push_back(std::move(t));
   }
   return Instance(m, std::move(tasks));
+}
+
+Instance with_random_weights(const Instance& inst, Rng& rng,
+                             double heavy_prob, double heavy_weight) {
+  const std::span<const Task> view = inst.tasks();
+  std::vector<Task> tasks(view.begin(), view.end());
+  for (Task& t : tasks) {
+    t.weight = static_cast<double>(rng.uniform_int(1, 16)) / kGrid;
+    if (rng.bernoulli(heavy_prob)) t.weight = heavy_weight;
+  }
+  return Instance(inst.m(), std::move(tasks));
 }
 
 }  // namespace flowsched

@@ -51,4 +51,13 @@ Instance random_structured_instance(FuzzStructure structure,
                                     const StructuredInstanceOptions& opts,
                                     Rng& rng);
 
+/// \brief Returns a copy of `inst` with random dyadic weights: each task
+/// draws w_i = k/8 with k in [1, 16], and with probability `heavy_prob` is
+/// promoted to the heavy tail w_i = `heavy_weight`. All weights are exact
+/// doubles (multiples of 2^-3), so the Rational weighted aggregates stay on
+/// their exact path. The draw consumes only `rng`.
+Instance with_random_weights(const Instance& inst, Rng& rng,
+                             double heavy_prob = 0.1,
+                             double heavy_weight = 8.0);
+
 }  // namespace flowsched

@@ -73,6 +73,13 @@ Instance parse_instance(std::istream& in) {
       if (!(t.proc > 0)) fail(line_no, "non-positive processing time");
       t.eligible = parse_machines(spec, line_no);
       if (!t.eligible.within(m)) fail(line_no, "machine index exceeds m");
+      // Optional 4th token: the flow-time weight w_i (defaults to 1).
+      if (line >> t.weight) {
+        if (!(t.weight > 0)) fail(line_no, "non-positive weight");
+      } else {
+        line.clear();
+        t.weight = 1.0;
+      }
       tasks.push_back(std::move(t));
       std::string extra;
       if (line >> extra) fail(line_no, "trailing tokens after task");
@@ -110,6 +117,7 @@ void write_instance(std::ostream& out, const Instance& inst) {
         out << machines[i] + 1;
       }
     }
+    if (t.weight != 1.0) out << ' ' << t.weight;
     out << "\n";
   }
 }

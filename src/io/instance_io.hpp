@@ -5,10 +5,12 @@
 //
 //     # a 4-machine instance
 //     machines 4
-//     task <release> <proc> <machines>
+//     task <release> <proc> <machines> [weight]
 //
 // where <machines> is either '*' (all machines) or a comma-separated list
-// of 1-based machine names/indices, e.g. "1,2" or "M1,M2". Tasks may appear
+// of 1-based machine names/indices, e.g. "1,2" or "M1,M2", and the optional
+// trailing <weight> is the flow-time weight w_i > 0 (written back only when
+// it differs from the unweighted default 1). Tasks may appear
 // in any order; the Instance constructor sorts by release.
 //
 // Schedules are exported as CSV: task, release, proc, machine (1-based),

@@ -5,13 +5,52 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "model/schedule.hpp"
 #include "obs/sketch.hpp"
 #include "sched/engine.hpp"
 #include "sched/streaming.hpp"
+#include "util/rational.hpp"
 #include "util/stats.hpp"
 
 namespace flowsched {
 namespace {
+
+// Request weight as a pure function of the key (no RNG): the first
+// `heavy_keys` keys form the heavy tail. Returning exactly 1.0 outside it
+// keeps weighted_flow_term on the identity path for light requests.
+double request_weight(int key, int heavy_keys, double heavy_weight) {
+  return key < heavy_keys ? heavy_weight : 1.0;
+}
+
+// Order-consistent weighted-latency accumulator shared by the three sim
+// paths: the same weighted_flow_term terms and the same
+// exact-Rational-sum-with-double-fallback recipe as Schedule and
+// MetricsCollector, fed in global request order everywhere, so the batch,
+// streaming, and sharded reports carry bitwise-equal weighted fields.
+struct WeightedAgg {
+  double max_w = 0;
+  double approx = 0;
+  bool exact_ok = true;
+  Rational exact{0};
+
+  void add(double w, double flow) {
+    const double term = weighted_flow_term(w, flow);
+    max_w = std::max(max_w, term);
+    approx += term;
+    if (!exact_ok) return;
+    const auto rt = rational_from_double(term);
+    if (!rt) {
+      exact_ok = false;
+      return;
+    }
+    try {
+      exact = exact + *rt;
+    } catch (const std::overflow_error&) {
+      exact_ok = false;
+    }
+  }
+  double total() const { return exact_ok ? exact.to_double() : approx; }
+};
 
 double draw_service(ServiceDist dist, double service_time, Rng& rng) {
   switch (dist) {
@@ -45,6 +84,11 @@ std::string SimReport::str() const {
                 ? 0.0
                 : down / static_cast<double>(downtime_fraction.size()));
   }
+  if (weighted) {
+    // Appended only on weighted runs, same contract as the fault fields.
+    out << " fmaxw=" << max_weighted_latency
+        << " totalw=" << total_weighted_latency;
+  }
   return out.str();
 }
 
@@ -55,6 +99,11 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
   if (!(config.lambda > 0)) {
     throw std::invalid_argument("simulate_cluster: lambda <= 0");
   }
+  if (config.heavy_keys < 0 || !(config.heavy_weight > 0)) {
+    throw std::invalid_argument("simulate_cluster: bad weight config");
+  }
+  const bool weighted = config.heavy_keys > 0;
+  WeightedAgg weighted_agg;
   const int m = store.config().m;
   // A fault-free plan takes the fault-free path outright, so attaching one
   // cannot perturb the report (byte-identical output, no fault overhead).
@@ -70,6 +119,7 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
   latencies.reserve(static_cast<std::size_t>(config.requests));
   std::vector<double> busy(static_cast<std::size_t>(m), 0.0);
   std::vector<double> releases;  // fault runs: latency is settled post hoc
+  std::vector<double> weights;   // fault runs: weights settle with them
   if (faulty) releases.reserve(static_cast<std::size_t>(config.requests));
 
   double t = 0.0;
@@ -77,14 +127,22 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
     t += rng.exponential(config.lambda);
     const int key = store.sample_key(rng);
     const double service = draw_service(config.dist, config.service_time, rng);
-    const Assignment a = engine.release(Task{
-        .release = t, .proc = service, .eligible = store.replicas_of_key(key)});
+    const double w =
+        request_weight(key, config.heavy_keys, config.heavy_weight);
+    const Assignment a = engine.release(
+        Task{.release = t,
+             .proc = service,
+             .eligible = store.replicas_of_key(key),
+             .weight = w});
     if (faulty) {
       // The assignment is provisional (the request may still be killed and
       // requeued); latencies come from the fault log after the drain.
       releases.push_back(t);
+      if (weighted) weights.push_back(w);
     } else {
-      latencies.push_back(a.start + service - t);
+      const double flow = a.start + service - t;
+      latencies.push_back(flow);
+      if (weighted) weighted_agg.add(w, flow);
       busy[static_cast<std::size_t>(a.machine)] += service;
     }
   }
@@ -96,8 +154,13 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
     const FaultLog& log = engine.fault_log();
     for (int i = 0; i < config.requests; ++i) {
       if (log.fate(i) == TaskFate::kCompleted) {
-        latencies.push_back(log.completion(i) -
-                            releases[static_cast<std::size_t>(i)]);
+        const double flow =
+            log.completion(i) - releases[static_cast<std::size_t>(i)];
+        latencies.push_back(flow);
+        // Dropped requests are excluded, matching the latency quantiles.
+        if (weighted) {
+          weighted_agg.add(weights[static_cast<std::size_t>(i)], flow);
+        }
       }
     }
     // Busy time is real occupancy: killed segments held the server too.
@@ -120,6 +183,11 @@ SimReport simulate_cluster(const KeyValueStore& store, const SimConfig& config,
     report.p90 = quantile(latencies, 0.90);
     report.p99 = quantile(latencies, 0.99);
     report.max_latency = quantile(latencies, 1.0);
+  }
+  if (weighted) {
+    report.weighted = true;
+    report.max_weighted_latency = weighted_agg.max_w;
+    report.total_weighted_latency = weighted_agg.total();
   }
 
   double makespan = 0;
@@ -164,6 +232,11 @@ StreamReport simulate_cluster_streaming(const KeyValueStore& store,
   if (config.requests < 0) {
     throw std::invalid_argument("simulate_cluster_streaming: requests < 0");
   }
+  if (config.heavy_keys < 0 || !(config.heavy_weight > 0)) {
+    throw std::invalid_argument("simulate_cluster_streaming: bad weight config");
+  }
+  const bool weighted = config.heavy_keys > 0;
+  WeightedAgg weighted_agg;
   const int m = store.config().m;
   StreamingEngine engine(m, dispatcher);
   if (observer != nullptr) {
@@ -186,13 +259,17 @@ StreamReport simulate_cluster_streaming(const KeyValueStore& store,
     t += rng.exponential(config.lambda);
     const int key = store.sample_key(rng);
     const double service = draw_service(config.dist, config.service_time, rng);
-    const Assignment a = engine.release(t, service, store.replicas_of_key(key));
+    const double w =
+        request_weight(key, config.heavy_keys, config.heavy_weight);
+    const Assignment a =
+        engine.release(t, service, store.replicas_of_key(key), i, w);
     const double flow = a.start + service - t;
     if (exact) {
       latencies.push_back(flow);
     } else {
       sketch.add(flow);
     }
+    if (weighted) weighted_agg.add(w, flow);
     busy[static_cast<std::size_t>(a.machine)] += service;
   }
   const std::size_t live_bytes = engine.memory_bytes();
@@ -218,6 +295,11 @@ StreamReport simulate_cluster_streaming(const KeyValueStore& store,
     report.sim.p99 = sketch.p99();
     report.sim.max_latency = sketch.max();  // exact in both regimes
     report.p999 = sketch.p999();
+  }
+  if (weighted) {
+    report.sim.weighted = true;
+    report.sim.max_weighted_latency = weighted_agg.max_w;
+    report.sim.total_weighted_latency = weighted_agg.total();
   }
 
   double makespan = 0;
@@ -250,6 +332,12 @@ StreamReport simulate_cluster_streaming_sharded(
     throw std::invalid_argument(
         "simulate_cluster_streaming_sharded: requests < 0");
   }
+  if (config.heavy_keys < 0 || !(config.heavy_weight > 0)) {
+    throw std::invalid_argument(
+        "simulate_cluster_streaming_sharded: bad weight config");
+  }
+  const bool weighted = config.heavy_keys > 0;
+  WeightedAgg weighted_agg;
   const int m = store.config().m;
   ShardedEngine engine(m, factory, opts);
   if (observer != nullptr) {
@@ -273,6 +361,7 @@ StreamReport simulate_cluster_streaming_sharded(
     } else {
       sketch.add(flow);
     }
+    if (weighted) weighted_agg.add(e.weight, flow);
     busy[static_cast<std::size_t>(e.machine)] += e.proc;
   });
 
@@ -282,7 +371,8 @@ StreamReport simulate_cluster_streaming_sharded(
     t += rng.exponential(config.lambda);
     const int key = store.sample_key(rng);
     const double service = draw_service(config.dist, config.service_time, rng);
-    engine.release(t, service, store.replicas_of_key(key));
+    engine.release(t, service, store.replicas_of_key(key),
+                   request_weight(key, config.heavy_keys, config.heavy_weight));
   }
   const std::size_t live_bytes = engine.memory_bytes();
   engine.drain();
@@ -307,6 +397,11 @@ StreamReport simulate_cluster_streaming_sharded(
     report.sim.p99 = sketch.p99();
     report.sim.max_latency = sketch.max();  // exact in both regimes
     report.p999 = sketch.p999();
+  }
+  if (weighted) {
+    report.sim.weighted = true;
+    report.sim.max_weighted_latency = weighted_agg.max_w;
+    report.sim.total_weighted_latency = weighted_agg.total();
   }
 
   const double makespan = engine.makespan();

@@ -27,6 +27,13 @@ struct SimConfig {
   int requests = 10000;
   double service_time = 1.0;
   ServiceDist dist = ServiceDist::kConstant;
+  /// Weighted mode: requests for keys < heavy_keys carry weight
+  /// heavy_weight, the rest weight 1. The weight is a pure function of the
+  /// key — no extra RNG draws — so arming it never perturbs the arrival
+  /// stream, the dispatch decisions, or the unweighted report fields; it
+  /// only adds the weighted aggregates to SimReport. 0 disables.
+  int heavy_keys = 0;
+  double heavy_weight = 8.0;
 };
 
 struct SimReport {
@@ -47,6 +54,15 @@ struct SimReport {
   long long parked = 0;     ///< Attempts that found every replica down.
   double wasted_work = 0;   ///< Killed-segment work that was redone.
   std::vector<double> downtime_fraction;  ///< Down fraction per server.
+
+  // Weighted-run fields (SimConfig::heavy_keys > 0). Computed with the
+  // shared weighted_flow_term / exact-Rational-sum recipe in global request
+  // order, so the batch, streaming, and sharded paths report them
+  // byte-identically. str() appends them only when `weighted` is set, so
+  // unweighted reports stay byte-identical to the pre-weight format.
+  bool weighted = false;
+  double max_weighted_latency = 0;    ///< max_i w_i * F_i.
+  double total_weighted_latency = 0;  ///< sum_i w_i * F_i.
 
   std::string str() const;
 };
@@ -82,6 +98,11 @@ struct StreamConfig {
   /// same seed. Longer streams switch to the O(1)-memory P² sketches
   /// (obs/sketch.hpp); mean and max stay exact in both regimes.
   long long exact_quantile_cap = 1 << 16;
+  /// Weighted mode, identical semantics to SimConfig::heavy_keys /
+  /// heavy_weight: key-derived weights, no extra RNG draws, weighted
+  /// aggregates exact in O(1) memory (a max and one Rational running sum).
+  int heavy_keys = 0;
+  double heavy_weight = 8.0;
 };
 
 struct StreamReport {

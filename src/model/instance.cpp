@@ -11,6 +11,7 @@ Instance::Instance(int m, std::vector<Task> tasks)
   for (auto& t : tasks_) {
     if (t.release < 0) throw std::invalid_argument("Instance: negative release");
     if (!(t.proc > 0)) throw std::invalid_argument("Instance: proc <= 0");
+    if (!(t.weight > 0)) throw std::invalid_argument("Instance: weight <= 0");
     if (t.eligible.empty()) t.eligible = ProcSet::all(m_);
     if (!t.eligible.within(m_)) {
       throw std::invalid_argument("Instance: processing set outside [0,m)");
@@ -33,6 +34,17 @@ Instance Instance::unrestricted(
 bool Instance::unit_tasks() const {
   return std::all_of(tasks_.begin(), tasks_.end(),
                      [](const Task& t) { return t.proc == 1.0; });
+}
+
+bool Instance::unit_weights() const {
+  return std::all_of(tasks_.begin(), tasks_.end(),
+                     [](const Task& t) { return t.weight == 1.0; });
+}
+
+double Instance::wmax() const {
+  double w = 0;
+  for (const auto& t : tasks_) w = std::max(w, t.weight);
+  return w;
 }
 
 double Instance::pmax() const { return pmax_prefix(n()); }

@@ -19,6 +19,7 @@ struct Task {
   double release = 0.0;
   double proc = 1.0;
   ProcSet eligible;  ///< Empty means "all machines" and is expanded on build.
+  double weight = 1.0;  ///< Flow-time weight w_i > 0; 1 recovers the unweighted objective.
 };
 
 class Instance {
@@ -40,6 +41,12 @@ class Instance {
 
   /// True when every p_i == 1.
   bool unit_tasks() const;
+
+  /// True when every w_i == 1 (the unweighted objective).
+  bool unit_weights() const;
+
+  /// Max weight over all tasks (0 for an empty instance).
+  double wmax() const;
 
   /// Max processing time over all tasks (0 for an empty instance).
   double pmax() const;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/rational.hpp"
 
 namespace flowsched {
 
@@ -78,6 +81,64 @@ double Schedule::mean_flow() const {
     }
   }
   return cnt == 0 ? 0.0 : sum / cnt;
+}
+
+double Schedule::total_flow() const {
+  double sum = 0;
+  for (int i = 0; i < inst_->n(); ++i) {
+    if (assigned(i)) sum += flow(i);
+  }
+  return sum;
+}
+
+double weighted_flow_term(double w, double f) {
+  const auto rw = rational_from_double(w);
+  const auto rf = rational_from_double(f);
+  if (rw && rf) {
+    try {
+      return (*rw * *rf).to_double();
+    } catch (const std::overflow_error&) {
+    }
+  }
+  return w * f;
+}
+
+double Schedule::weighted_flow(int i) const {
+  return weighted_flow_term(inst_->task(i).weight, flow(i));
+}
+
+double Schedule::max_weighted_flow() const {
+  double f = 0;
+  for (int i = 0; i < inst_->n(); ++i) {
+    if (assigned(i)) f = std::max(f, weighted_flow(i));
+  }
+  return f;
+}
+
+double Schedule::total_weighted_flow() const {
+  // Rational-exact accumulation: order-independent, so the sum is bitwise
+  // reproducible regardless of task permutation. Falls back to doubles the
+  // moment any term (or partial sum) is unrepresentable.
+  std::optional<Rational> exact(Rational(0));
+  double approx = 0;
+  for (int i = 0; i < inst_->n(); ++i) {
+    if (!assigned(i)) continue;
+    const double term = weighted_flow(i);
+    approx += term;
+    if (exact) {
+      const auto rt = rational_from_double(term);
+      if (!rt) {
+        exact.reset();
+        continue;
+      }
+      try {
+        exact = *exact + *rt;
+      } catch (const std::overflow_error&) {
+        exact.reset();
+      }
+    }
+  }
+  return exact ? exact->to_double() : approx;
 }
 
 double Schedule::stretch(int i) const { return flow(i) / inst_->task(i).proc; }

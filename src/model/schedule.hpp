@@ -19,6 +19,12 @@ struct Assignment {
   double start = 0.0;
 };
 
+/// w * f with a Rational-exact product when both factors are representable
+/// (dyadic-grid weights and flows always are), double fallback otherwise.
+/// Shared by Schedule, MetricsCollector, and the auditor so their weighted
+/// aggregates are comparable bitwise, not just within an epsilon.
+double weighted_flow_term(double w, double f);
+
 /// Outcome of Schedule::validate(). `ok()` is true iff no violations.
 struct ValidationResult {
   std::vector<std::string> violations;
@@ -45,6 +51,8 @@ class Schedule {
   double completion(int i) const;
   /// Flow time F_i = C_i - r_i.
   double flow(int i) const;
+  /// Weighted flow time w_i * F_i (Rational-exact when representable).
+  double weighted_flow(int i) const;
 
   /// True when every task has an assignment.
   bool complete() const;
@@ -54,6 +62,13 @@ class Schedule {
   /// Fmax over the first `count` tasks (the paper's Fmax,i prefix).
   double max_flow_prefix(int count) const;
   double mean_flow() const;
+  /// Total flow time sum_i F_i over assigned tasks.
+  double total_flow() const;
+  /// Weighted Fmax^w = max_i w_i * F_i over assigned tasks (0 when none).
+  double max_weighted_flow() const;
+  /// Weighted total flow sum_i w_i * F_i (Rational-exact accumulation when
+  /// every term is dyadic-representable, double fallback otherwise).
+  double total_weighted_flow() const;
   /// Stretch of task i: F_i / p_i (Bender et al.'s slowdown metric; 1 means
   /// the task never waited).
   double stretch(int i) const;

@@ -91,6 +91,24 @@ void MetricsCollector::on_event(const ObsEvent& e) {
       const double flow = e.time - e.release;
       max_flow_ = std::max(max_flow_, flow);
       flow_sum_ += flow;
+      if (e.weight != 1.0) any_weighted_ = true;
+      weight_sum_ += e.weight;
+      const double wterm = weighted_flow_term(e.weight, flow);
+      max_weighted_flow_ = std::max(max_weighted_flow_, wterm);
+      weighted_flow_approx_ += wterm;
+      if (weighted_exact_ok_) {
+        // Mirrors Schedule::total_weighted_flow so [weighted-accounting]
+        // can compare the two bitwise, not just within an epsilon.
+        if (const auto rt = rational_from_double(wterm)) {
+          try {
+            weighted_flow_exact_ = weighted_flow_exact_ + *rt;
+          } catch (const std::overflow_error&) {
+            weighted_exact_ok_ = false;
+          }
+        } else {
+          weighted_exact_ok_ = false;
+        }
+      }
       flow_hist_.add(flow);
       flow_sketch_.add(flow);
       makespan_ = std::max(makespan_, e.time);
@@ -118,6 +136,15 @@ double MetricsCollector::utilization(int j) const {
 
 double MetricsCollector::mean_flow() const {
   return completed_ > 0 ? flow_sum_ / completed_ : 0.0;
+}
+
+double MetricsCollector::total_weighted_flow() const {
+  return weighted_exact_ok_ ? weighted_flow_exact_.to_double()
+                            : weighted_flow_approx_;
+}
+
+double MetricsCollector::weighted_mean_flow() const {
+  return weight_sum_ > 0 ? total_weighted_flow() / weight_sum_ : 0.0;
 }
 
 std::vector<SeriesPoint> MetricsCollector::series_of(int machine) const {
@@ -184,6 +211,11 @@ std::string MetricsCollector::to_json() const {
   out += ",\"flow_p50\":" + json_num(flow_p50());
   out += ",\"flow_p99\":" + json_num(flow_p99());
   out += ",\"flow_p999\":" + json_num(flow_p999());
+  if (any_weighted_) {
+    // Appended only for weighted runs, so unweighted rows stay byte-stable.
+    out += ",\"fmax_w\":" + json_num(max_weighted_flow_);
+    out += ",\"total_flow_w\":" + json_num(total_weighted_flow());
+  }
   out += ",\"max_backlog\":" + std::to_string(max_backlog());
   out += ",\"utilization\":[";
   for (int j = 0; j < info_.m; ++j) {

@@ -103,6 +103,15 @@ class MetricsCollector final : public SchedObserver {
 
   double max_flow() const { return max_flow_; }
   double mean_flow() const;
+
+  /// True once any completed task carried a weight != 1.
+  bool any_weighted() const { return any_weighted_; }
+  /// Weighted Fmax^w = max_i w_i * F_i (equals max_flow() at unit weights).
+  double max_weighted_flow() const { return max_weighted_flow_; }
+  /// Sum_i w_i * F_i, Rational-exact while every term is representable.
+  double total_weighted_flow() const;
+  /// total_weighted_flow() / sum_i w_i (0 when nothing completed).
+  double weighted_mean_flow() const;
   const FlowHistogram& flow_histogram() const { return flow_hist_; }
 
   /// \brief Streaming flow-time quantile estimates (P² sketches).
@@ -150,6 +159,12 @@ class MetricsCollector final : public SchedObserver {
   double makespan_ = 0;
   double max_flow_ = 0;
   double flow_sum_ = 0;
+  bool any_weighted_ = false;
+  double max_weighted_flow_ = 0;
+  double weight_sum_ = 0;
+  double weighted_flow_approx_ = 0;   // double fallback accumulator
+  bool weighted_exact_ok_ = true;     // Rational path still representable
+  Rational weighted_flow_exact_{0};   // order-independent exact sum
   FlowHistogram flow_hist_;
   StreamingQuantiles flow_sketch_;
   std::vector<double> busy_;

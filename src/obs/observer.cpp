@@ -52,6 +52,7 @@ void replay_schedule(const Schedule& sched, const RunInfo& info,
     e.task = i;
     e.release = t.release;
     e.proc = t.proc;
+    e.weight = t.weight;
     e.eligible = &t.eligible;
     obs.on_event(e);
     if (!sched.assigned(i)) continue;
@@ -63,6 +64,7 @@ void replay_schedule(const Schedule& sched, const RunInfo& info,
     e.machine = u;
     e.release = t.release;
     e.proc = t.proc;
+    e.weight = t.weight;
 
     e.kind = ObsEventKind::kTaskDispatched;
     e.time = start;  // dispatch instant is not recorded in a Schedule

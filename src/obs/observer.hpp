@@ -78,6 +78,8 @@ struct ObsEvent {
   int machine = -1;    ///< Machine index; -1 for kTaskReleased.
   double release = 0;  ///< Task release time (task events).
   double proc = 0;     ///< Task processing time (task events).
+  double weight = 1.0; ///< Task flow-time weight w_i (task events).
+  double setup = 0.0;  ///< Setup time charged before this task (nc mode).
   const ProcSet* eligible = nullptr;  ///< kTaskReleased only; callback-scoped.
 };
 

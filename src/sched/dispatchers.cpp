@@ -16,8 +16,9 @@ constexpr double kTieEps = 1e-12;
 
 }  // namespace
 
-EftDispatcher::EftDispatcher(TieBreakKind kind, std::uint64_t seed)
-    : tie_(kind, seed) {}
+EftDispatcher::EftDispatcher(TieBreakKind kind, std::uint64_t seed,
+                             bool counter_rng)
+    : tie_(kind, seed, counter_rng) {}
 
 void EftDispatcher::reset(int m) {
   candidates_.clear();
@@ -38,21 +39,27 @@ int EftDispatcher::dispatch(const Task& t, const MachineState& state) {
       candidates_.push_back(j);
     }
   }
-  return tie_.choose(candidates_);
+  return tie_.choose(candidates_, state.task_id);
 }
 
 std::string EftDispatcher::name() const {
   return "EFT-" + to_string(tie_.kind());
 }
 
-RandomEligibleDispatcher::RandomEligibleDispatcher(std::uint64_t seed)
-    : rng_(seed), seed_(seed) {}
+RandomEligibleDispatcher::RandomEligibleDispatcher(std::uint64_t seed,
+                                                   bool counter_rng)
+    : rng_(seed), seed_(seed), counter_rng_(counter_rng) {}
 
 void RandomEligibleDispatcher::reset(int /*m*/) { rng_ = Rng(seed_); }
 
 int RandomEligibleDispatcher::dispatch(const Task& t,
-                                       const MachineState& /*state*/) {
+                                       const MachineState& state) {
   const auto& machines = t.eligible.machines();
+  if (counter_rng_) {
+    Rng draw(per_task_seed(seed_, state.task_id));
+    return machines[static_cast<std::size_t>(
+        draw.uniform_int(0, static_cast<std::int64_t>(machines.size()) - 1))];
+  }
   return machines[static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(machines.size()) - 1))];
 }
@@ -77,7 +84,7 @@ int LeastLoadedDispatcher::dispatch(const Task& t, const MachineState& state) {
       candidates_.push_back(j);
     }
   }
-  return tie_.choose(candidates_);
+  return tie_.choose(candidates_, state.task_id);
 }
 
 std::string LeastLoadedDispatcher::name() const {
@@ -101,7 +108,7 @@ int JsqDispatcher::dispatch(const Task& t, const MachineState& state) {
   for (int j : t.eligible.machines()) {
     if (state.queued[static_cast<std::size_t>(j)] == best) candidates_.push_back(j);
   }
-  return tie_.choose(candidates_);
+  return tie_.choose(candidates_, state.task_id);
 }
 
 std::string JsqDispatcher::name() const { return "JSQ-" + to_string(tie_.kind()); }
@@ -116,8 +123,9 @@ int RoundRobinDispatcher::dispatch(const Task& t, const MachineState& /*state*/)
   return chosen;
 }
 
-PowerOfDChoicesDispatcher::PowerOfDChoicesDispatcher(int d, std::uint64_t seed)
-    : d_(d), rng_(seed), seed_(seed) {
+PowerOfDChoicesDispatcher::PowerOfDChoicesDispatcher(int d, std::uint64_t seed,
+                                                     bool counter_rng)
+    : d_(d), rng_(seed), seed_(seed), counter_rng_(counter_rng) {
   if (d < 1) throw std::invalid_argument("PowerOfDChoices: d < 1");
 }
 
@@ -130,9 +138,12 @@ int PowerOfDChoicesDispatcher::dispatch(const Task& t,
   if (static_cast<int>(machines.size()) <= d_) {
     probes = machines;
   } else {
-    // Sample d distinct machines (d is tiny; rejection is fine).
+    // Sample d distinct machines (d is tiny; rejection is fine). In
+    // counter mode the whole rejection walk runs on the per-task stream.
+    Rng task_rng(counter_rng_ ? per_task_seed(seed_, state.task_id) : 0);
+    Rng& source = counter_rng_ ? task_rng : rng_;
     while (static_cast<int>(probes.size()) < d_) {
-      const int candidate = machines[static_cast<std::size_t>(rng_.uniform_int(
+      const int candidate = machines[static_cast<std::size_t>(source.uniform_int(
           0, static_cast<std::int64_t>(machines.size()) - 1))];
       if (std::find(probes.begin(), probes.end(), candidate) == probes.end()) {
         probes.push_back(candidate);

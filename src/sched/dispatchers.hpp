@@ -44,6 +44,10 @@ struct MachineState {
   /// the per-release O(m) hot path). Dispatchers that read it must override
   /// needs_queue_depths().
   std::span<const int> queued;
+  /// Global index of the task being dispatched (-1 when the engine does not
+  /// track one). Keys the counter-based per-task RNG streams of randomized
+  /// dispatchers (sched/tiebreak.hpp per_task_seed).
+  long long task_id = -1;
 };
 
 class Dispatcher {
@@ -69,7 +73,11 @@ class Dispatcher {
 /// equivalent to FIFO (Proposition 1).
 class EftDispatcher final : public Dispatcher {
  public:
-  explicit EftDispatcher(TieBreakKind kind, std::uint64_t seed = 0);
+  /// `counter_rng` switches the Rand tie-break to counter-based per-task
+  /// draws (per_task_seed) instead of one shared stream — opt-in because it
+  /// changes which machine a given seed picks. No effect on Min/Max.
+  explicit EftDispatcher(TieBreakKind kind, std::uint64_t seed = 0,
+                         bool counter_rng = false);
 
   void reset(int m) override;
   int dispatch(const Task& t, const MachineState& state) override;
@@ -82,7 +90,10 @@ class EftDispatcher final : public Dispatcher {
 
 class RandomEligibleDispatcher final : public Dispatcher {
  public:
-  explicit RandomEligibleDispatcher(std::uint64_t seed = 0);
+  /// `counter_rng`: draw from per_task_seed(seed, task_id) instead of one
+  /// shared stream (see EftDispatcher).
+  explicit RandomEligibleDispatcher(std::uint64_t seed = 0,
+                                    bool counter_rng = false);
 
   void reset(int m) override;
   int dispatch(const Task& t, const MachineState& state) override;
@@ -91,6 +102,7 @@ class RandomEligibleDispatcher final : public Dispatcher {
  private:
   Rng rng_;
   std::uint64_t seed_;
+  bool counter_rng_;
 };
 
 class LeastLoadedDispatcher final : public Dispatcher {
@@ -141,7 +153,10 @@ class RoundRobinDispatcher final : public Dispatcher {
 /// whole set when |M_i| <= d.
 class PowerOfDChoicesDispatcher final : public Dispatcher {
  public:
-  explicit PowerOfDChoicesDispatcher(int d = 2, std::uint64_t seed = 0);
+  /// `counter_rng`: sample the d probes from per_task_seed(seed, task_id)
+  /// instead of one shared stream (see EftDispatcher).
+  explicit PowerOfDChoicesDispatcher(int d = 2, std::uint64_t seed = 0,
+                                     bool counter_rng = false);
 
   void reset(int m) override;
   int dispatch(const Task& t, const MachineState& state) override;
@@ -151,6 +166,7 @@ class PowerOfDChoicesDispatcher final : public Dispatcher {
   int d_;
   Rng rng_;
   std::uint64_t seed_;
+  bool counter_rng_;
 };
 
 /// Factory helpers for the three named EFT variants of the paper.

@@ -43,12 +43,22 @@ Assignment OnlineEngine::release(Task task) {
   // everyone else skips this bookkeeping entirely. Releases are
   // non-decreasing, so advancing a machine's cursor lazily, whenever that
   // machine is next eligible, lands on the same value an eager per-release
-  // sweep would.
-  if (dispatcher_->needs_queue_depths()) {
+  // sweep would. Non-clairvoyant mode always needs them: the censored
+  // frontier is "busy or not", which is exactly queued > 0.
+  const bool nc = clairvoyance_ == Clairvoyance::kNonClairvoyant;
+  if (dispatcher_->needs_queue_depths() || (nc && !nc_leak_)) {
     for (int j : task.eligible.machines()) {
       auto& cursor = finished_cursor_[static_cast<std::size_t>(j)];
       const auto& finishes = finish_times_[static_cast<std::size_t>(j)];
-      while (cursor < finishes.size() && finishes[cursor] <= task.release) ++cursor;
+      while (cursor < finishes.size() && finishes[cursor] <= task.release) {
+        // The censored load is finished work only; it advances in lockstep
+        // with the cursor, so it is observable by construction.
+        if (nc) {
+          finished_work_[static_cast<std::size_t>(j)] +=
+              finish_work_[static_cast<std::size_t>(j)][cursor];
+        }
+        ++cursor;
+      }
       queued_[static_cast<std::size_t>(j)] =
           static_cast<int>(finishes.size() - cursor);
     }
@@ -61,12 +71,32 @@ Assignment OnlineEngine::release(Task task) {
     e.task = released();
     e.release = task.release;
     e.proc = task.proc;
+    e.weight = task.weight;
     e.eligible = &task.eligible;
     observer_->on_event(e);
   }
 
-  const MachineState state{completion_, load_, count_, queued_};
-  const int u = dispatcher_->dispatch(task, state);
+  int u;
+  if (nc && !nc_leak_) {
+    // Censored policy view: the frontier of a machine that is observably
+    // busy is the release instant itself ("still running, that is all you
+    // know"), an idle machine's frontier is its last completion (already
+    // observed); load is finished occupancy only; proc is a placeholder.
+    for (int j : task.eligible.machines()) {
+      const auto ju = static_cast<std::size_t>(j);
+      censored_completion_[ju] =
+          queued_[ju] > 0 ? task.release : completion_[ju];
+      censored_load_[ju] = finished_work_[ju];
+    }
+    Task probe = task;
+    probe.proc = 1.0;  // p_i is hidden until completion
+    const MachineState state{censored_completion_, censored_load_, count_,
+                             queued_, released()};
+    u = dispatcher_->dispatch(probe, state);
+  } else {
+    const MachineState state{completion_, load_, count_, queued_, released()};
+    u = dispatcher_->dispatch(task, state);
+  }
   if (u < 0 || u >= m_ || !task.eligible.contains(u)) {
     throw std::logic_error("OnlineEngine: dispatcher chose ineligible machine " +
                            std::to_string(u) + " for set " + task.eligible.str());
@@ -74,6 +104,19 @@ Assignment OnlineEngine::release(Task task) {
 
   const std::size_t uj = static_cast<std::size_t>(u);
   const double start = std::max(task.release, completion_[uj]);
+  // Setup is charged when the machine switches key ranges (previous task's
+  // processing set differs); the first task on a machine warms up for free.
+  double setup = 0.0;
+  if (nc) {
+    if (has_last_set_[uj] && !(last_set_[uj] == task.eligible)) setup = setup_;
+    last_set_[uj] = task.eligible;
+    has_last_set_[uj] = true;
+    setups_.push_back(setup);
+  }
+  // Left-to-right so C_i = (S_i + setup) + p_i is the exact dyadic value
+  // the [setup-accounting] audit recomputes; with setup = 0 this is
+  // bit-identical to the clairvoyant start + proc.
+  const double finish = (start + setup) + task.proc;
   if (observer_ != nullptr) {
     // All four task milestones are known the moment the assignment commits
     // (immediate dispatch): started/completed carry future model times.
@@ -82,6 +125,8 @@ Assignment OnlineEngine::release(Task task) {
     e.machine = u;
     e.release = task.release;
     e.proc = task.proc;
+    e.weight = task.weight;
+    e.setup = setup;
     e.kind = ObsEventKind::kTaskDispatched;
     e.time = task.release;
     observer_->on_event(e);
@@ -101,17 +146,48 @@ Assignment OnlineEngine::release(Task task) {
     e.time = start;
     observer_->on_event(e);
     e.kind = ObsEventKind::kTaskCompleted;
-    e.time = start + task.proc;
+    e.time = finish;
     observer_->on_event(e);
   }
-  completion_[uj] = start + task.proc;
+  completion_[uj] = finish;
   load_[uj] += task.proc;
   ++count_[uj];
-  finish_times_[uj].push_back(completion_[uj]);
+  finish_times_[uj].push_back(finish);
+  if (nc) finish_work_[uj].push_back(setup + task.proc);
 
   tasks_.push_back(std::move(task));
   assignments_.push_back(Assignment{u, start});
   return assignments_.back();
+}
+
+void OnlineEngine::set_clairvoyance(Clairvoyance c, double setup) {
+  if (released() > 0) {
+    throw std::logic_error(
+        "OnlineEngine::set_clairvoyance: switch before releases");
+  }
+  if (fault_plan_ != nullptr) {
+    throw std::logic_error(
+        "OnlineEngine::set_clairvoyance: incompatible with fault injection");
+  }
+  if (setup < 0) {
+    throw std::invalid_argument("OnlineEngine::set_clairvoyance: setup < 0");
+  }
+  clairvoyance_ = c;
+  setup_ = c == Clairvoyance::kNonClairvoyant ? setup : 0.0;
+  if (c == Clairvoyance::kNonClairvoyant) {
+    const auto um = static_cast<std::size_t>(m_);
+    finish_work_.assign(um, {});
+    finished_work_.assign(um, 0.0);
+    censored_completion_.assign(um, 0.0);
+    censored_load_.assign(um, 0.0);
+    last_set_.assign(um, ProcSet());
+    has_last_set_.assign(um, false);
+  }
+}
+
+double OnlineEngine::setup_of(int i) const {
+  if (clairvoyance_ != Clairvoyance::kNonClairvoyant) return 0.0;
+  return setups_.at(static_cast<std::size_t>(i));
 }
 
 void OnlineEngine::finish_observation() {
@@ -130,6 +206,12 @@ double OnlineEngine::completion_of(int i) const {
   // Under faults the final segment may be shorter than p_i (checkpoint
   // recovery), so the fault log is the only truthful source.
   if (fault_plan_ != nullptr) return fault_log_->completion(i);
+  if (clairvoyance_ == Clairvoyance::kNonClairvoyant) {
+    // (start + setup) + proc, associated exactly as the engine computed it.
+    return assignments_.at(static_cast<std::size_t>(i)).start +
+           setups_.at(static_cast<std::size_t>(i)) +
+           tasks_.at(static_cast<std::size_t>(i)).proc;
+  }
   return assignments_.at(static_cast<std::size_t>(i)).start +
          tasks_.at(static_cast<std::size_t>(i)).proc;
 }
@@ -137,6 +219,9 @@ double OnlineEngine::completion_of(int i) const {
 void OnlineEngine::set_faults(const FaultPlan* plan, RecoveryPolicy recovery) {
   if (released() > 0)
     throw std::logic_error("OnlineEngine::set_faults: attach before releases");
+  if (plan != nullptr && clairvoyance_ == Clairvoyance::kNonClairvoyant)
+    throw std::logic_error(
+        "OnlineEngine::set_faults: incompatible with non-clairvoyant mode");
   if (plan != nullptr && plan->m() != m_)
     throw std::invalid_argument("OnlineEngine::set_faults: plan covers " +
                                 std::to_string(plan->m()) + " machines, engine has " +
@@ -180,6 +265,7 @@ Assignment OnlineEngine::release_faulty(Task task) {
     e.task = id;
     e.release = task.release;
     e.proc = task.proc;
+    e.weight = task.weight;
     e.eligible = &task.eligible;
     observer_->on_event(e);
   }
@@ -246,7 +332,7 @@ void OnlineEngine::dispatch_attempt(int id, int attempt, double now,
     }
   }
 
-  const MachineState state{completion_, load_, count_, queued_};
+  const MachineState state{completion_, load_, count_, queued_, id};
   const int u = dispatcher_->dispatch(probe, state);
   if (u < 0 || u >= m_ || !probe.eligible.contains(u)) {
     throw std::logic_error("OnlineEngine: dispatcher chose ineligible machine " +
@@ -278,6 +364,7 @@ void OnlineEngine::dispatch_attempt(int id, int attempt, double now,
       e.machine = u;
       e.release = tasks_[ti].release;
       e.proc = tasks_[ti].proc;
+      e.weight = tasks_[ti].weight;
       e.kind = ObsEventKind::kTaskDispatched;
       e.time = now;
       observer_->on_event(e);
@@ -329,6 +416,12 @@ Schedule OnlineEngine::snapshot() const {
     // A Schedule models one uninterrupted run of p_i per task; kill/requeue
     // segments do not fit it. The fault log is the fault-mode result.
     throw std::logic_error("OnlineEngine::snapshot: unavailable under faults");
+  }
+  if (clairvoyance_ == Clairvoyance::kNonClairvoyant && setup_ != 0.0) {
+    // A Schedule's completion is start + proc; a nonzero setup does not fit
+    // it. Read assignments / completion_of / setup_of directly instead.
+    throw std::logic_error(
+        "OnlineEngine::snapshot: unavailable with nonzero setup time");
   }
   // Releases were non-decreasing, so the Instance's stable sort preserves
   // the release order and assignment indices line up one-to-one.

@@ -25,6 +25,19 @@
 
 namespace flowsched {
 
+/// What the dispatcher is allowed to see about processing times.
+///
+/// kClairvoyant (the paper's model, the default): the dispatcher sees p_i
+/// and the true machine frontiers/loads. kNonClairvoyant (Mäcker et al.'s
+/// setting): p_i is hidden until the task completes — the dispatcher sees a
+/// placeholder processing time, a *censored* completion frontier (the
+/// release instant while the machine is observably busy, the true last
+/// completion once it has drained) and finished work only, plus the real
+/// queue depths and counts. The engine itself always knows the truth; only
+/// the policy interface is censored, and the [nc-no-peek] audit replays the
+/// run under a proc permutation to prove no dispatcher decision leaked p_i.
+enum class Clairvoyance { kClairvoyant, kNonClairvoyant };
+
 class OnlineEngine {
  public:
   /// The dispatcher is borrowed (and reset); it must outlive the engine.
@@ -36,6 +49,23 @@ class OnlineEngine {
   /// Releases one task; releases must be non-decreasing. Returns the
   /// (machine, start) assignment the algorithm committed to.
   Assignment release(Task task);
+
+  /// \brief Switches the engine into non-clairvoyant mode (docs/scenarios.md).
+  ///
+  /// Must be called before the first release; incompatible with fault
+  /// injection. `setup` >= 0 is the per-machine setup time charged whenever
+  /// a machine switches processing-set key ranges (its previous task's M_i
+  /// differs from the new one's; the first task on a machine is free):
+  /// C_i = S_i + setup + p_i, accounted left-to-right so the dyadic-grid
+  /// values stay exact. With setup = 0 the committed (machine, start)
+  /// sequence of a clairvoyance-oblivious policy is bit-equal to the
+  /// clairvoyant engine's — the fuzzer's [diff-nc] differential.
+  void set_clairvoyance(Clairvoyance c, double setup = 0.0);
+  Clairvoyance clairvoyance() const { return clairvoyance_; }
+  double setup_time() const { return setup_; }
+
+  /// Setup charged before task i (0 outside nc mode).
+  double setup_of(int i) const;
 
   /// C_{j, released()}: machine completion frontier.
   const std::vector<double>& completions() const { return completion_; }
@@ -119,6 +149,12 @@ class OnlineEngine {
   /// [fault-downtime] audit; never enable it outside tests.
   void set_unsafe_ignore_downtime(bool v) { ignore_downtime_ = v; }
 
+  /// \brief Testing backdoor: in non-clairvoyant mode, hand the dispatcher
+  /// the TRUE frontiers, loads, and p_i — i.e. let it peek. This is the
+  /// planted bug the fuzzer's --inject-nc-bug campaign must catch via the
+  /// [nc-no-peek] counterfactual replay; never enable it outside tests.
+  void set_unsafe_nc_leak(bool v) { nc_leak_ = v; }
+
  private:
   Assignment release_faulty(Task task);
   void process_pending(double until);
@@ -143,6 +179,18 @@ class OnlineEngine {
   std::vector<std::size_t> finished_cursor_;
   std::vector<int> queued_;
   double last_release_ = 0.0;
+  // Non-clairvoyant state (empty/unused in the default clairvoyant mode, so
+  // the clairvoyant hot path is byte-for-byte the pre-nc code).
+  Clairvoyance clairvoyance_ = Clairvoyance::kClairvoyant;
+  double setup_ = 0.0;
+  bool nc_leak_ = false;
+  std::vector<double> setups_;            // per task, setup charged before it
+  std::vector<std::vector<double>> finish_work_;  // per machine, setup+proc per task
+  std::vector<double> finished_work_;     // per machine, work finished at cursor
+  std::vector<double> censored_completion_;  // scratch, eligible slots only
+  std::vector<double> censored_load_;        // scratch, eligible slots only
+  std::vector<ProcSet> last_set_;         // per machine, previous task's M_i
+  std::vector<bool> has_last_set_;
   SchedObserver* observer_ = nullptr;  // borrowed; null = disabled (no cost)
   // Machines whose busy interval is still open (for finish_observation).
   std::vector<bool> observed_busy_;

@@ -1,0 +1,37 @@
+#include "sched/nonclairvoyant.hpp"
+
+#include <algorithm>
+
+namespace flowsched {
+
+OnlineEngine run_dispatcher_nc(const Instance& inst, Dispatcher& dispatcher,
+                               double setup, SchedObserver* observer,
+                               const RunTag& tag, bool unsafe_nc_leak) {
+  OnlineEngine engine(inst.m(), dispatcher);
+  engine.set_clairvoyance(Clairvoyance::kNonClairvoyant, setup);
+  if (unsafe_nc_leak) engine.set_unsafe_nc_leak(true);
+  if (observer != nullptr) {
+    observer->on_run_begin(RunInfo{inst.m(), dispatcher.name(), tag});
+    engine.set_observer(observer);
+  }
+  for (int i = 0; i < inst.n(); ++i) engine.release(inst.task(i));
+  if (observer != nullptr) {
+    engine.finish_observation();
+    double makespan = 0;
+    for (double c : engine.completions()) makespan = std::max(makespan, c);
+    observer->on_run_end(makespan);
+  }
+  return engine;
+}
+
+double nc_max_flow(const OnlineEngine& engine) {
+  double fmax = 0;
+  const auto& tasks = engine.tasks();
+  for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
+    fmax = std::max(fmax, engine.completion_of(i) -
+                              tasks[static_cast<std::size_t>(i)].release);
+  }
+  return fmax;
+}
+
+}  // namespace flowsched

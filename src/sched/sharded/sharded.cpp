@@ -238,7 +238,8 @@ void ShardedEngine::set_shard_observer(int shard, SchedObserver* observer) {
   lanes_.at(static_cast<std::size_t>(shard)).engine->set_observer(observer);
 }
 
-void ShardedEngine::release(double time, double proc, const ProcSet& eligible) {
+void ShardedEngine::release(double time, double proc, const ProcSet& eligible,
+                            double weight) {
   if (time < last_release_) {
     throw std::invalid_argument(
         "ShardedEngine::release: releases must be non-decreasing");
@@ -250,6 +251,7 @@ void ShardedEngine::release(double time, double proc, const ProcSet& eligible) {
   EpochTask& et = epoch_buf_[static_cast<std::size_t>(epoch_count_)];
   et.time = time;
   et.proc = proc;
+  et.weight = weight;
   et.id = released_ + epoch_count_;
   if (eligible.empty()) {
     et.kind = TaskKind::kWhole;
@@ -344,7 +346,7 @@ void ShardedEngine::run_lane(int shard) {
   for (std::uint32_t idx : lane.batch) {
     const EpochTask& et = epoch_buf_[static_cast<std::size_t>(idx)];
     epoch_results_[static_cast<std::size_t>(idx)] =
-        engine.release(et.time, et.proc, lane_set(et), et.id);
+        engine.release(et.time, et.proc, lane_set(et), et.id, et.weight);
   }
 }
 
@@ -396,6 +398,7 @@ void ShardedEngine::merge_epoch() {
       e.task = static_cast<int>(et.id);
       e.release = et.time;
       e.proc = et.proc;
+      e.weight = et.weight;
       e.eligible = &full;
       observer_->on_event(e);
       e.eligible = nullptr;
@@ -411,7 +414,7 @@ void ShardedEngine::merge_epoch() {
       observer_->on_event(e);
     }
     if (sink_) {
-      sink_(FlowEvent{et.id, et.time, et.proc, a.machine, a.start});
+      sink_(FlowEvent{et.id, et.time, et.proc, a.machine, a.start, et.weight});
     }
     ++released_;
   }
@@ -489,7 +492,7 @@ std::vector<Assignment> run_sharded(
     out[static_cast<std::size_t>(e.task)] = Assignment{e.machine, e.start};
   });
   for (const Task& task : inst.tasks()) {
-    engine.release(task.release, task.proc, task.eligible);
+    engine.release(task.release, task.proc, task.eligible, task.weight);
   }
   engine.drain();
   return out;

@@ -102,9 +102,12 @@ class ShardedEngine {
   };
 
   /// Builds one dispatcher per shard (called with the shard index). Each
-  /// lane owns its dispatcher — randomized policies get independent
-  /// per-shard streams, which is why [shard-equiv] bit-equality is claimed
-  /// for deterministic policies only.
+  /// lane owns its dispatcher, so [shard-equiv] bit-equality needs every
+  /// replica to make the same decisions: deterministic policies do so by
+  /// construction, and randomized policies join the contract when built
+  /// with counter_rng=true — each lane keys its draws on the global task
+  /// id the router hands it (sched/tiebreak.hpp per_task_seed), so
+  /// independently constructed replicas agree draw-for-draw.
   using DispatcherFactory =
       std::function<std::unique_ptr<Dispatcher>(int shard)>;
 
@@ -117,6 +120,7 @@ class ShardedEngine {
     double proc = 0;
     int machine = -1;
     double start = 0;
+    double weight = 1.0;  ///< Flow-time weight w_i (never affects routing).
   };
   using FlowSink = std::function<void(const FlowEvent&)>;
 
@@ -140,7 +144,8 @@ class ShardedEngine {
   /// observable through the flow sink / observer after the owning epoch
   /// merges, not per call — immediate dispatch still holds in *model* time
   /// (every decision uses only state from releases before it).
-  void release(double time, double proc, const ProcSet& eligible);
+  void release(double time, double proc, const ProcSet& eligible,
+               double weight = 1.0);
 
   /// Flushes the buffered partial epoch (no-op when empty).
   void flush();
@@ -197,6 +202,7 @@ class ShardedEngine {
   struct EpochTask {
     double time = 0;
     double proc = 0;
+    double weight = 1.0;
     long long id = 0;
     ProcSet eligible;   // copy (capacity reused across epochs); kWhole skips
     ProcSet exec_view;  // boundary tasks: eligible ∩ executor range

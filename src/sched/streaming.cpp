@@ -22,18 +22,46 @@ void StreamingEngine::settle_until(double time) {
   // Completion events at exactly `time` settle: the batch engine's lazy
   // cursor counts finish <= release as finished, and matching it bit-for-bit
   // is the [diff-streaming] contract.
+  const bool nc = clairvoyance_ == Clairvoyance::kNonClairvoyant;
   while (!events_.empty() && events_.top_time() <= time) {
     const std::uint32_t slot = events_.pop();
-    --queued_[static_cast<std::size_t>(
-        slot_machine_[static_cast<std::size_t>(slot)])];
+    const int machine = slot_machine_[static_cast<std::size_t>(slot)];
+    --queued_[static_cast<std::size_t>(machine)];
+    if (nc) {
+      // Per-machine settle order is push order (each task on a machine
+      // finishes after its predecessor), the same order OnlineEngine's lazy
+      // cursor accumulates in — so the sums are bitwise equal.
+      finished_work_[static_cast<std::size_t>(machine)] +=
+          slot_work_[static_cast<std::size_t>(slot)];
+    }
     --in_flight_;
     free_slots_.push_back(slot);
   }
 }
 
+void StreamingEngine::set_clairvoyance(Clairvoyance c, double setup) {
+  if (released_ > 0) {
+    throw std::logic_error(
+        "StreamingEngine::set_clairvoyance: switch before releases");
+  }
+  if (setup < 0) {
+    throw std::invalid_argument("StreamingEngine::set_clairvoyance: setup < 0");
+  }
+  clairvoyance_ = c;
+  setup_ = c == Clairvoyance::kNonClairvoyant ? setup : 0.0;
+  if (c == Clairvoyance::kNonClairvoyant) {
+    const auto um = static_cast<std::size_t>(m_);
+    finished_work_.assign(um, 0.0);
+    censored_completion_.assign(um, 0.0);
+    censored_load_.assign(um, 0.0);
+    last_set_.assign(um, ProcSet());
+    has_last_set_.assign(um, false);
+  }
+}
+
 Assignment StreamingEngine::release(double time, double proc,
                                     const ProcSet& eligible,
-                                    long long task_id) {
+                                    long long task_id, double weight) {
   if (time < last_release_) {
     throw std::invalid_argument(
         "StreamingEngine::release: releases must be non-decreasing");
@@ -65,12 +93,31 @@ Assignment StreamingEngine::release(double time, double proc,
     e.task = static_cast<int>(task_id);
     e.release = time;
     e.proc = proc;
+    e.weight = weight;
     e.eligible = &probe.eligible;
     observer_->on_event(e);
   }
 
-  const MachineState state{completion_, load_, count_, queued_};
-  const int u = dispatcher_->dispatch(probe, state);
+  const bool nc = clairvoyance_ == Clairvoyance::kNonClairvoyant;
+  int u;
+  if (nc) {
+    // Censored policy view, mirroring OnlineEngine::release bit-for-bit:
+    // busy frontier = release instant, idle frontier = last completion,
+    // load = settled work only, proc = placeholder.
+    for (int j : probe.eligible.machines()) {
+      const auto ju = static_cast<std::size_t>(j);
+      censored_completion_[ju] = queued_[ju] > 0 ? time : completion_[ju];
+      censored_load_[ju] = finished_work_[ju];
+    }
+    Task censored = probe;
+    censored.proc = 1.0;  // p_i is hidden until completion
+    const MachineState state{censored_completion_, censored_load_, count_,
+                             queued_, task_id};
+    u = dispatcher_->dispatch(censored, state);
+  } else {
+    const MachineState state{completion_, load_, count_, queued_, task_id};
+    u = dispatcher_->dispatch(probe, state);
+  }
   if (u < 0 || u >= m_ || !probe.eligible.contains(u)) {
     throw std::logic_error(
         "StreamingEngine: dispatcher chose ineligible machine " +
@@ -79,13 +126,23 @@ Assignment StreamingEngine::release(double time, double proc,
 
   const std::size_t uj = static_cast<std::size_t>(u);
   const double start = std::max(time, completion_[uj]);
-  const double finish = start + proc;
+  double setup = 0.0;
+  if (nc) {
+    if (has_last_set_[uj] && !(last_set_[uj] == probe.eligible)) setup = setup_;
+    last_set_[uj] = probe.eligible;
+    has_last_set_[uj] = true;
+  }
+  // Same association as OnlineEngine: with setup = 0 this is bit-identical
+  // to the clairvoyant start + proc.
+  const double finish = (start + setup) + proc;
   if (observer_ != nullptr) {
     ObsEvent e;
     e.task = static_cast<int>(task_id);
     e.machine = u;
     e.release = time;
     e.proc = proc;
+    e.weight = weight;
+    e.setup = setup;
     e.kind = ObsEventKind::kTaskDispatched;
     e.time = time;
     observer_->on_event(e);
@@ -110,10 +167,12 @@ Assignment StreamingEngine::release(double time, double proc,
     slot_machine_.push_back(0);
     slot_finish_.push_back(0);
     slot_task_.push_back(0);
+    slot_work_.push_back(0);
   }
   slot_machine_[static_cast<std::size_t>(slot)] = u;
   slot_finish_[static_cast<std::size_t>(slot)] = finish;
   slot_task_[static_cast<std::size_t>(slot)] = task_id;
+  slot_work_[static_cast<std::size_t>(slot)] = setup + proc;
   events_.push(finish, slot);
   ++in_flight_;
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
@@ -141,6 +200,7 @@ std::size_t StreamingEngine::memory_bytes() const {
   bytes += slot_machine_.capacity() * sizeof(int);
   bytes += slot_finish_.capacity() * sizeof(double);
   bytes += slot_task_.capacity() * sizeof(long long);
+  bytes += slot_work_.capacity() * sizeof(double);
   bytes += free_slots_.capacity() * sizeof(std::uint32_t);
   bytes += all_.machines().capacity() * sizeof(int);
   bytes += events_.memory_bytes();

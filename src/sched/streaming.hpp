@@ -39,6 +39,7 @@
 #include "obs/observer.hpp"
 #include "sched/calendar.hpp"
 #include "sched/dispatchers.hpp"
+#include "sched/engine.hpp"
 
 namespace flowsched {
 
@@ -49,6 +50,12 @@ class StreamingEngine {
 
   int m() const { return m_; }
   long long released() const { return released_; }
+
+  /// \brief Switches the engine into non-clairvoyant mode, mirroring
+  /// OnlineEngine::set_clairvoyance bit-for-bit (the fuzzer's
+  /// [diff-nc-stream] contract). Must be called before the first release.
+  void set_clairvoyance(Clairvoyance c, double setup = 0.0);
+  Clairvoyance clairvoyance() const { return clairvoyance_; }
 
   /// Releases one task; releases must be non-decreasing. Completion events
   /// up to the release instant are settled first (slots recycled, queue
@@ -61,13 +68,15 @@ class StreamingEngine {
   /// slot bookkeeping in place of the engine-local release counter. The
   /// sharded engine's lanes each see a subsequence of the global stream and
   /// emit the *global* task id this way (sched/sharded/sharded.hpp); the
-  /// decision path is identical to the default overload.
+  /// decision path is identical to the default overload. `weight` rides
+  /// through to observer events only — it never affects decisions.
   Assignment release(double time, double proc, const ProcSet& eligible,
-                     long long task_id);
+                     long long task_id, double weight = 1.0);
 
   /// Task-shaped overload, for drivers that iterate an Instance.
   Assignment release(const Task& task) {
-    return release(task.release, task.proc, task.eligible);
+    return release(task.release, task.proc, task.eligible, released_,
+                   task.weight);
   }
 
   /// C_j: machine completion frontier (same as OnlineEngine::completions).
@@ -114,6 +123,17 @@ class StreamingEngine {
   std::vector<double> load_;
   std::vector<int> count_;
   std::vector<int> queued_;
+
+  // Non-clairvoyant state (empty/unused in clairvoyant mode; the default
+  // decision path is byte-for-byte the pre-nc code).
+  Clairvoyance clairvoyance_ = Clairvoyance::kClairvoyant;
+  double setup_ = 0.0;
+  std::vector<double> finished_work_;        // per machine, settled setup+proc
+  std::vector<double> censored_completion_;  // scratch, eligible slots only
+  std::vector<double> censored_load_;        // scratch, eligible slots only
+  std::vector<ProcSet> last_set_;            // per machine, previous M_i
+  std::vector<bool> has_last_set_;
+  std::vector<double> slot_work_;            // setup+proc per live slot
 
   // Slot arena (SoA) + free list. slot_task_ keeps the global task id for
   // observer emission; everything else is the per-task state a completion

@@ -16,10 +16,25 @@ std::string to_string(TieBreakKind kind) {
   return "?";
 }
 
-TieBreak::TieBreak(TieBreakKind kind, std::uint64_t seed)
-    : kind_(kind), rng_(seed) {}
+std::uint64_t per_task_seed(std::uint64_t seed, long long task_id) {
+  // seed XOR a golden-ratio multiple of (id+1); the Rng constructor expands
+  // it through splitmix64, so nearby ids still get well-separated streams.
+  return seed ^ (static_cast<std::uint64_t>(task_id + 1) *
+                 0x9E3779B97F4A7C15ULL);
+}
+
+TieBreak::TieBreak(TieBreakKind kind, std::uint64_t seed, bool counter_based)
+    : kind_(kind), rng_(seed), seed_(seed), counter_based_(counter_based) {}
 
 int TieBreak::choose(std::span<const int> candidates) {
+  if (counter_based_ && kind_ == TieBreakKind::kRand) {
+    throw std::logic_error(
+        "TieBreak::choose: counter-based Rand needs the task id");
+  }
+  return choose(candidates, -1);
+}
+
+int TieBreak::choose(std::span<const int> candidates, long long task_id) {
   if (candidates.empty()) {
     throw std::invalid_argument("TieBreak::choose: no candidates");
   }
@@ -28,9 +43,15 @@ int TieBreak::choose(std::span<const int> candidates) {
       return candidates.front();
     case TieBreakKind::kMax:
       return candidates.back();
-    case TieBreakKind::kRand:
+    case TieBreakKind::kRand: {
+      if (counter_based_) {
+        Rng draw(per_task_seed(seed_, task_id));
+        return candidates[static_cast<std::size_t>(draw.uniform_int(
+            0, static_cast<std::int64_t>(candidates.size()) - 1))];
+      }
       return candidates[static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    }
   }
   throw std::logic_error("TieBreak::choose: unknown kind");
 }

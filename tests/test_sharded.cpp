@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -388,6 +390,178 @@ TEST(Sharded, MergedMetricsMatchUnsharded) {
     EXPECT_EQ(merged.flow_bins[b], reference.flow_histogram().bin_count(b));
   }
   EXPECT_THROW(merge_shard_metrics({}), std::invalid_argument);
+}
+
+// --- CoreBudget exhaustion / single-machine shards -------------------------
+
+// With the process-wide budget fully committed, an auto-sized team
+// (shard_workers = 0) degrades to the caller thread alone — and the output
+// contract still holds: the starved single-worker run is byte-identical to
+// a pinned multi-worker team on the same stream.
+TEST(CoreBudget, ExhaustedBudgetFallsBackToCallerThread) {
+  CoreBudget& budget = CoreBudget::instance();
+  const int orig_total = budget.total();
+  const int base = budget.claimed();
+  // set_total(<= 0) restores the hardware default, so exhaust the ledger
+  // via an outer reservation: total = base + 1, all of it claimed.
+  budget.set_total(base + 1);
+  budget.reserve(1);
+  EXPECT_EQ(budget.try_acquire(4), 0);
+
+  const Instance inst = overlapping_ring_instance(8, 200, 43);
+  ShardedEngine::Options opts;
+  opts.shards = 4;
+  opts.shard_workers = 0;  // auto: must resolve to 1 under exhaustion
+  opts.epoch_tasks = 16;
+  opts.steal_threshold = 2;
+  std::vector<Assignment> starved(static_cast<std::size_t>(inst.n()));
+  {
+    ShardedEngine engine(inst.m(), eft_factory(), opts);
+    EXPECT_EQ(engine.workers(), 1);
+    engine.set_flow_sink([&](const ShardedEngine::FlowEvent& e) {
+      starved[static_cast<std::size_t>(e.task)] = {e.machine, e.start};
+    });
+    for (const Task& t : inst.tasks()) {
+      engine.release(t.release, t.proc, t.eligible);
+    }
+    engine.drain();
+  }
+  EXPECT_EQ(budget.claimed(), base + 1);  // the zero grant released cleanly
+
+  // Free the reserved core: the auto team takes exactly it (caller + 1).
+  budget.release(1);
+  {
+    ShardedEngine engine(inst.m(), eft_factory(), opts);
+    EXPECT_EQ(engine.workers(), 2);
+  }
+  EXPECT_EQ(budget.claimed(), base);
+  budget.set_total(orig_total);
+
+  opts.shard_workers = 4;  // pinned teams bypass the budget cap entirely
+  const std::vector<Assignment> pinned = run_sharded(inst, eft_factory(), opts);
+  ASSERT_EQ(starved.size(), pinned.size());
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    ASSERT_EQ(starved[i].machine, pinned[i].machine) << "task " << i;
+    ASSERT_EQ(starved[i].start, pinned[i].start) << "task " << i;
+  }
+}
+
+// shards == m: every shard owns exactly one machine. Dispatch inside a
+// shard is then forced, any multi-machine set is a boundary task, and
+// singleton-set workloads still bit-match the single queue.
+TEST(Sharded, SingleMachineShards) {
+  const int m = 6;
+  const ShardMap map = ShardMap::build(m, m);
+  for (int j = 0; j < m; ++j) {
+    EXPECT_EQ(map.shard_of(j), j);
+    EXPECT_EQ(map.lo[static_cast<std::size_t>(j) + 1] -
+                  map.lo[static_cast<std::size_t>(j)],
+              1);
+  }
+
+  Rng rng(51);
+  std::vector<Task> tasks;
+  double time = 0;
+  for (int i = 0; i < 150; ++i) {
+    time += rng.exponential(1.0 / 4.0);
+    const int j = rng.uniform_int(0, m - 1);
+    tasks.push_back({.release = time,
+                     .proc = rng.uniform(0.5, 1.5),
+                     .eligible = ProcSet({j})});
+  }
+  const Instance inst(m, std::move(tasks));
+
+  ShardedEngine::Options opts;
+  opts.shards = m;
+  opts.shard_workers = 3;
+  opts.epoch_tasks = 8;
+  const std::vector<Assignment> sharded =
+      run_sharded(inst, eft_factory(), opts);
+  const std::vector<Assignment> reference = run_streaming(inst);
+  ASSERT_EQ(sharded.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(sharded[i].machine, reference[i].machine) << "task " << i;
+    ASSERT_EQ(sharded[i].start, reference[i].start) << "task " << i;
+  }
+
+  // A spanning set exercises the boundary path at shard width 1 and still
+  // lands inside its eligible set.
+  ShardedEngine engine(m, eft_factory(), opts);
+  std::vector<ShardedEngine::FlowEvent> events;
+  engine.set_flow_sink(
+      [&](const ShardedEngine::FlowEvent& e) { events.push_back(e); });
+  engine.release(0.0, 1.0, ProcSet({2, 3}));
+  engine.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(engine.boundary_tasks(), 1);
+  EXPECT_TRUE(events[0].machine == 2 || events[0].machine == 3);
+}
+
+// --- [shard-equiv] for randomized dispatchers ------------------------------
+
+// Counter-based per-task draws (sched/tiebreak.hpp per_task_seed) make
+// independently constructed dispatcher replicas agree: each lane keys its
+// draw on the global task id the router hands it, so the sharded schedule
+// is bit-identical to the single queue even for randomized policies — the
+// [shard-equiv] contract the fuzzer asserts through shard_equiv_policies().
+TEST(Sharded, CounterRngRandomizedPoliciesBitEqual) {
+  const int m = 16;
+  Rng rng(61);
+  std::vector<Task> tasks;
+  double time = 0;
+  for (int i = 0; i < 400; ++i) {
+    time += rng.exponential(1.0 / 10.0);
+    const int block = rng.uniform_int(0, 3) * 4;  // shard-local at S=4
+    tasks.push_back({.release = time,
+                     .proc = rng.uniform(0.5, 1.5),
+                     .eligible = ProcSet::interval(block, block + 3)});
+  }
+  const Instance inst(m, std::move(tasks));
+
+  static constexpr std::uint64_t kSeed = 0x5eedULL;
+  struct Case {
+    const char* name;
+    std::function<std::unique_ptr<Dispatcher>()> make;
+  };
+  const std::vector<Case> cases = {
+      {"EFT-Rand",
+       [] {
+         return std::make_unique<EftDispatcher>(TieBreakKind::kRand, kSeed,
+                                                /*counter_rng=*/true);
+       }},
+      {"RandomEligible",
+       [] {
+         return std::make_unique<RandomEligibleDispatcher>(
+             kSeed, /*counter_rng=*/true);
+       }},
+      {"Pow2",
+       [] {
+         return std::make_unique<PowerOfDChoicesDispatcher>(
+             2, kSeed, /*counter_rng=*/true);
+       }},
+  };
+  for (const Case& c : cases) {
+    auto ref_dispatcher = c.make();
+    StreamingEngine single(inst.m(), *ref_dispatcher);
+    std::vector<Assignment> reference;
+    reference.reserve(static_cast<std::size_t>(inst.n()));
+    for (const Task& t : inst.tasks()) reference.push_back(single.release(t));
+    single.drain();
+
+    ShardedEngine::Options opts;
+    opts.shards = 4;
+    opts.shard_workers = 2;
+    opts.epoch_tasks = 16;
+    const std::vector<Assignment> sharded =
+        run_sharded(inst, [&](int) { return c.make(); }, opts);
+    ASSERT_EQ(sharded.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(sharded[i].machine, reference[i].machine)
+          << c.name << " task " << i;
+      ASSERT_EQ(sharded[i].start, reference[i].start)
+          << c.name << " task " << i;
+    }
+  }
 }
 
 // --- simulate_cluster_streaming_sharded ------------------------------------

@@ -68,6 +68,27 @@ fi
 "$FUZZ" replay --input tests/corpus/fault-overlapping.txt > /dev/null
 "$CLI" faultsim --input tests/corpus/fault-disjoint.txt > /dev/null
 
+# Non-clairvoyant + weighted batteries under ASan: censored frontiers and
+# setup-charge bookkeeping in both engines, the rotate+pad [nc-no-peek]
+# counterfactual replays, the weighted Rational aggregation, and the nc
+# shrink path via the planted clairvoyance leak (findings expected: exit 1
+# is the pass). The committed mode reproducers go through replay too.
+"$FUZZ" run --seed 17 --runs 24 --threads 4 --nc-every 1 --weighted-every 1 \
+  > "$SMOKE_DIR/fuzz-nc.out"
+if "$FUZZ" run --seed 42 --runs 8 --threads 1 --inject-nc-bug \
+    --structure nested --no-faults --no-stream --no-shard \
+    --corpus-dir "$SMOKE_DIR/nc-corpus" > "$SMOKE_DIR/fuzz-nc-bug.out"; then
+  echo "asan_check: --inject-nc-bug campaign unexpectedly clean" >&2
+  exit 1
+fi
+"$FUZZ" replay --input tests/corpus/nc-setup-ties.txt > /dev/null
+"$FUZZ" replay --input tests/corpus/weighted-heavy-tail.txt > /dev/null
+
+# Weighted streaming under ASan: heavy-key weights through the exact
+# weighted-latency aggregation in the cluster sim.
+"$CLI" stream --requests 20000 --m 16 --lambda 12 --seed 7 \
+  --heavy-keys 8 --heavy-weight 8 > /dev/null
+
 # Bound landscape under ASan: the closed-form evaluator and planner via
 # the CLI, and the analytic-vs-simulated overlay (exact unit-task optimum,
 # adversary constructions, Rational arithmetic) via bench_ext_bounds —

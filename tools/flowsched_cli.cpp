@@ -28,7 +28,8 @@
 //                        [--dist constant|exponential|uniform] [--service X]
 //                        [--algo <name>] [--seed N] [--reps N] [--threads N]
 //                        [--json] [--assert-rss-mb X] [--shards N]
-//                        [--shard-workers N]
+//                        [--shard-workers N] [--heavy-keys N]
+//                        [--heavy-weight X]
 //
 // `run` schedules the instance (from --input or stdin) and prints flow-time
 // metrics; `opt` computes the exact offline optimum (unit tasks via
@@ -517,6 +518,11 @@ int cmd_stream(const ArgParser& args) {
   const double assert_rss_mb = args.num("assert-rss-mb", 0.0);
   const int shards = args.integer("shards", 0);  // 0 = single-queue path
   const int shard_workers = args.integer("shard-workers", 0);
+  // Weighted mode: requests for keys < --heavy-keys carry --heavy-weight
+  // (pure function of the key, so arming it never perturbs the stream or
+  // the unweighted report fields; docs/scenarios.md).
+  const int heavy_keys = args.integer("heavy-keys", 0);
+  const double heavy_weight = args.num("heavy-weight", 8.0);
   args.reject_unknown();
 
   if (m < 1 || k < 1 || k > m || keys < 1) {
@@ -530,6 +536,11 @@ int cmd_stream(const ArgParser& args) {
   if (reps < 1 || requests < 0 || lambda <= 0 || service <= 0) {
     std::fprintf(stderr,
                  "need reps >= 1, requests >= 0, lambda > 0, service > 0\n");
+    return 2;
+  }
+  if (heavy_keys < 0 || heavy_keys > keys || heavy_weight <= 0) {
+    std::fprintf(stderr,
+                 "need 0 <= heavy-keys <= keys, heavy-weight > 0\n");
     return 2;
   }
   StoreConfig store_config;
@@ -554,6 +565,8 @@ int cmd_stream(const ArgParser& args) {
   stream_config.lambda = lambda;
   stream_config.requests = requests;
   stream_config.service_time = service;
+  stream_config.heavy_keys = heavy_keys;
+  stream_config.heavy_weight = heavy_weight;
   if (dist_name == "constant") {
     stream_config.dist = ServiceDist::kConstant;
   } else if (dist_name == "exponential") {

@@ -6,7 +6,8 @@
 //       [--corpus-dir DIR] [--inject-bug] [--no-shrink] [--no-oracles]
 //       [--lp-every N] [--fault-every N] [--no-faults] [--inject-fault-bug]
 //       [--stream-every N] [--no-stream] [--no-bounds] [--shard-every N]
-//       [--no-shard] [--max-n N] [--max-m N] [--unit]
+//       [--no-shard] [--nc-every N] [--no-nc] [--inject-nc-bug]
+//       [--weighted-every N] [--no-weighted] [--max-n N] [--max-m N] [--unit]
 //   flowsched_fuzz replay --input FILE [--no-oracles]
 //
 // `run` executes a fuzz campaign: each run draws a random structured
@@ -18,8 +19,14 @@
 // fault-injection battery (seeded machine failures and recovery policies
 // audited by the [fault-*] checks); --inject-fault-bug plants a
 // downtime-ignoring engine backdoor the battery must catch and shrink.
-// `replay` re-checks a committed reproducer (or any instance / fault-case
-// file) through the matching battery.
+// Every --nc-every-th run executes the non-clairvoyant battery (hidden
+// processing times, per-machine setup charges, the [nc-*]/[diff-nc*]
+// checks); --inject-nc-bug plants a clairvoyance leak that [nc-no-peek]
+// must catch and shrink. Every --weighted-every-th run executes the
+// weighted battery ([weighted-*]/[diff-weighted]) on a randomly-weighted
+// copy of the instance.
+// `replay` re-checks a committed reproducer (or any instance / fault-case /
+// ncsetup file) through the matching battery.
 //
 // Exit status: 0 clean, 1 findings / replay violations, 2 usage error.
 #include <iostream>
@@ -65,6 +72,11 @@ int run_command(const ArgParser& args) {
   config.shard_every = args.integer("shard-every", config.shard_every);
   if (args.has("no-shard")) config.shard_every = 0;
   config.inject_fault_bug = args.has("inject-fault-bug");
+  config.nc_every = args.integer("nc-every", config.nc_every);
+  if (args.has("no-nc")) config.nc_every = 0;
+  config.inject_nc_bug = args.has("inject-nc-bug");
+  config.weighted_every = args.integer("weighted-every", config.weighted_every);
+  if (args.has("no-weighted")) config.weighted_every = 0;
   config.sizes.max_n = args.integer("max-n", config.sizes.max_n);
   config.sizes.max_m = args.integer("max-m", config.sizes.max_m);
   if (args.has("unit")) config.sizes.unit_tasks = true;

@@ -18,8 +18,19 @@
 #      ([shard-equiv] bit-equality + [shard-valid] structural audit,
 #      docs/sharding.md) on every run — asserted via the report's
 #      shard-checks counter — and --no-shard disarms it;
-#   8. every committed reproducer in tests/corpus replays clean (fault
-#      cases route through the fault battery automatically).
+#   8. the clean campaign ran the non-clairvoyant battery ([nc-no-peek],
+#      [setup-accounting], [diff-nc], [diff-nc-stream], [nc-lb]/[nc-ceiling],
+#      docs/scenarios.md) on every run — asserted via the report's
+#      nc-checks counter — and --no-nc disarms it;
+#   9. the clean campaign ran the weighted battery ([weighted-accounting],
+#      [diff-weighted], [weighted-ceiling]) on every run — asserted via the
+#      report's weighted-checks counter — and --no-weighted disarms it;
+#  10. with --inject-nc-bug the planted clairvoyance leak (true frontiers
+#      handed to a censored policy) is caught by an [nc-*] check and every
+#      reproducer shrinks to at most 4 tasks;
+#  11. every committed reproducer in tests/corpus replays clean (fault
+#      cases route through the fault battery, ncsetup cases through the
+#      non-clairvoyant battery, automatically).
 #
 # Usable standalone:
 #
@@ -212,7 +223,107 @@ if(NOT noshard_report MATCHES "shard-checks=0")
       "${noshard_report}")
 endif()
 
-# --- 8. committed corpus replays clean -------------------------------------
+# --- 8. the non-clairvoyant battery actually ran ----------------------------
+# nc_every defaults to 1, so the clean campaign must have pushed every run
+# through the censored-engine battery.
+if(NOT clean_report MATCHES "nc-checks=([0-9]+)")
+  message(FATAL_ERROR
+      "fuzz_smoke: report lacks the nc-checks counter:\n${clean_report}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: non-clairvoyant battery never ran (nc-checks=0):\n"
+      "${clean_report}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 8 --threads 1 --no-nc
+  OUTPUT_FILE ${dir}/nonc.txt RESULT_VARIABLE nonc_rc)
+if(NOT nonc_rc EQUAL 0)
+  message(FATAL_ERROR "fuzz_smoke: --no-nc campaign failed (rc=${nonc_rc})")
+endif()
+file(READ ${dir}/nonc.txt nonc_report)
+if(NOT nonc_report MATCHES " nc-checks=0")
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-nc did not disable the non-clairvoyant battery:\n"
+      "${nonc_report}")
+endif()
+
+# --- 9. the weighted battery actually ran -----------------------------------
+# weighted_every defaults to 1, so the clean campaign must have pushed a
+# randomly-weighted copy of every run's instance through the weighted checks.
+if(NOT clean_report MATCHES "weighted-checks=([0-9]+)")
+  message(FATAL_ERROR
+      "fuzz_smoke: report lacks the weighted-checks counter:\n${clean_report}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: weighted battery never ran (weighted-checks=0):\n"
+      "${clean_report}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 8 --threads 1 --no-weighted
+  OUTPUT_FILE ${dir}/noweighted.txt RESULT_VARIABLE noweighted_rc)
+if(NOT noweighted_rc EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-weighted campaign failed (rc=${noweighted_rc})")
+endif()
+file(READ ${dir}/noweighted.txt noweighted_report)
+if(NOT noweighted_report MATCHES "weighted-checks=0")
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-weighted did not disable the weighted battery:\n"
+      "${noweighted_report}")
+endif()
+
+# --- 10. the injected clairvoyance leak is caught and shrinks small ---------
+# Pinned to the nested structure for the same shrinkability reason as the
+# fault-bug step. The leak hands true frontiers/loads/p_i to the censored
+# dispatcher, so the frontier-reading policies diverge under the
+# [nc-no-peek] counterfactual permutation.
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 12 --threads 1 --inject-nc-bug
+          --structure nested --no-faults --no-stream --no-shard
+          --corpus-dir ${dir}/nc-found
+  OUTPUT_FILE ${dir}/nc-bug.txt RESULT_VARIABLE nc_rc)
+if(NOT nc_rc EQUAL 1)
+  file(READ ${dir}/nc-bug.txt out)
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-nc-bug campaign did not report findings "
+      "(rc=${nc_rc}):\n${out}")
+endif()
+file(READ ${dir}/nc-bug.txt nc_report)
+if(NOT nc_report MATCHES "\\[nc-")
+  message(FATAL_ERROR
+      "fuzz_smoke: injected clairvoyance leak not caught by an [nc-*] "
+      "check:\n${nc_report}")
+endif()
+string(REGEX MATCHALL "shrunk-to=([0-9]+)" nc_shrunk "${nc_report}")
+if(nc_shrunk STREQUAL "")
+  message(FATAL_ERROR
+      "fuzz_smoke: no shrunk nc reproducer in:\n${nc_report}")
+endif()
+# The best reproducer must be minimal (<= 4 tasks). Randomized policies can
+# plateau higher — removing tasks renumbers the counter-RNG task ids, which
+# changes their draws and mutates the finding mid-shrink — so the bound is
+# on the minimum over findings, not on every finding.
+set(nc_best 1000000)
+foreach(hit IN LISTS nc_shrunk)
+  string(REGEX REPLACE "shrunk-to=" "" n_tasks "${hit}")
+  if(n_tasks LESS nc_best)
+    set(nc_best ${n_tasks})
+  endif()
+endforeach()
+if(nc_best GREATER 4)
+  message(FATAL_ERROR
+      "fuzz_smoke: smallest nc reproducer kept ${nc_best} tasks (> 4); "
+      "the shrinker regressed:\n${nc_report}")
+endif()
+file(GLOB nc_reproducers ${dir}/nc-found/*.txt)
+if(nc_reproducers STREQUAL "")
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-nc-bug produced no reproducer files")
+endif()
+
+# --- 11. committed corpus replays clean ------------------------------------
 if(DEFINED CORPUS_DIR)
   file(GLOB corpus ${CORPUS_DIR}/*.txt)
   foreach(f IN LISTS corpus)

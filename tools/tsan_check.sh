@@ -56,6 +56,16 @@ cmake --build "$BUILD_DIR" --target bench_ext_shard -j "$(nproc)"
 cmake --build "$BUILD_DIR" --target bench_ext_failures -j "$(nproc)"
 "$BUILD_DIR/tools/flowsched_fuzz" run --seed 13 --runs 24 --threads 4 \
   --fault-every 1 > /dev/null
+# Non-clairvoyant + weighted batteries across the pool: each fuzz worker
+# owns its NcDispatcher wrappers, counterfactual replay engines and
+# weighted aggregates privately, and the sharded stream carries heavy-key
+# weights through the route -> steal -> merge pipeline.
+"$BUILD_DIR/tools/flowsched_fuzz" run --seed 17 --runs 24 --threads 4 \
+  --nc-every 1 --weighted-every 1 > /dev/null
+"$BUILD_DIR/tools/flowsched_cli" stream --requests 10000 --m 16 --k 4 \
+  --strategy overlapping --shards 4 --shard-workers 4 --heavy-keys 8 \
+  --heavy-weight 8 --seed 7 > /dev/null
+
 TSAN_CKPT=$(mktemp -u)
 "$BUILD_DIR/bench/bench_ext_failures" --reps 2 --requests 300 --threads 4 \
   --checkpoint "$TSAN_CKPT" --watchdog 300 > /dev/null

@@ -71,6 +71,23 @@ fi
   > "$SMOKE_DIR/bounds-bench.out"
 grep -q 'bound-violations=0' "$SMOKE_DIR/bounds-bench.out"
 
+# Non-clairvoyant + weighted batteries under UBSan: setup charges on the
+# dyadic grid, censored-load arithmetic, weighted Rational products, and
+# the nc shrink path via the planted clairvoyance leak (findings
+# expected: exit 1 is the pass). Replay covers the committed reproducers.
+"$FUZZ" run --seed 17 --runs 24 --threads 4 --nc-every 1 --weighted-every 1 \
+  > "$SMOKE_DIR/fuzz-nc.out"
+if "$FUZZ" run --seed 42 --runs 8 --threads 1 --inject-nc-bug \
+    --structure nested --no-faults --no-stream --no-shard \
+    --corpus-dir "$SMOKE_DIR/nc-corpus" > "$SMOKE_DIR/fuzz-nc-bug.out"; then
+  echo "ubsan_check: --inject-nc-bug campaign unexpectedly clean" >&2
+  exit 1
+fi
+"$FUZZ" replay --input tests/corpus/nc-setup-ties.txt > /dev/null
+"$FUZZ" replay --input tests/corpus/weighted-heavy-tail.txt > /dev/null
+"$CLI" stream --requests 20000 --m 16 --lambda 12 --seed 7 \
+  --heavy-keys 8 --heavy-weight 8 > /dev/null
+
 # Failure sweep: checkpointed, parallel, with the watchdog armed — the
 # whole hardened-runner surface in one run.
 "$BUILD_DIR/bench/bench_ext_failures" --reps 2 --requests 300 --threads 4 \
