@@ -42,7 +42,24 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
         "disjoint, or ksize)");
   }
 
+  if (!(q.availability > 0.0) || q.availability > 1.0 + kEps) {
+    throw std::invalid_argument("min_feasible_k: availability in (0, 1]");
+  }
+
   PlannerResult result;
+  // The fault model enters as a derating: every oracle below runs on the
+  // machines expected up at once, floor(availability * m). The offered
+  // load still counts the FULL cluster's arrivals — the survivors carry
+  // them — so availability squeezes the plan from both sides.
+  const int m = static_cast<int>(std::floor(q.availability * q.m + kEps));
+  result.effective_m = m;
+  if (m < 2) {
+    result.detail =
+        "infeasible: availability leaves fewer than 2 machines up";
+    result.binding = "availability";
+    return result;
+  }
+
   // Allowed worst-case ratio: Fmax <= F needs ratio <= F / OPT.
   const double budget = q.target_fmax / q.opt_estimate;
   std::ostringstream detail;
@@ -57,9 +74,9 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
   // overlapping ring: k = 1 (no routing freedom) is always safe, while
   // 1 < k < m admits the Th. 8/10 stream with ratio m - k + 1.
   const auto adversarial_ok = [&](int k) {
-    return worst_case_ratio(q.structure, q.m, k) <= budget + kEps;
+    return worst_case_ratio(q.structure, m, k) <= budget + kEps;
   };
-  for (int k = 1; k <= q.m; ++k) {
+  for (int k = 1; k <= m; ++k) {
     if (adversarial_ok(k)) {
       result.adversarial_k = k;
       break;
@@ -69,7 +86,7 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
   // Cor. 1 sufficiency on disjoint blocks: the (3 - 2/k) ceiling rises with
   // k, so the guaranteed region is the prefix k <= max_guaranteed_k.
   if (q.structure == StructureClass::kDisjoint) {
-    for (int k = 1; k <= q.m; ++k) {
+    for (int k = 1; k <= m; ++k) {
       if (corollary1_ratio(k).to_double() <= budget + kEps) {
         result.max_guaranteed_k = k;
       }
@@ -87,12 +104,12 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
                                              : ReplicationStrategy::kOverlapping;
     Rng rng(0);  // kWorstCase ignores the generator
     const std::vector<double> popularity =
-        make_popularity(PopularityCase::kWorstCase, q.m, q.zipf_s, rng);
+        make_popularity(PopularityCase::kWorstCase, m, q.zipf_s, rng);
     const double offered = q.load * q.m;
-    saturated.assign(static_cast<std::size_t>(q.m) + 1, true);
-    for (int k = 1; k <= q.m; ++k) {
+    saturated.assign(static_cast<std::size_t>(m) + 1, true);
+    for (int k = 1; k <= m; ++k) {
       const double lambda =
-          max_load_lp(popularity, replica_sets(strategy, k, q.m)).lambda;
+          max_load_lp(popularity, replica_sets(strategy, k, m)).lambda;
       saturated[static_cast<std::size_t>(k)] = offered > lambda + kEps;
       if (!saturated[static_cast<std::size_t>(k)] && result.saturation_k == 0) {
         result.saturation_k = k;
@@ -108,7 +125,7 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
 
   // Combined verdict: smallest k passing both oracles, plus the smallest
   // k >= 2 for deployments that insist on actual replication.
-  for (int k = 1; k <= q.m; ++k) {
+  for (int k = 1; k <= m; ++k) {
     if (scan_load && saturated[static_cast<std::size_t>(k)]) continue;
     if (!adversarial_ok(k)) continue;
     if (!result.feasible) {
@@ -139,7 +156,7 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
 
   detail << "k = " << result.min_k << " on " << to_string(q.structure)
          << ": worst-case ratio "
-         << worst_case_ratio(q.structure, q.m, result.min_k) << " <= F/OPT = "
+         << worst_case_ratio(q.structure, m, result.min_k) << " <= F/OPT = "
          << budget;
   if (scan_load) detail << "; sustains rho = " << q.load << " (LP 15)";
   if (result.min_replicated_k > result.min_k) {
@@ -152,6 +169,10 @@ PlannerResult min_feasible_k(const PlannerQuery& q) {
       detail << "; NOTE: no Cor. 1 guarantee at this k (needs k <= "
              << result.max_guaranteed_k << ")";
     }
+  }
+  if (q.availability < 1.0 - kEps) {
+    detail << "; planned on effective m = " << m << " of " << q.m
+           << " at availability " << q.availability;
   }
   result.detail = detail.str();
   return result;

@@ -36,6 +36,12 @@ struct PlannerQuery {
                               ///< negative skips the saturation scan.
   double zipf_s = 0.0;        ///< Popularity skew for the saturation LP
                               ///< (worst-case Zipf placement, Section 7.1).
+  /// Per-machine steady-state availability target in (0, 1]: the planner
+  /// folds the fault model in by planning against the effective cluster
+  /// size floor(availability * m) — the machines expected up at once —
+  /// while the offered load (load * m) still comes from the full cluster.
+  /// 1 (the default) reproduces the fault-free plan.
+  double availability = 1.0;
 };
 
 /// \brief Planner verdict; `min_k` is meaningful iff `feasible`.
@@ -53,6 +59,8 @@ struct PlannerResult {
   int max_guaranteed_k = 0;  ///< Disjoint only: largest k whose Cor. 1
                              ///< ceiling meets the target (m = all, 0 =
                              ///< none). 0 for other structures.
+  int effective_m = 0;   ///< Cluster size the plan was computed against:
+                         ///< floor(availability * m).
   std::string binding;   ///< Constraint that fixed min_k ("Th. 8/10",
                          ///< "LP (15) saturation", ...).
   std::string detail;    ///< One-line human-readable reasoning.

@@ -887,6 +887,149 @@ void InvariantAuditor::check_fault_run(const FaultPlan& plan,
   ++runs_;
 }
 
+void InvariantAuditor::check_control_run(const ControlLog& log,
+                                         const ControlConfig& config,
+                                         int m, const LayoutSpec& initial) {
+  if (open_) {
+    violation("protocol", "check_control_run before on_run_end");
+    return;
+  }
+  // Same run-index rewind as check_fault_run: control findings should carry
+  // the index of the run whose log this is.
+  const bool rewind = runs_ > 0;
+  if (rewind) --runs_;
+
+  const auto& decisions = log.decisions();
+  const auto& observations = log.observations();
+
+  // [control-determinism]: a fresh controller fed the logged observations
+  // must reproduce every logged decision bitwise. One divergence poisons
+  // everything after it, so stop at the first.
+  if (observations.size() != decisions.size()) {
+    violation("control-determinism",
+              "log holds " + std::to_string(observations.size()) +
+                  " observations but " + std::to_string(decisions.size()) +
+                  " decisions");
+  } else {
+    try {
+      ReplicationController replay(m, initial, config);
+      for (std::size_t e = 0; e < observations.size(); ++e) {
+        const ControlDecision d = replay.decide(observations[e]);
+        if (d.str() != decisions[e].str()) {
+          violation("control-determinism",
+                    "epoch " + std::to_string(e) + ": replay decided '" +
+                        d.str() + "', log recorded '" + decisions[e].str() +
+                        "'");
+          break;
+        }
+      }
+    } catch (const std::exception& ex) {
+      violation("control-determinism",
+                std::string("replay controller threw: ") + ex.what());
+    }
+  }
+
+  // [control-movement-bound]: bounded, contiguous, single-migration moves.
+  const int max_move =
+      config.max_move > 0 ? config.max_move : std::max(1, m / 4);
+  int frontier = m;  // owners already migrated; m = no migration in flight
+  for (const ControlDecision& d : decisions) {
+    const std::string ei = "epoch " + std::to_string(d.epoch);
+    if (d.moved_lo < 0 || d.moved_hi > m || d.moved_lo > d.moved_hi) {
+      violation("control-movement-bound",
+                ei + ": moved range [" + std::to_string(d.moved_lo) + ", " +
+                    std::to_string(d.moved_hi) + ") outside [0, " +
+                    std::to_string(m) + ")");
+      continue;
+    }
+    if (d.moved_owners() > max_move) {
+      violation("control-movement-bound",
+                ei + ": moved " + std::to_string(d.moved_owners()) +
+                    " owners, bound is " + std::to_string(max_move));
+    }
+    if (d.switched) {
+      if (frontier < m) {
+        violation("control-movement-bound",
+                  ei + ": new migration began with one still in flight "
+                       "(frontier " +
+                      std::to_string(frontier) + " of " + std::to_string(m) +
+                      ")");
+      }
+      const int dk = d.target.k - d.from.k;
+      if (!d.fallback && (dk > 1 || dk < -1)) {
+        violation("control-movement-bound",
+                  ei + ": k jumped " + std::to_string(d.from.k) + " -> " +
+                      std::to_string(d.target.k) + " in one switch");
+      }
+      if (d.moved_lo != 0) {
+        violation("control-movement-bound",
+                  ei + ": switch epoch's move starts at owner " +
+                      std::to_string(d.moved_lo) + ", not 0");
+      }
+      frontier = d.moved_hi;
+    } else if (d.moved_owners() > 0) {
+      if (d.moved_lo != (frontier == m ? 0 : frontier)) {
+        violation("control-movement-bound",
+                  ei + ": migration step [" + std::to_string(d.moved_lo) +
+                      ", " + std::to_string(d.moved_hi) +
+                      ") is not contiguous with frontier " +
+                      std::to_string(frontier));
+      }
+      frontier = d.moved_hi;
+    }
+  }
+
+  // [control-setup-accounting]: every charge names an owner some decision
+  // really moved (its replica set changed), exactly setup_cost each, at
+  // most once per (owner, decision epoch).
+  std::vector<const ControlDecision*> by_epoch;
+  for (const ControlDecision& d : decisions) {
+    const std::size_t e = static_cast<std::size_t>(d.epoch);
+    if (by_epoch.size() <= e) by_epoch.resize(e + 1, nullptr);
+    by_epoch[e] = &d;
+  }
+  std::vector<std::vector<bool>> charged(by_epoch.size());
+  for (const ControlLog::SetupCharge& c : log.charges()) {
+    const std::string ci =
+        "charge owner=" + std::to_string(c.owner) + " epoch=" +
+        std::to_string(c.epoch);
+    if (c.amount != config.setup_cost) {
+      violation("control-setup-accounting",
+                ci + ": amount " + fmt(c.amount) + " != setup cost " +
+                    fmt(config.setup_cost));
+    }
+    if (c.epoch < 0 || static_cast<std::size_t>(c.epoch) >= by_epoch.size() ||
+        by_epoch[static_cast<std::size_t>(c.epoch)] == nullptr) {
+      violation("control-setup-accounting",
+                ci + ": no decision recorded for that epoch");
+      continue;
+    }
+    const ControlDecision& d = *by_epoch[static_cast<std::size_t>(c.epoch)];
+    if (c.owner < d.moved_lo || c.owner >= d.moved_hi) {
+      violation("control-setup-accounting",
+                ci + ": owner outside the epoch's moved range [" +
+                    std::to_string(d.moved_lo) + ", " +
+                    std::to_string(d.moved_hi) + ")");
+      continue;
+    }
+    if (replica_set(d.from.strategy, c.owner, d.from.k, m) ==
+        replica_set(d.target.strategy, c.owner, d.target.k, m)) {
+      violation("control-setup-accounting",
+                ci + ": owner's replica set did not change in that epoch");
+    }
+    auto& seen = charged[static_cast<std::size_t>(c.epoch)];
+    if (seen.empty()) seen.resize(static_cast<std::size_t>(m), false);
+    if (c.owner >= 0 && c.owner < m) {
+      if (seen[static_cast<std::size_t>(c.owner)]) {
+        violation("control-setup-accounting", ci + ": charged twice");
+      }
+      seen[static_cast<std::size_t>(c.owner)] = true;
+    }
+  }
+
+  if (rewind) ++runs_;
+}
+
 std::string InvariantAuditor::report() const {
   std::string out;
   for (const auto& v : violations_) {

@@ -54,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "control/control.hpp"
 #include "fault/plan.hpp"
 #include "fault/recovery.hpp"
 #include "model/instance.hpp"
@@ -187,6 +188,24 @@ class InvariantAuditor final : public SchedObserver {
   ///                       machine ever recovers) — never a silent loss
   void check_fault_run(const FaultPlan& plan, const RecoveryPolicy& policy,
                        const FaultLog& log);
+
+  /// \brief Validates the ControlLog of an adaptive run (control/adaptive_sim)
+  /// against the controller contract. Call after on_run_end(), passing the
+  /// config and initial layout the run's controller was built with.
+  ///
+  ///   [control-determinism]     replaying the logged observations through a
+  ///                             fresh ReplicationController reproduces every
+  ///                             logged decision bitwise (decisions are pure
+  ///                             functions of observation + config)
+  ///   [control-movement-bound]  each epoch migrates at most max_move owners,
+  ///                             migration steps are contiguous with exactly
+  ///                             one migration in flight, and k moves by at
+  ///                             most 1 per non-fallback switch
+  ///   [control-setup-accounting] every setup charge names an owner a logged
+  ///                             decision really moved, is charged exactly
+  ///                             once per migration, and equals setup_cost
+  void check_control_run(const ControlLog& log, const ControlConfig& config,
+                         int m, const LayoutSpec& initial);
 
  private:
   struct TaskRecord {

@@ -14,6 +14,7 @@
 
 #include "check/shrink.hpp"
 #include "check/stream_audit.hpp"
+#include "control/adaptive_sim.hpp"
 #include "io/instance_io.hpp"
 #include "lp/maxload.hpp"
 #include "model/structure.hpp"
@@ -666,6 +667,105 @@ FaultPlan plan_for(std::uint64_t plan_seed, const FaultModelConfig& model,
   return FaultPlan::random(m, model, prng);
 }
 
+// Policies the control battery drives. A subset of fault_fuzz_policies():
+// the adaptive run re-solves candidate LPs at every decision epoch, so the
+// battery keeps the policy fan-out small; these four cover the
+// completion-frontier, load, queue-depth, and stateless families.
+const std::vector<std::string>& control_fuzz_policies() {
+  static const std::vector<std::string> kPolicies = {
+      "EFT-Min", "LeastLoaded-Min", "JSQ-Min", "RoundRobin"};
+  return kPolicies;
+}
+
+// The control battery's scenario is a pure function of (instance, cseed):
+// the shrinker regenerates it for every candidate instance and the
+// reproducer carries only the seed (a "control <cseed>" directive). The
+// fixed-count draws (layout, config, plan) come first so shrinking the
+// request stream never perturbs them; the per-request keys follow. The
+// fault model is pinned here — not taken from FuzzConfig — so a committed
+// reproducer replays bit-identically with no extra state to carry.
+ControlCase control_case_for(const Instance& inst, std::uint64_t cseed) {
+  Rng crng(cseed);
+  ControlCase c;
+  c.m = inst.m();
+  c.initial.strategy = crng.bernoulli(0.5) ? ReplicationStrategy::kOverlapping
+                                           : ReplicationStrategy::kDisjoint;
+  c.initial.k = static_cast<int>(crng.uniform_int(1, std::min(3, c.m)));
+  // All knobs on the dyadic grid, so every observation and score the
+  // [control-determinism] replay compares is exactly representable.
+  c.control.period = static_cast<double>(crng.uniform_int(1, 4)) / 2.0;
+  c.control.hysteresis =
+      1.0 + static_cast<double>(crng.uniform_int(0, 4)) / 8.0;
+  c.control.cooldown = static_cast<int>(crng.uniform_int(0, 2));
+  c.control.setup_cost = static_cast<double>(crng.uniform_int(1, 4)) / 8.0;
+  // A starved pivot cap forces the oracle-timeout path: every epoch falls
+  // back to the last known-good layout, exercising graceful degradation.
+  if (crng.bernoulli(0.125)) c.control.lp_pivot_cap = 1;
+  const bool with_faults = crng.bernoulli(0.5);
+  if (with_faults) {
+    const FaultModelConfig model;  // the default crash/repair process
+    c.plan = FaultPlan::random(c.m, model, crng);
+    c.recovery.kind = kRecoveryCycle[crng.uniform_int(0, 2)];
+  }
+  c.release.reserve(static_cast<std::size_t>(inst.n()));
+  c.proc.reserve(static_cast<std::size_t>(inst.n()));
+  c.key.reserve(static_cast<std::size_t>(inst.n()));
+  for (const Task& t : inst.tasks()) {
+    c.release.push_back(t.release);
+    c.proc.push_back(t.proc);
+    c.key.push_back(static_cast<int>(crng.uniform_int(0, 4 * c.m - 1)));
+  }
+  return c;
+}
+
+// Control battery for one policy: the adaptive run under the auditor,
+// check_control_run over its ControlLog ([control-determinism],
+// [control-movement-bound], [control-setup-accounting]), then the
+// [diff-control] differential — the controller-off run must equal the
+// static path bitwise. Shared by the fuzz loop, the control shrink
+// predicate, and control-case replay.
+std::vector<std::string> check_control(const Instance& inst,
+                                       std::uint64_t cseed,
+                                       const std::string& policy,
+                                       bool inject_control_bug) {
+  const ControlCase cc = control_case_for(inst, cseed);
+  AuditConfig acfg;
+  acfg.fault_mode = cc.faulty();
+  // Eligible sets change mid-run as the layout migrates, so the
+  // dispatcher-name behavioural contracts (work conservation, FIFO order)
+  // do not apply; the structural checks and the control checks are the
+  // battery's whole contract.
+  acfg.infer_from_algo = false;
+  InvariantAuditor auditor(acfg);
+  auto adaptive_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  const AdaptiveRunReport adaptive = run_adaptive(
+      cc, *adaptive_dispatcher, /*enabled=*/true, &auditor,
+      inject_control_bug);
+  auditor.check_control_run(adaptive.log, cc.control, cc.m, cc.initial);
+  std::vector<std::string> out = auditor.violations();
+
+  // [diff-control] With the controller disabled no decision, migration, or
+  // setup charge may exist, and the run must collapse onto the plain static
+  // path — compared field-by-field bitwise, flows element-wise.
+  auto off_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  const AdaptiveRunReport off =
+      run_adaptive(cc, *off_dispatcher, /*enabled=*/false);
+  auto static_dispatcher = make_dispatcher(policy, /*inject_bug=*/false);
+  const AdaptiveRunReport stat = run_static(cc, *static_dispatcher);
+  if (off.flows != stat.flows || off.fmax != stat.fmax ||
+      off.mean_flow != stat.mean_flow || off.makespan != stat.makespan ||
+      off.completed != stat.completed || off.dropped != stat.dropped ||
+      off.parked != stat.parked || off.retried != stat.retried ||
+      off.wasted_work != stat.wasted_work || off.decisions != 0 ||
+      off.setup_total != 0) {
+    out.push_back(policy +
+                  ": [diff-control] controller-off run diverges from the "
+                  "static path: off {" + off.str() + "} vs static {" +
+                  stat.str() + "}");
+  }
+  return out;
+}
+
 // LP-vs-Dinic differential on a fresh random replica system: the revised
 // simplex (lp/maxload.hpp) and the max-flow bisection solve the same
 // max-load LP by disjoint code paths, so agreement is a strong check on
@@ -719,12 +819,19 @@ struct NcContext {
   double setup = 0.0;
 };
 
+// Control-battery provenance of a finding: the case seed regenerates the
+// full scenario (layout, config, keys, plan) for any candidate instance.
+struct ControlContext {
+  std::uint64_t cseed = 0;
+};
+
 struct RawFinding {
   std::string policy;
   std::string check;
   std::optional<Instance> inst;   // absent for [diff-lp]
   std::optional<FaultContext> fault;  // present for [fault-*] findings
   std::optional<NcContext> nc;    // present for nc-battery findings
+  std::optional<ControlContext> control;  // present for control findings
 };
 
 struct RunOutcome {
@@ -737,6 +844,7 @@ struct RunOutcome {
   int shard_checks = 0;
   int nc_checks = 0;
   int weighted_checks = 0;
+  int control_checks = 0;
   std::vector<RawFinding> findings;
 };
 
@@ -857,6 +965,24 @@ RunOutcome fuzz_one(const FuzzConfig& config,
       }
     }
   }
+
+  // The control battery draws last of all (the same seed-stability rule as
+  // the nc/weighted batteries above): arming or disarming it never perturbs
+  // the instances, plans, setups, or weights of a pinned seed.
+  if (config.control_every > 0 && run % config.control_every == 0) {
+    out.control_checks = 1;
+    const std::uint64_t cseed = rng();
+    for (const std::string& policy : control_fuzz_policies()) {
+      const std::vector<std::string> violations =
+          check_control(inst, cseed, policy, config.inject_control_bug);
+      ++out.schedules;
+      if (!violations.empty()) {
+        out.findings.push_back({policy, violations.front(), inst,
+                                std::nullopt, std::nullopt,
+                                ControlContext{cseed}});
+      }
+    }
+  }
   return out;
 }
 
@@ -968,6 +1094,18 @@ std::vector<std::string> replay_nc_case(const Instance& inst, double setup) {
   return out;
 }
 
+std::vector<std::string> replay_control_case(const Instance& inst,
+                                             std::uint64_t cseed) {
+  std::vector<std::string> out;
+  for (const std::string& policy : control_fuzz_policies()) {
+    for (const std::string& v :
+         check_control(inst, cseed, policy, /*inject_control_bug=*/false)) {
+      out.push_back(policy + ": " + v);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> replay_corpus_instance(const Instance& inst,
                                                 bool bound_oracles,
                                                 bool differential) {
@@ -1022,29 +1160,45 @@ std::vector<std::string> replay_corpus_file(const std::string& path,
   if (has_fault_directives(text)) {
     return replay_fault_case(parse_fault_case(text));
   }
-  // nc reproducers carry an "ncsetup <v>" directive ahead of the instance:
-  // strip it and route the remainder through the nc battery.
+  // nc reproducers carry an "ncsetup <v>" directive ahead of the instance
+  // and control reproducers a "control <cseed>" directive: strip the
+  // directive and route the remainder through the matching battery.
   std::istringstream lines(text);
   std::string line;
   std::string rest;
   std::optional<double> ncsetup;
+  std::optional<std::uint64_t> control_seed;
   while (std::getline(lines, line)) {
     std::istringstream ls(line);
     std::string directive;
-    if (ls >> directive && directive == "ncsetup") {
-      double v = 0;
-      if (!(ls >> v) || v < 0) {
-        throw std::runtime_error("replay_corpus_file: bad ncsetup line in " +
-                                 path);
+    if (ls >> directive) {
+      if (directive == "ncsetup") {
+        double v = 0;
+        if (!(ls >> v) || v < 0) {
+          throw std::runtime_error("replay_corpus_file: bad ncsetup line in " +
+                                   path);
+        }
+        ncsetup = v;
+        continue;
       }
-      ncsetup = v;
-      continue;
+      if (directive == "control") {
+        std::uint64_t v = 0;
+        if (!(ls >> v)) {
+          throw std::runtime_error("replay_corpus_file: bad control line in " +
+                                   path);
+        }
+        control_seed = v;
+        continue;
+      }
     }
     rest += line;
     rest += '\n';
   }
   if (ncsetup.has_value()) {
     return replay_nc_case(parse_instance_string(rest), *ncsetup);
+  }
+  if (control_seed.has_value()) {
+    return replay_control_case(parse_instance_string(rest), *control_seed);
   }
   return replay_corpus_instance(parse_instance_string(text), bound_oracles,
                                 differential);
@@ -1057,6 +1211,7 @@ std::string FuzzReport::summary() const {
      << " stream-checks=" << stream_checks << " bounds-checks=" << bounds_checks
      << " shard-checks=" << shard_checks << " nc-checks=" << nc_checks
      << " weighted-checks=" << weighted_checks
+     << " control-checks=" << control_checks
      << " findings=" << findings.size() << "\n";
   int i = 0;
   for (const FuzzFinding& f : findings) {
@@ -1112,6 +1267,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     report.shard_checks += outcome.shard_checks;
     report.nc_checks += outcome.nc_checks;
     report.weighted_checks += outcome.weighted_checks;
+    report.control_checks += outcome.control_checks;
     for (RawFinding& raw : outcome.findings) {
       FuzzFinding f;
       f.run = r;
@@ -1164,6 +1320,23 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
                                        t.rfind("[diff-nc", 0) == 0 ||
                                        t == "[setup-accounting]";
                 if (nc_family ? in_family : t == tag) return true;
+              }
+              return false;
+            }
+            // Control findings replay through the control battery — the
+            // case regenerates from (candidate, cseed); any control-family
+            // tag counts (one controller contract — see the fault-family
+            // rationale above).
+            if (raw.control.has_value()) {
+              const bool control_family = tag.rfind("[control-", 0) == 0 ||
+                                          tag == "[diff-control]";
+              for (const std::string& v :
+                   check_control(cand, raw.control->cseed, raw.policy,
+                                 config.inject_control_bug)) {
+                const std::string t = tag_of(v);
+                const bool in_family = t.rfind("[control-", 0) == 0 ||
+                                       t == "[diff-control]";
+                if (control_family ? in_family : t == tag) return true;
               }
               return false;
             }
@@ -1221,18 +1394,24 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
         }
         f.shrunk_n = minimized.n();
         // nc reproducers carry the battery's setup time as an "ncsetup"
-        // directive ahead of the instance; replay_corpus_file routes on it.
-        const std::string body =
-            raw.fault.has_value()
-                ? fault_case_to_string(
-                      minimized,
-                      plan_for(raw.fault->plan_seed, config.fault_model,
-                               minimized.m()),
-                      raw.fault->recovery)
-                : (raw.nc.has_value()
-                       ? "ncsetup " + fmt(raw.nc->setup) + "\n" +
-                             instance_to_string(minimized)
-                       : instance_to_string(minimized));
+        // directive ahead of the instance, control reproducers the case
+        // seed as a "control" directive; replay_corpus_file routes on them.
+        std::string body;
+        if (raw.fault.has_value()) {
+          body = fault_case_to_string(
+              minimized,
+              plan_for(raw.fault->plan_seed, config.fault_model,
+                       minimized.m()),
+              raw.fault->recovery);
+        } else if (raw.nc.has_value()) {
+          body = "ncsetup " + fmt(raw.nc->setup) + "\n" +
+                 instance_to_string(minimized);
+        } else if (raw.control.has_value()) {
+          body = "control " + std::to_string(raw.control->cseed) + "\n" +
+                 instance_to_string(minimized);
+        } else {
+          body = instance_to_string(minimized);
+        }
         f.instance_text = reproducer_text(config, f, body);
         if (!config.corpus_dir.empty()) {
           const std::string name = "fuzz-s" + std::to_string(config.seed) +

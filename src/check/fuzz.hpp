@@ -60,7 +60,25 @@
 //   [nc-clair-lb]    at setup > 0, state-oblivious policies dominate their
 //                    clairvoyant Fmax
 //
-// and every weighted_every-th run re-draws the instance with random dyadic
+// Every control_every-th run additionally pushes the instance through the
+// adaptive-replication control battery (control/adaptive_sim.hpp): a
+// ControlCase is derived from (instance, case seed) — initial layout,
+// controller config, per-request keys, and an optional fault plan — and
+// served by run_adaptive under the auditor, then
+// InvariantAuditor::check_control_run validates the ControlLog
+// ([control-determinism], [control-movement-bound],
+// [control-setup-accounting]; see check/audit.hpp) and
+//
+//   [diff-control]    the controller-off run (run_adaptive with
+//                     enabled = false) equals the plain static path
+//                     (run_static) bitwise — flows, counters, makespan
+//
+// Control findings carry the case seed in a "control <cseed>" reproducer
+// directive: the scenario regenerates as a pure function of
+// (instance, cseed), so the shrinker minimizes the request stream like any
+// instance and replay_control_case re-derives the rest.
+//
+// And every weighted_every-th run re-draws the instance with random dyadic
 // weights (check/gen.hpp) and pushes it through the weighted battery:
 //
 //   [weighted-accounting] Schedule, MetricsCollector, and the auditor
@@ -171,6 +189,17 @@ struct FuzzConfig {
   /// the [weighted-*] / [diff-weighted] checks listed above on a
   /// randomly-weighted copy of the run's instance.
   int weighted_every = 1;
+  /// Run the adaptive-replication control battery every `control_every`
+  /// runs (0 disables it): the [control-*] audit replay and the
+  /// [diff-control] controller-off-vs-static differential listed above, on
+  /// a ControlCase derived from the run's instance and a drawn case seed.
+  int control_every = 1;
+  /// Arm ReplicationController::set_unsafe_flap on the control battery —
+  /// the planted control bug (the layout flips every epoch and the whole
+  /// key space migrates at once: no hysteresis, no cooldown, no movement
+  /// bound). [control-determinism] / [control-movement-bound] must catch it
+  /// and the shrinker must minimize it.
+  bool inject_control_bug = false;
 
   bool shrink = true;
   int shrink_max_calls = 4000;
@@ -198,6 +227,7 @@ struct FuzzReport {
   int shard_checks = 0;   ///< Sharded-vs-single-queue differentials executed.
   int nc_checks = 0;      ///< Non-clairvoyant batteries executed.
   int weighted_checks = 0;  ///< Weighted batteries executed.
+  int control_checks = 0;   ///< Adaptive-control batteries executed.
   std::vector<FuzzFinding> findings;  ///< Run order, then policy order.
 
   bool ok() const { return findings.empty(); }
@@ -249,6 +279,14 @@ std::vector<std::string> replay_fault_case(const FaultCase& fc);
 /// full check set. Lines are prefixed "policy: ...". Reproducer files
 /// carrying an "ncsetup <v>" directive route here from replay_corpus_file.
 std::vector<std::string> replay_nc_case(const Instance& inst, double setup);
+
+/// \brief Re-checks one instance through the adaptive-control battery: the
+/// ControlCase regenerated from (inst, cseed), every control policy through
+/// check_control_run and the [diff-control] differential. Lines are
+/// prefixed "policy: ...". Reproducer files carrying a "control <cseed>"
+/// directive route here from replay_corpus_file.
+std::vector<std::string> replay_control_case(const Instance& inst,
+                                             std::uint64_t cseed);
 
 /// \brief Re-checks one instance through the full policy battery.
 ///

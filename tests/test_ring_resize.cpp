@@ -1,0 +1,149 @@
+#include "kvstore/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/replication.hpp"
+
+namespace flowsched {
+namespace {
+
+constexpr int kKeys = 2000;
+
+TEST(RingResize, IdentityResizeMovesNothing) {
+  const HashRing ring(8, 16, 42);
+  const RingResizeDelta d = ring_resize_delta(ring, kKeys, 3, 3);
+  EXPECT_EQ(d.keys_touched, 0);
+  EXPECT_EQ(d.keys_moved, 0);
+  EXPECT_EQ(d.replicas_added, 0);
+  EXPECT_EQ(d.replicas_dropped, 0);
+}
+
+// The minimal-movement property of the consistent-hashing resize: the
+// preference list at k is a prefix of the list at k+1, so growing k only
+// ADDS placements — no key ever loses a held replica.
+TEST(RingResize, GrowingKMovesNoKeys) {
+  const HashRing ring(9, 8, 7);
+  for (int k = 1; k < 9; ++k) {
+    const RingResizeDelta d = ring_resize_delta(ring, kKeys, k, k + 1);
+    EXPECT_EQ(d.keys_moved, 0) << "k " << k << " -> " << k + 1;
+    EXPECT_EQ(d.replicas_dropped, 0) << "k " << k;
+    // Exactly one new replica per key: every key is touched and adds one.
+    EXPECT_EQ(d.keys_touched, kKeys) << "k " << k;
+    EXPECT_EQ(d.replicas_added, kKeys) << "k " << k;
+  }
+}
+
+// Shrinking is the mirror image: exactly one placement retired per key,
+// nothing added, and each touched key counts as moved (it lost a replica).
+TEST(RingResize, ShrinkingKDropsOneReplicaPerKey) {
+  const HashRing ring(9, 8, 7);
+  for (int k = 2; k <= 9; ++k) {
+    const RingResizeDelta d = ring_resize_delta(ring, kKeys, k, k - 1);
+    EXPECT_EQ(d.replicas_added, 0) << "k " << k;
+    EXPECT_EQ(d.replicas_dropped, kKeys) << "k " << k;
+    EXPECT_EQ(d.keys_touched, kKeys) << "k " << k;
+    EXPECT_EQ(d.keys_moved, kKeys) << "k " << k;
+  }
+}
+
+// Multi-step jumps still respect the per-key movement bound: growing by d
+// adds exactly d placements per key, so keys_moved stays 0 and
+// replicas_added == keys * d.
+TEST(RingResize, MultiStepGrowthIsPrefixStable) {
+  const HashRing ring(7, 4, 3);
+  const RingResizeDelta d = ring_resize_delta(ring, kKeys, 2, 5);
+  EXPECT_EQ(d.keys_moved, 0);
+  EXPECT_EQ(d.replicas_added, static_cast<long long>(kKeys) * 3);
+  EXPECT_EQ(d.replicas_dropped, 0);
+}
+
+TEST(RingResize, EmptyKeySpaceIsAllZero) {
+  const HashRing ring(5, 4, 9);
+  const RingResizeDelta d = ring_resize_delta(ring, 0, 1, 5);
+  EXPECT_EQ(d.keys_touched, 0);
+  EXPECT_EQ(d.keys_moved, 0);
+  EXPECT_EQ(d.replicas_added, 0);
+  EXPECT_EQ(d.replicas_dropped, 0);
+  const RingResizeDelta b = ring_to_blocks_delta(ring, 0, 3, 0, 5);
+  EXPECT_EQ(b.keys_touched, 0);
+  EXPECT_EQ(b.replicas_added, 0);
+}
+
+// k = m: every preference list is the whole cluster, so any resize that
+// stays at m is a no-op and a grow INTO m never moves a key.
+TEST(RingResize, FullReplicationEdgeCase) {
+  const HashRing ring(6, 8, 11);
+  const RingResizeDelta up = ring_resize_delta(ring, kKeys, 5, 6);
+  EXPECT_EQ(up.keys_moved, 0);
+  EXPECT_EQ(up.replicas_added, kKeys);
+  const RingResizeDelta same = ring_resize_delta(ring, kKeys, 6, 6);
+  EXPECT_EQ(same.keys_touched, 0);
+}
+
+// The frontier property the adaptive controller relies on: a layout flip
+// migrated slice-by-slice moves, per step, only the keys whose primary
+// falls in the slice — and the slices partition the full migration.
+TEST(RingResize, BlocksMigrationDecomposesOverFrontierSlices) {
+  const int m = 8;
+  const HashRing ring(m, 16, 5);
+  const RingResizeDelta whole = ring_to_blocks_delta(ring, kKeys, 3, 0, m);
+  RingResizeDelta sum;
+  for (int lo = 0; lo < m; lo += 2) {
+    const RingResizeDelta step = ring_to_blocks_delta(ring, kKeys, 3, lo, lo + 2);
+    // Each step touches at most the keys primarily owned by the slice —
+    // strictly fewer than the whole migration.
+    EXPECT_LE(step.keys_touched, whole.keys_touched);
+    sum.keys_touched += step.keys_touched;
+    sum.keys_moved += step.keys_moved;
+    sum.replicas_added += step.replicas_added;
+    sum.replicas_dropped += step.replicas_dropped;
+  }
+  EXPECT_EQ(sum.keys_touched, whole.keys_touched);
+  EXPECT_EQ(sum.keys_moved, whole.keys_moved);
+  EXPECT_EQ(sum.replicas_added, whole.replicas_added);
+  EXPECT_EQ(sum.replicas_dropped, whole.replicas_dropped);
+}
+
+TEST(RingResize, EmptyFrontierSliceMovesNothing) {
+  const HashRing ring(6, 8, 13);
+  const RingResizeDelta d = ring_to_blocks_delta(ring, kKeys, 2, 3, 3);
+  EXPECT_EQ(d.keys_touched, 0);
+  EXPECT_EQ(d.keys_moved, 0);
+}
+
+// At k = m both layouts place every key everywhere: the flip is free.
+TEST(RingResize, BlocksAtFullReplicationIsFree) {
+  const int m = 5;
+  const HashRing ring(m, 8, 17);
+  const RingResizeDelta d = ring_to_blocks_delta(ring, kKeys, m, 0, m);
+  EXPECT_EQ(d.keys_touched, 0);
+  EXPECT_EQ(d.keys_moved, 0);
+}
+
+// A moved key never moves more than its whole replica set: per key at most
+// k placements retire, so keys_moved <= keys_touched and
+// replicas_dropped <= k * keys_moved.
+TEST(RingResize, MovementIsBoundedByReplicationFactor) {
+  const int m = 10;
+  const int k = 3;
+  const HashRing ring(m, 4, 23);
+  const RingResizeDelta d = ring_to_blocks_delta(ring, kKeys, k, 0, m);
+  EXPECT_LE(d.keys_moved, d.keys_touched);
+  EXPECT_LE(d.replicas_dropped, static_cast<long long>(k) * d.keys_moved);
+  EXPECT_LE(d.replicas_added, static_cast<long long>(k) * d.keys_touched);
+}
+
+TEST(RingResize, RejectsBadArguments) {
+  const HashRing ring(4, 4, 1);
+  EXPECT_THROW(ring_resize_delta(ring, -1, 1, 2), std::invalid_argument);
+  EXPECT_THROW(ring_resize_delta(ring, 10, 0, 2), std::invalid_argument);
+  EXPECT_THROW(ring_resize_delta(ring, 10, 1, 5), std::invalid_argument);
+  EXPECT_THROW(ring_to_blocks_delta(ring, 10, 2, -1, 4), std::invalid_argument);
+  EXPECT_THROW(ring_to_blocks_delta(ring, 10, 2, 0, 5), std::invalid_argument);
+  EXPECT_THROW(ring_to_blocks_delta(ring, 10, 2, 3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowsched

@@ -17,7 +17,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DFLOWSCHED_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target flowsched_cli flowsched_fuzz \
-  flowsched_tests bench_fig10_maxload bench_ext_bounds -j "$(nproc)"
+  flowsched_tests bench_fig10_maxload bench_ext_bounds bench_ext_adaptive \
+  -j "$(nproc)"
 
 # CLI smoke under ASan: a leak or OOB anywhere in the recorder/validator
 # path aborts with a non-zero exit.
@@ -84,6 +85,28 @@ fi
 "$FUZZ" replay --input tests/corpus/nc-setup-ties.txt > /dev/null
 "$FUZZ" replay --input tests/corpus/weighted-heavy-tail.txt > /dev/null
 
+# Adaptive-control battery under ASan: the closed-loop controller (LP
+# oracle in the loop, incremental ring resizes, setup charges, control
+# audits) on every run, the planted flap through the control shrink path
+# (findings expected: exit 1 is the pass), and the committed control
+# reproducer through replay.
+"$FUZZ" run --seed 19 --runs 24 --threads 4 --control-every 1 \
+  > "$SMOKE_DIR/fuzz-control.out"
+if "$FUZZ" run --seed 42 --runs 4 --threads 1 --inject-control-bug \
+    --no-faults --no-stream --no-shard --no-nc --no-weighted \
+    --corpus-dir "$SMOKE_DIR/control-corpus" \
+    > "$SMOKE_DIR/fuzz-control-bug.out"; then
+  echo "asan_check: --inject-control-bug campaign unexpectedly clean" >&2
+  exit 1
+fi
+"$FUZZ" replay --input tests/corpus/control-flap.txt > /dev/null
+
+# Adaptive bench under ASan: the paired static-vs-adaptive sweep with
+# check_control_run on every replicate must still report a clean audit.
+"$BUILD_DIR/bench/bench_ext_adaptive" --reps 2 --requests 300 --threads 4 \
+  > "$SMOKE_DIR/adaptive.out"
+grep -q 'audit: 0 violation' "$SMOKE_DIR/adaptive.out"
+
 # Weighted streaming under ASan: heavy-key weights through the exact
 # weighted-latency aggregation in the cluster sim.
 "$CLI" stream --requests 20000 --m 16 --lambda 12 --seed 7 \
@@ -101,5 +124,5 @@ fi
 grep -q 'bound-violations=0' "$SMOKE_DIR/bounds-bench.out"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit|StealDeque|CoreBudget|Sharded'
+  -R 'Obs|Trace|Metrics|OnlineEngine|Fifo|Simplex|MaxLoad|MaxFlow|InvariantAuditor|Shrinker|FaultyEft|StructuredGenerator|FaultPlan|FaultEngine|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit|StealDeque|CoreBudget|Sharded|ReplicationController|AdaptiveSim|RingResize'
 echo "asan_check: OK"

@@ -46,7 +46,8 @@ done
 # own) and the tools/ scripts are exempt.
 ctest_names="bench_determinism_fig11 bench_determinism_fig10 \
 bench_determinism_failures bench_failures_resume bench_determinism_streaming \
-bench_determinism_bounds bench_determinism_shard bench_trajectory"
+bench_determinism_bounds bench_determinism_shard bench_determinism_adaptive \
+bench_trajectory"
 for bench in $(grep -o '\b\(bench\|micro\)_[a-z0-9_]\{1,\}' EXPERIMENTS.md | sort -u); do
   case " $ctest_names " in *" $bench "*) continue ;; esac
   if [ ! -f "bench/$bench.cpp" ]; then

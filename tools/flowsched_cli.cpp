@@ -12,6 +12,7 @@
 //                        [--alg eft-min|eft|immediate|online] [--p X]
 //   flowsched_cli bounds --m N --structure interval|disjoint|ksize
 //                        --target-fmax F [--opt-lb X] [--load X] [--s X]
+//                        [--availability A]
 //   flowsched_cli trace  --instance FILE [--algo <name>] [--out FILE]
 //                        [--metrics FILE] [--ndjson] [--seed N]
 //   flowsched_cli check-trace --input FILE
@@ -21,7 +22,7 @@
 //   flowsched_cli faultsim [--input FILE] [--algo <name>] [--seed N]
 //                          [--mtbf X] [--mean-down X] [--horizon X]
 //                          [--recovery immediate|backoff|checkpoint]
-//                          [--fates] [--no-audit]
+//                          [--fates] [--no-audit] [--json]
 //   flowsched_cli stream [--requests N] [--lambda X] [--m N] [--keys N]
 //                        [--k N] [--zipf-s X]
 //                        [--strategy overlapping|disjoint|spread|none]
@@ -40,7 +41,10 @@
 // prints the applicable theorem ratios per structure class, and with
 // --target-fmax it answers the capacity-planning question "minimum
 // replication factor k for a target p100 flow time" from the closed forms
-// plus the LP (15) saturation frontier (exit 3 when infeasible); `trace`
+// plus the LP (15) saturation frontier (exit 3 when infeasible;
+// --availability A < 1 folds the fault model in by planning against the
+// effective cluster floor(A * m) while the offered load still comes from
+// the full cluster); `trace`
 // schedules the instance with the observer
 // attached and writes a Chrome trace_event JSON (or NDJSON) file plus an
 // optional one-line metrics summary (docs/observability.md); `check-trace`
@@ -51,7 +55,8 @@
 // `faultsim` replays an instance under machine failures (a fault-case file
 // with `down`/`recovery` directives, or a plain instance plus a seeded
 // --mtbf crash/repair plan), reports attempts / kills / parks / drops, and
-// audits the run with the [fault-*] checks (docs/faults.md);
+// audits the run with the [fault-*] checks (docs/faults.md) — --json swaps
+// the text lines for one machine-readable %.17g object, same exit codes;
 // `stream` runs the O(backlog)-memory serving pipeline
 // (simulate_cluster_streaming, docs/streaming.md) for --reps seeded
 // replicate streams fanned across --threads workers — the per-rep reports
@@ -402,6 +407,7 @@ int cmd_faultsim(const ArgParser& args) {
   const double horizon = args.num("horizon", 64.0);
   const std::string recovery_name = args.get("recovery", "");
   const bool want_fates = args.has("fates");
+  const bool want_json = args.has("json");
   const bool audit = !args.has("no-audit");
   args.reject_unknown();
 
@@ -467,35 +473,57 @@ int cmd_faultsim(const ArgParser& args) {
     ++completed;
   }
 
-  std::printf("algo=%s n=%d m=%d crashes=%d recovery=%s\n", algo.c_str(),
-              fc.instance.n(), fc.instance.m(), fc.plan.crash_count(),
-              recovery_kind_name(fc.recovery.kind));
-  std::printf("completed=%lld dropped=%lld attempts=%lld kills=%lld "
-              "parked=%lld wasted=%.6g\n",
-              stats.completed, stats.dropped, stats.attempts, stats.kills,
-              stats.parked, stats.wasted_work);
-  std::printf("Fmax=%.6g mean_flow=%.6g (over completed tasks)\n", fmax,
-              completed > 0 ? flow_sum / completed : 0.0);
-  if (want_fates) {
-    for (int i = 0; i < fc.instance.n(); ++i) {
-      if (log.fate(i) == TaskFate::kCompleted) {
-        std::printf("task %d completed C=%.6g attempts=%zu\n", i,
-                    log.completion(i), log.attempts_of(i).size());
-      } else {
-        std::printf("task %d dropped attempts=%zu\n", i,
-                    log.attempts_of(i).size());
-      }
-    }
-  }
+  bool audit_clean = true;
   if (audit) {
     auditor.check_fault_run(fc.plan, fc.recovery, log);
-    if (!auditor.ok()) {
-      std::fprintf(stderr, "AUDIT VIOLATIONS:\n%s\n",
-                   auditor.report().c_str());
-      return 3;
+    audit_clean = auditor.ok();
+  }
+
+  if (want_json) {
+    // Mirrors `stream --json`: %.17g printf so stdout round-trips doubles
+    // exactly and is byte-comparable; diagnostics stay on stderr.
+    std::printf("{\n");
+    std::printf("  \"algo\": \"%s\", \"n\": %d, \"m\": %d, \"crashes\": %d, "
+                "\"recovery\": \"%s\",\n",
+                algo.c_str(), fc.instance.n(), fc.instance.m(),
+                fc.plan.crash_count(), recovery_kind_name(fc.recovery.kind));
+    std::printf("  \"completed\": %lld, \"dropped\": %lld, \"attempts\": %lld,"
+                " \"kills\": %lld, \"parked\": %lld, \"wasted\": %.17g,\n",
+                stats.completed, stats.dropped, stats.attempts, stats.kills,
+                stats.parked, stats.wasted_work);
+    std::printf("  \"fmax\": %.17g, \"mean_flow\": %.17g,\n", fmax,
+                completed > 0 ? flow_sum / completed : 0.0);
+    std::printf("  \"audit\": \"%s\"\n}\n",
+                audit ? (audit_clean ? "clean" : "violations") : "skipped");
+  } else {
+    std::printf("algo=%s n=%d m=%d crashes=%d recovery=%s\n", algo.c_str(),
+                fc.instance.n(), fc.instance.m(), fc.plan.crash_count(),
+                recovery_kind_name(fc.recovery.kind));
+    std::printf("completed=%lld dropped=%lld attempts=%lld kills=%lld "
+                "parked=%lld wasted=%.6g\n",
+                stats.completed, stats.dropped, stats.attempts, stats.kills,
+                stats.parked, stats.wasted_work);
+    std::printf("Fmax=%.6g mean_flow=%.6g (over completed tasks)\n", fmax,
+                completed > 0 ? flow_sum / completed : 0.0);
+    if (want_fates) {
+      for (int i = 0; i < fc.instance.n(); ++i) {
+        if (log.fate(i) == TaskFate::kCompleted) {
+          std::printf("task %d completed C=%.6g attempts=%zu\n", i,
+                      log.completion(i), log.attempts_of(i).size());
+        } else {
+          std::printf("task %d dropped attempts=%zu\n", i,
+                      log.attempts_of(i).size());
+        }
+      }
     }
-    std::printf("audit: clean (%zu attempts checked)\n",
-                log.attempts().size());
+    if (audit && audit_clean) {
+      std::printf("audit: clean (%zu attempts checked)\n",
+                  log.attempts().size());
+    }
+  }
+  if (audit && !audit_clean) {
+    std::fprintf(stderr, "AUDIT VIOLATIONS:\n%s\n", auditor.report().c_str());
+    return 3;
   }
   return 0;
 }
@@ -681,6 +709,7 @@ int cmd_bounds(const ArgParser& args) {
     const double opt_lb = args.num("opt-lb", 1.0);
     const double load = args.num("load", -1.0);
     const double zipf_s = args.num("s", 0.0);
+    const double availability = args.num("availability", 1.0);
     args.reject_unknown();
 
     const auto alg = bounds::parse_algo_class(algo_name);
@@ -703,7 +732,12 @@ int cmd_bounds(const ArgParser& args) {
       q.opt_estimate = opt_lb;
       q.load = load;
       q.zipf_s = zipf_s;
+      q.availability = availability;
       const bounds::PlannerResult r = bounds::min_feasible_k(q);
+      if (availability < 1.0) {
+        std::printf("effective m:       %d (of %d at availability %g)\n",
+                    r.effective_m, m, availability);
+      }
       std::printf("feasible:          %s\n", r.feasible ? "yes" : "no");
       if (r.feasible) {
         std::printf("min feasible k:    %d\n", r.min_k);

@@ -7,7 +7,9 @@
 //       [--lp-every N] [--fault-every N] [--no-faults] [--inject-fault-bug]
 //       [--stream-every N] [--no-stream] [--no-bounds] [--shard-every N]
 //       [--no-shard] [--nc-every N] [--no-nc] [--inject-nc-bug]
-//       [--weighted-every N] [--no-weighted] [--max-n N] [--max-m N] [--unit]
+//       [--weighted-every N] [--no-weighted] [--control-every N]
+//       [--no-control] [--inject-control-bug]
+//       [--max-n N] [--max-m N] [--unit]
 //   flowsched_fuzz replay --input FILE [--no-oracles]
 //
 // `run` executes a fuzz campaign: each run draws a random structured
@@ -24,7 +26,11 @@
 // checks); --inject-nc-bug plants a clairvoyance leak that [nc-no-peek]
 // must catch and shrink. Every --weighted-every-th run executes the
 // weighted battery ([weighted-*]/[diff-weighted]) on a randomly-weighted
-// copy of the instance.
+// copy of the instance. Every --control-every-th run executes the
+// adaptive-replication control battery ([control-*]/[diff-control]:
+// audited closed-loop re-tuning plus the controller-off-vs-static
+// differential); --inject-control-bug plants a flapping controller that
+// [control-determinism]/[control-movement-bound] must catch and shrink.
 // `replay` re-checks a committed reproducer (or any instance / fault-case /
 // ncsetup file) through the matching battery.
 //
@@ -77,6 +83,9 @@ int run_command(const ArgParser& args) {
   config.inject_nc_bug = args.has("inject-nc-bug");
   config.weighted_every = args.integer("weighted-every", config.weighted_every);
   if (args.has("no-weighted")) config.weighted_every = 0;
+  config.control_every = args.integer("control-every", config.control_every);
+  if (args.has("no-control")) config.control_every = 0;
+  config.inject_control_bug = args.has("inject-control-bug");
   config.sizes.max_n = args.integer("max-n", config.sizes.max_n);
   config.sizes.max_m = args.integer("max-m", config.sizes.max_m);
   if (args.has("unit")) config.sizes.unit_tasks = true;

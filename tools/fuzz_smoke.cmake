@@ -28,9 +28,18 @@
 #  10. with --inject-nc-bug the planted clairvoyance leak (true frontiers
 #      handed to a censored policy) is caught by an [nc-*] check and every
 #      reproducer shrinks to at most 4 tasks;
-#  11. every committed reproducer in tests/corpus replays clean (fault
+#  11. the clean campaign ran the adaptive-replication control battery
+#      ([control-determinism]/[control-movement-bound]/
+#      [control-setup-accounting] + the [diff-control] controller-off ==
+#      static differential, docs/control.md) on every run — asserted via
+#      the report's control-checks counter — and --no-control disarms it;
+#  12. with --inject-control-bug the planted flapping controller (layout
+#      flipped every epoch, frontier jumped in one step) is caught by a
+#      [control-*] check and shrinks to at most 4 tasks;
+#  13. every committed reproducer in tests/corpus replays clean (fault
 #      cases route through the fault battery, ncsetup cases through the
-#      non-clairvoyant battery, automatically).
+#      non-clairvoyant battery, control cases through the control battery,
+#      automatically).
 #
 # Usable standalone:
 #
@@ -323,7 +332,74 @@ if(nc_reproducers STREQUAL "")
       "fuzz_smoke: --inject-nc-bug produced no reproducer files")
 endif()
 
-# --- 11. committed corpus replays clean ------------------------------------
+# --- 11. the control battery actually ran -----------------------------------
+# control_every defaults to 1, so the clean campaign must have run the
+# audited adaptive run plus the controller-off-vs-static differential on
+# every instance.
+if(NOT clean_report MATCHES "control-checks=([0-9]+)")
+  message(FATAL_ERROR
+      "fuzz_smoke: report lacks the control-checks counter:\n${clean_report}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: control battery never ran (control-checks=0):\n"
+      "${clean_report}")
+endif()
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 8 --threads 1 --no-control
+  OUTPUT_FILE ${dir}/nocontrol.txt RESULT_VARIABLE nocontrol_rc)
+if(NOT nocontrol_rc EQUAL 0)
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-control campaign failed (rc=${nocontrol_rc})")
+endif()
+file(READ ${dir}/nocontrol.txt nocontrol_report)
+if(NOT nocontrol_report MATCHES " control-checks=0")
+  message(FATAL_ERROR
+      "fuzz_smoke: --no-control did not disable the control battery:\n"
+      "${nocontrol_report}")
+endif()
+
+# --- 12. the injected control flap is caught and shrinks small ---------------
+# The planted flap breaks determinism on the very first decision epoch (a
+# clean controller replay decides differently), so the finding survives
+# aggressive stream shrinking — down to a single task.
+execute_process(
+  COMMAND ${FUZZ} run --seed 42 --runs 4 --threads 1 --inject-control-bug
+          --no-faults --no-stream --no-shard --no-nc --no-weighted
+          --corpus-dir ${dir}/control-found
+  OUTPUT_FILE ${dir}/control-bug.txt RESULT_VARIABLE control_rc)
+if(NOT control_rc EQUAL 1)
+  file(READ ${dir}/control-bug.txt out)
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-control-bug campaign did not report findings "
+      "(rc=${control_rc}):\n${out}")
+endif()
+file(READ ${dir}/control-bug.txt control_report)
+if(NOT control_report MATCHES "\\[control-")
+  message(FATAL_ERROR
+      "fuzz_smoke: injected flap not caught by a [control-*] check:\n"
+      "${control_report}")
+endif()
+string(REGEX MATCHALL "shrunk-to=([0-9]+)" control_shrunk "${control_report}")
+if(control_shrunk STREQUAL "")
+  message(FATAL_ERROR
+      "fuzz_smoke: no shrunk control reproducer in:\n${control_report}")
+endif()
+foreach(hit IN LISTS control_shrunk)
+  string(REGEX REPLACE "shrunk-to=" "" n_tasks "${hit}")
+  if(n_tasks GREATER 4)
+    message(FATAL_ERROR
+        "fuzz_smoke: control reproducer kept ${n_tasks} tasks (> 4); the "
+        "shrinker regressed:\n${control_report}")
+  endif()
+endforeach()
+file(GLOB control_reproducers ${dir}/control-found/*.txt)
+if(control_reproducers STREQUAL "")
+  message(FATAL_ERROR
+      "fuzz_smoke: --inject-control-bug produced no reproducer files")
+endif()
+
+# --- 13. committed corpus replays clean ------------------------------------
 if(DEFINED CORPUS_DIR)
   file(GLOB corpus ${CORPUS_DIR}/*.txt)
   foreach(f IN LISTS corpus)

@@ -66,6 +66,16 @@ cmake --build "$BUILD_DIR" --target bench_ext_failures -j "$(nproc)"
   --strategy overlapping --shards 4 --shard-workers 4 --heavy-keys 8 \
   --heavy-weight 8 --seed 7 > /dev/null
 
+# Adaptive-control battery across the pool: each fuzz worker owns its
+# ReplicationController, ControlLog and LP oracle privately, and the
+# paired adaptive bench fans whole controller runs (with bitwise replay
+# audits) across 4 threads.
+"$BUILD_DIR/tools/flowsched_fuzz" run --seed 19 --runs 24 --threads 4 \
+  --control-every 1 > /dev/null
+cmake --build "$BUILD_DIR" --target bench_ext_adaptive -j "$(nproc)"
+"$BUILD_DIR/bench/bench_ext_adaptive" --reps 2 --requests 300 --threads 4 \
+  > /dev/null
+
 TSAN_CKPT=$(mktemp -u)
 "$BUILD_DIR/bench/bench_ext_failures" --reps 2 --requests 300 --threads 4 \
   --checkpoint "$TSAN_CKPT" --watchdog 300 > /dev/null

@@ -27,7 +27,7 @@ FUZZ="$BUILD_DIR/tools/flowsched_fuzz"
 
 # Fault unit suites plus the runner/checkpoint hardening tests.
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit|StealDeque|CoreBudget|Sharded'
+  -R 'FaultPlan|FaultCase|FaultEngine|RunnerHardening|SweepCheckpoint|Alias|Calendar|Streaming|Sketch|StreamAudit|StealDeque|CoreBudget|Sharded|ReplicationController|AdaptiveSim|RingResize'
 
 # faultsim CLI on the committed corpus cases (scripted plans, both
 # replication schemes) and on a seeded random plan per recovery policy.
@@ -87,6 +87,21 @@ fi
 "$FUZZ" replay --input tests/corpus/weighted-heavy-tail.txt > /dev/null
 "$CLI" stream --requests 20000 --m 16 --lambda 12 --seed 7 \
   --heavy-keys 8 --heavy-weight 8 > /dev/null
+
+# Adaptive-control battery under UBSan: LP-oracle scoring arithmetic,
+# ring-resize index math, epoch/cooldown counters and setup charges on
+# the dyadic grid, plus the planted flap through the control shrink path
+# (findings expected: exit 1 is the pass) and the committed reproducer.
+"$FUZZ" run --seed 19 --runs 24 --threads 4 --control-every 1 \
+  > "$SMOKE_DIR/fuzz-control.out"
+if "$FUZZ" run --seed 42 --runs 4 --threads 1 --inject-control-bug \
+    --no-faults --no-stream --no-shard --no-nc --no-weighted \
+    --corpus-dir "$SMOKE_DIR/control-corpus" \
+    > "$SMOKE_DIR/fuzz-control-bug.out"; then
+  echo "ubsan_check: --inject-control-bug campaign unexpectedly clean" >&2
+  exit 1
+fi
+"$FUZZ" replay --input tests/corpus/control-flap.txt > /dev/null
 
 # Failure sweep: checkpointed, parallel, with the watchdog armed — the
 # whole hardened-runner surface in one run.
